@@ -1,0 +1,144 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper table — these isolate *why* CPQx wins:
+
+1. class-id conjunction (Prop. 4.1) vs forced pair-set intersection on
+   the same index;
+2. identity fusion (Algorithm 4's \\*ID operators) vs a separate
+   ``∩ id`` conjunction against the all-loops relation;
+3. representative-based ``Il2c`` construction vs the paper's literal
+   per-pair Algorithm 2 loop (identical output, different cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import prepare_dataset
+from repro.core.cpqx import CPQxIndex
+from repro.core.executor import Result, execute_plan
+from repro.graph.datasets import load_dataset
+from repro.plan.nodes import ConjNode, IdentityAll
+from repro.plan.planner import build_plan, greedy_splitter
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = load_dataset("robots", scale=0.3, seed=7)
+    prepared = prepare_dataset("robots", graph, ("S", "Ti"), 3, seed=7)
+    index = prepared.engine("CPQx")
+    return graph, prepared, index
+
+
+class _PairizedProvider:
+    """Adapter forcing every lookup to materialize pairs immediately.
+
+    This disables the class-id fast path while reusing the same stored
+    index — the "language-unaware execution over CPQx" ablation.
+    """
+
+    def __init__(self, index: CPQxIndex) -> None:
+        self.index = index
+        self.graph = index.graph
+
+    def lookup(self, seq):
+        classes = self.index.lookup(seq).classes
+        return Result.of_pairs(self.index.expand_classes(classes))
+
+    def expand_classes(self, classes):  # pragma: no cover - never class-typed
+        return self.index.expand_classes(classes)
+
+    def loop_classes_of(self, classes):  # pragma: no cover
+        return self.index.loop_classes_of(classes)
+
+
+@pytest.mark.parametrize("mode", ["class-conjunction", "pair-conjunction"])
+def test_conjunction_path(benchmark, setting, mode):
+    """Class-id intersection vs forced pair intersection on S queries."""
+    _, prepared, index = setting
+    queries = [wq.query for wq in prepared.workload["S"]]
+    if not queries:
+        pytest.skip("no S queries generated")
+    provider = index if mode == "class-conjunction" else _PairizedProvider(index)
+    plans = [build_plan(q, greedy_splitter(index.k)) for q in queries]
+
+    def run():
+        for plan in plans:
+            execute_plan(plan, provider)
+
+    benchmark(run)
+    # both modes must agree on the answers
+    for plan, query in zip(plans, queries):
+        assert execute_plan(plan, provider) == index.evaluate(query)
+
+
+@pytest.mark.parametrize("mode", ["fused", "unfused"])
+def test_identity_fusion(benchmark, setting, mode):
+    """Algorithm 4's fused IDENTITY vs an explicit ∩ id conjunction."""
+    _, prepared, index = setting
+    queries = [wq.query for wq in prepared.workload["Ti"]]
+    if not queries:
+        pytest.skip("no Ti queries generated")
+    splitter = greedy_splitter(index.k)
+    plans = []
+    for wq_query in queries:
+        fused = build_plan(wq_query, splitter)
+        if mode == "fused":
+            plans.append(fused)
+        else:
+            # strip the fusion flag and conjoin with the full loop relation
+            inner = build_plan(wq_query.left, splitter)  # Ti = (chain) & id
+            plans.append(ConjNode(inner, IdentityAll()))
+
+    def run():
+        for plan in plans:
+            execute_plan(plan, index)
+
+    benchmark(run)
+    for plan, query in zip(plans, queries):
+        assert execute_plan(plan, index) == index.evaluate(query)
+
+
+@pytest.mark.parametrize("method", ["representative", "per-pair"])
+def test_il2c_construction(benchmark, setting, method):
+    """Representative-based vs per-pair Il2c assembly (same output)."""
+    graph, _, reference = setting
+    index = benchmark.pedantic(
+        lambda: CPQxIndex.build(graph, k=2, il2c_method=method),
+        rounds=2,
+        iterations=1,
+    )
+    assert index.num_classes == reference.num_classes
+    assert index.size_bytes() == reference.size_bytes()
+
+
+@pytest.mark.parametrize("mode", ["greedy-split", "optimized-split"])
+def test_split_optimizer(benchmark, mode):
+    """Greedy prefix splitting vs cardinality-aware DP splitting.
+
+    Uses diameter-4 chain queries (C4) on a label-skewed graph, where
+    split-point choice moves real work between join inputs.
+    """
+    from repro.graph.generators import relabel_graph
+    from repro.graph.datasets import load_dataset
+    from repro.plan.optimizer import enable_optimizer
+    from repro.query.workloads import random_template_queries
+
+    graph = relabel_graph(load_dataset("advogato", scale=0.3, seed=7), 6, seed=7)
+    index = CPQxIndex.build(graph, k=2)
+    queries = [
+        wq.query
+        for wq in random_template_queries(graph, "C4", count=4, seed=7)
+    ]
+    if not queries:
+        pytest.skip("no C4 queries generated")
+    baseline = [index.evaluate(q) for q in queries]
+    if mode == "optimized-split":
+        enable_optimizer(index)
+        assert [index.evaluate(q) for q in queries] == baseline
+
+    def run():
+        for query in queries:
+            index.evaluate(query)
+
+    benchmark(run)

@@ -1,0 +1,52 @@
+"""Fig. 10 — LUBM / WatDiv benchmark-query time as graphs grow.
+
+The paper's observation to reproduce: WatDiv's join-heavier query mix
+grows faster with graph size than LUBM's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig10_lubm_watdiv
+from repro.core.interest import InterestAwareIndex
+from repro.graph.schema import lubm_schema, watdiv_schema
+from repro.query.ast import resolve
+from repro.query.templates import lubm_queries, watdiv_queries
+from repro.query.workloads import workload_interests
+
+
+@pytest.mark.parametrize(
+    "suite,schema,queries",
+    [
+        ("lubm", lubm_schema, lubm_queries),
+        ("watdiv", watdiv_schema, watdiv_queries),
+    ],
+    ids=["lubm", "watdiv"],
+)
+def test_suite_queries(benchmark, suite, schema, queries):
+    """Average benchmark-suite evaluation time at a fixed size."""
+    graph = schema().generate(700, seed=7)
+    resolved = [resolve(q, graph.registry) for q in queries().values()]
+    interests = frozenset(workload_interests(resolved, 2))
+    engine = InterestAwareIndex.build(graph, k=2, interests=interests)
+
+    def run():
+        for query in resolved:
+            engine.evaluate(query)
+
+    benchmark(run)
+
+
+def test_fig10_table(benchmark, results_dir):
+    """Regenerate the Fig. 10 growth table."""
+    result = benchmark.pedantic(
+        lambda: fig10_lubm_watdiv(sizes=(300, 600, 1200)), rounds=1, iterations=1
+    )
+    assert {row[0] for row in result.rows} == {"LUBM", "WatDiv"}
+    write_result(results_dir, result)
+    # larger graphs must not get *faster* by an order of magnitude (sanity)
+    for suite in ("LUBM", "WatDiv"):
+        times = [row[3] for row in result.rows if row[0] == suite]
+        assert times[-1] >= times[0] / 10

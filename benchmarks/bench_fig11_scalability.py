@@ -1,0 +1,37 @@
+"""Fig. 11 — iaCPQx scalability on growing gMark citation graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig11_scalability
+from repro.core.interest import InterestAwareIndex
+from repro.graph.datasets import gmark_interests
+from repro.graph.schema import citation_schema
+
+
+@pytest.mark.parametrize("size", [300, 900, 2700])
+def test_gmark_build(benchmark, size):
+    """iaCPQx construction time on a gMark graph of the given size."""
+    graph = citation_schema().generate(size, seed=7)
+    interests = frozenset(gmark_interests(graph))
+    index = benchmark.pedantic(
+        lambda: InterestAwareIndex.build(graph, k=2, interests=interests),
+        rounds=2,
+        iterations=1,
+    )
+    assert index.num_pairs > 0
+
+
+def test_fig11_table(benchmark, results_dir):
+    """Regenerate the Fig. 11 per-template growth series."""
+    result = benchmark.pedantic(
+        lambda: fig11_scalability(
+            sizes=(300, 600, 1200), templates=("T", "S", "C2", "C4")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)

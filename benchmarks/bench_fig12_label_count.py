@@ -1,0 +1,29 @@
+"""Fig. 12 — index size vs number of labels (ego-Facebook topology).
+
+The shape to reproduce: Path/CPQx sizes grow with the label count while
+the interest-aware indexes shrink, and the CPQ-aware indexes stay below
+their language-unaware counterparts throughout.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.experiments import fig12_label_count
+
+
+def test_fig12(benchmark, results_dir):
+    """Regenerate the Fig. 12 label-count sweep and check its shape."""
+    result = benchmark.pedantic(
+        lambda: fig12_label_count(label_counts=(16, 64, 256, 1024)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    for labels, path_size, cpqx_size, iapath_size, iacpqx_size in result.rows:
+        # CPQ-aware index never larger than the language-unaware one (Thm 4.2)
+        assert cpqx_size <= path_size
+        assert iacpqx_size <= iapath_size * 1.05 + 64
+    # interest-aware sizes shrink as labels grow (fixed interests match less)
+    ia_sizes = result.column("iaCPQx")
+    assert ia_sizes[-1] <= ia_sizes[0]

@@ -1,0 +1,41 @@
+"""Fig. 13 — impact of lazy maintenance on query time.
+
+After x% of edges are deleted and re-inserted, lookup costs rise a little
+(more, finer classes) but join-heavy templates barely move; answers stay
+identical — the paper verifies the same.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.experiments import fig13_maintenance_impact
+
+
+def test_fig13(benchmark, results_dir):
+    """Regenerate the Fig. 13 sweep and bound the degradation."""
+    result = benchmark.pedantic(
+        lambda: fig13_maintenance_impact(
+            dataset="robots",
+            edge_ratios=(0.0, 0.05, 0.20),
+            templates=("T", "C2", "C4"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    # query time after churn stays within two orders of magnitude of fresh
+    for method in ("CPQx", "iaCPQx"):
+        fresh = {
+            row[2]: row[3]
+            for row in result.rows
+            if row[0] == method and row[1] == 0
+        }
+        worst = {
+            row[2]: row[3]
+            for row in result.rows
+            if row[0] == method and row[1] == 20
+        }
+        for template, fresh_time in fresh.items():
+            if template in worst and fresh_time > 0:
+                assert worst[template] <= fresh_time * 100 + 1e-3

@@ -1,0 +1,42 @@
+"""Fig. 14 — iaCPQx query time as the path-length bound k grows."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig14_k_query_time
+from repro.bench.runner import prepare_dataset
+from repro.core.interest import InterestAwareIndex
+from repro.graph.datasets import load_dataset
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_query_time_at_k(benchmark, k):
+    """Average S/C4 query time at one k on the robots stand-in."""
+    graph = load_dataset("robots", scale=0.2, seed=7)
+    prepared = prepare_dataset("robots", graph, ("S", "C4"), 2, k=k, seed=7)
+    engine = InterestAwareIndex.build(graph, k=k, interests=prepared.interests)
+    queries = [wq.query for wq in prepared.all_queries()]
+    if not queries:
+        pytest.skip("no queries generated")
+
+    def run():
+        for query in queries:
+            engine.evaluate(query)
+
+    benchmark(run)
+
+
+def test_fig14_table(benchmark, results_dir):
+    """Regenerate the Fig. 14 sweep."""
+    result = benchmark.pedantic(
+        lambda: fig14_k_query_time(
+            datasets=("robots",), ks=(1, 2, 3, 4), templates=("T", "S", "C2", "C4")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    assert {row[1] for row in result.rows} == {1, 2, 3, 4}

@@ -1,0 +1,37 @@
+"""Fig. 15 — iaCPQx index size and construction time as k grows."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig15_k_index_cost
+from repro.bench.runner import prepare_dataset
+from repro.core.interest import InterestAwareIndex
+from repro.graph.datasets import load_dataset
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_build_at_k(benchmark, k):
+    """iaCPQx construction time at one k."""
+    graph = load_dataset("robots", scale=0.2, seed=7)
+    prepared = prepare_dataset("robots", graph, ("S", "C4"), 2, k=k, seed=7)
+    index = benchmark.pedantic(
+        lambda: InterestAwareIndex.build(graph, k=k, interests=prepared.interests),
+        rounds=2,
+        iterations=1,
+    )
+    assert index.size_bytes() > 0
+
+
+def test_fig15_table(benchmark, results_dir):
+    """Regenerate the Fig. 15 sweep; size grows (weakly) with k."""
+    result = benchmark.pedantic(
+        lambda: fig15_k_index_cost(datasets=("robots",), ks=(1, 2, 3, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    sizes = [row[2] for row in result.rows if row[0] == "robots"]
+    assert sizes == sorted(sizes) or sizes[-1] >= sizes[0]

@@ -1,0 +1,64 @@
+"""Fig. 6 — the main query-time comparison.
+
+Benchmarks each method's average template-query time on a representative
+dataset, and regenerates the full per-dataset table.  The reproduction
+target is the ranking shape: CPQx / iaCPQx dominate the
+conjunction-heavy templates (T, S, TT, St), Path stays competitive on
+pure join chains (C2, C4), the matchers win some cyclic joins (Ti, Si),
+and BFS trails everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig6_query_time
+from repro.bench.runner import ALL_METHODS, prepare_dataset
+from repro.graph.datasets import load_dataset
+from repro.query.templates import template_names
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    graph = load_dataset("robots", scale=0.25, seed=7)
+    return prepare_dataset(
+        "robots", graph, tuple(template_names()), queries_per_template=2, seed=7
+    )
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+@pytest.mark.parametrize("template", ["T", "S", "St", "C2", "C4", "Ti"])
+def test_query_time(benchmark, prepared, method, template):
+    """Average evaluation time of one template for one method."""
+    engine = prepared.engine(method)
+    queries = [wq.query for wq in prepared.workload[template]]
+    if not queries:
+        pytest.skip("sparse graph produced no queries for this template")
+
+    def run():
+        for query in queries:
+            engine.evaluate(query)
+
+    benchmark(run)
+
+
+def test_fig6_table(benchmark, results_dir):
+    """Regenerate the Fig. 6 table across the default dataset subset."""
+    result = benchmark.pedantic(
+        lambda: fig6_query_time(datasets=("robots", "advogato")),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    # shape check: on conjunctive templates, language-aware beats BFS
+    for dataset in ("robots", "advogato"):
+        for template in ("T", "S"):
+            rows = {
+                row[1]: row[3]
+                for row in result.rows
+                if row[0] == dataset and row[2] == template
+            }
+            if "CPQx" in rows and "BFS" in rows:
+                assert rows["CPQx"] <= rows["BFS"] * 5

@@ -1,0 +1,32 @@
+"""Fig. 8 — impact of the interest-set size on iaCPQx query time.
+
+Shrinks the interest share from 100% of the workload's label sequences to
+0% (only the mandatory single labels); times should degrade toward the
+join-everything regime as interests vanish.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.experiments import fig8_interest_size
+
+
+def test_fig8(benchmark, results_dir):
+    """Regenerate the Fig. 8 sweep on the yago stand-in."""
+    result = benchmark.pedantic(
+        lambda: fig8_interest_size(
+            dataset="yago",
+            fractions=(1.0, 0.5, 0.0),
+            templates=("T", "S", "C2", "C4"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    # |Lq| must shrink monotonically with the interest share
+    sizes = {}
+    for pct, _template, _time, lq in result.rows:
+        sizes.setdefault(pct, lq)
+    ordered = [sizes[pct] for pct in sorted(sizes, reverse=True)]
+    assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,49 @@
+"""Fig. 9 — YAGO2 benchmark queries Y1-Y4.
+
+Runs the four translated benchmark query shapes over the YAGO2-like
+schema graph with iaCPQx, iaPath, the matchers, and BFS; the paper
+reports iaCPQx achieving the smallest average time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import fig9_yago_benchmark
+from repro.bench.runner import build_engine
+from repro.graph.datasets import load_dataset
+from repro.query.ast import resolve
+from repro.query.templates import yago2_queries
+from repro.query.workloads import workload_interests
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = load_dataset("yago2-bench", scale=0.25, seed=7)
+    queries = {
+        name: resolve(query, graph.registry)
+        for name, query in yago2_queries().items()
+    }
+    interests = frozenset(workload_interests(list(queries.values()), 2))
+    return graph, queries, interests
+
+
+@pytest.mark.parametrize("method", ["iaCPQx", "iaPath", "TurboHom", "Tentris", "BFS"])
+def test_yago2_queries(benchmark, setting, method):
+    """Average Y1-Y4 evaluation time for one method."""
+    graph, queries, interests = setting
+    engine = build_engine(method, graph, k=2, interests=interests)
+
+    def run():
+        for query in queries.values():
+            engine.evaluate(query)
+
+    benchmark(run)
+
+
+def test_fig9_table(benchmark, results_dir):
+    """Regenerate the Fig. 9 table."""
+    result = benchmark.pedantic(fig9_yago_benchmark, rounds=1, iterations=1)
+    assert {row[0] for row in result.rows} == {"Y1", "Y2", "Y3", "Y4"}
+    write_result(results_dir, result)

@@ -1,0 +1,29 @@
+"""Table II — dataset overview.
+
+Regenerates the dataset statistics table (|V|, |E|, |L| with inverses) for
+the synthetic stand-ins next to the paper's original numbers, and
+benchmarks representative dataset builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import table2_datasets
+from repro.graph.datasets import load_dataset
+
+
+@pytest.mark.parametrize("name", ["robots", "advogato", "yago", "g-mark-1m"])
+def test_dataset_build(benchmark, name):
+    """Time building one dataset stand-in."""
+    graph = benchmark(lambda: load_dataset(name, scale=0.25, seed=7))
+    assert graph.num_vertices > 0
+    assert graph.num_edges > 0
+
+
+def test_table2_render(benchmark, results_dir):
+    """Regenerate the full Table II and persist it."""
+    result = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
+    assert len(result.rows) >= 19  # 14 real stand-ins + 5 gMark + bench graphs
+    write_result(results_dir, result)

@@ -1,0 +1,28 @@
+"""Table III — pruning power of the CPQ-equivalence classes.
+
+Counts class identifiers (CPQx / iaCPQx) versus s-t pairs (iaPath)
+flowing through the evaluation of S-template queries; the paper's point
+is that class counts are orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.experiments import table3_pruning_power
+
+
+def test_table3(benchmark, results_dir):
+    """Regenerate Table III and check the pruning-power shape."""
+    result = benchmark.pedantic(
+        lambda: table3_pruning_power(datasets=("robots", "advogato", "biogrid")),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    for row in result.rows:
+        _, cpqx_classes, ia_classes, iapath_pairs = row
+        # iaCPQx touches no more identifiers than iaPath touches pairs
+        assert ia_classes <= iapath_pairs
+        if cpqx_classes != "-":
+            assert cpqx_classes <= iapath_pairs

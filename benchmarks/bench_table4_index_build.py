@@ -1,0 +1,51 @@
+"""Table IV — index sizes and construction times for all four indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import table4_index_size
+from repro.bench.runner import build_engine, prepare_dataset
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    graph = load_dataset("robots", scale=0.3, seed=7)
+    return prepare_dataset("robots", graph, ("S", "C2", "T"), 2, seed=7)
+
+
+@pytest.mark.parametrize("method", ["CPQx", "iaCPQx", "Path", "iaPath"])
+def test_index_build(benchmark, prepared, method):
+    """Construction time of one index on the robots stand-in."""
+    index = benchmark.pedantic(
+        lambda: build_engine(method, prepared.graph, k=2, interests=prepared.interests),
+        rounds=2,
+        iterations=1,
+    )
+    assert index.size_bytes() > 0
+
+
+def test_table4(benchmark, results_dir):
+    """Regenerate Table IV and verify the paper's size ordering."""
+    result = benchmark.pedantic(
+        lambda: table4_index_size(datasets=("robots", "advogato", "wikidata")),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, result)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for dataset in ("robots", "advogato"):
+        cpqx = by_key[(dataset, "CPQx")]
+        path = by_key[(dataset, "Path")]
+        ia = by_key[(dataset, "iaCPQx")]
+        # Thm. 4.2 compares the γ|C| vs γ|P≤k| terms; on very sparse
+        # stand-ins γ ≈ 1 and the fixed per-class key overhead can nudge
+        # CPQx slightly above Path, so allow a 15% tolerance (the paper's
+        # own robots row shows only an 11% gap).
+        assert cpqx[2] <= path[2] * 1.15
+        assert ia[2] <= cpqx[2]
+    # infeasible dataset reports dashes for the full indexes (paper's "-")
+    assert by_key[("wikidata", "CPQx")][2] == "-"
+    assert by_key[("wikidata", "iaCPQx")][2] != "-"

@@ -1,0 +1,46 @@
+"""Table V — CPQx edge deletion / insertion maintenance time."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import table5_cpqx_updates
+from repro.core.cpqx import CPQxIndex
+from repro.graph.datasets import load_dataset
+
+
+@pytest.mark.parametrize("operation", ["delete", "insert"])
+def test_edge_update(benchmark, operation):
+    """Single-edge maintenance cost (fresh index per round)."""
+    base = load_dataset("robots", scale=0.3, seed=7)
+    rng = random.Random(7)
+    triples = sorted(base.triples(), key=repr)
+    edge = triples[rng.randrange(len(triples))]
+
+    def setup():
+        index = CPQxIndex.build(base.copy(), k=2)
+        return (index,), {}
+
+    def run(index):
+        if operation == "delete":
+            index.delete_edge(*edge)
+        else:
+            index.insert_edge(edge[0], edge[1], edge[2] + 1)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_table5(benchmark, results_dir):
+    """Regenerate Table V; updates must be cheap relative to rebuilds."""
+    result = benchmark.pedantic(
+        lambda: table5_cpqx_updates(datasets=("robots", "advogato"), updates=10),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    for _name, deletion, insertion in result.rows:
+        assert deletion < 2.0 and insertion < 2.0

@@ -1,0 +1,58 @@
+"""Table VI — iaCPQx edge and label-sequence (interest) update times.
+
+The paper's shape: interest deletion is near-instant (drop one posting
+list), interest insertion costs one sequence evaluation, edge updates sit
+in between — all far below a rebuild.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.experiments import table6_iacpqx_updates
+from repro.bench.runner import prepare_dataset
+from repro.core.interest import InterestAwareIndex
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture()
+def setting():
+    graph = load_dataset("robots", scale=0.3, seed=7)
+    prepared = prepare_dataset("robots", graph, ("C2", "S"), 4, seed=7)
+    return graph, prepared.interests
+
+
+@pytest.mark.parametrize("operation", ["seq-delete", "seq-insert"])
+def test_interest_update(benchmark, setting, operation):
+    """Single interest-sequence maintenance cost."""
+    graph, interests = setting
+    seq = sorted((s for s in interests if len(s) > 1), key=repr)[0]
+
+    def setup():
+        index = InterestAwareIndex.build(graph, k=2, interests=interests)
+        if operation == "seq-insert":
+            index.delete_interest(seq)
+        return (index,), {}
+
+    def run(index):
+        if operation == "seq-delete":
+            index.delete_interest(seq)
+        else:
+            index.insert_interest(seq)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_table6(benchmark, results_dir):
+    """Regenerate Table VI; sequence deletion must be the cheapest op."""
+    result = benchmark.pedantic(
+        lambda: table6_iacpqx_updates(datasets=("robots", "advogato"), updates=10),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    for _name, edge_del, edge_ins, seq_del, seq_ins in result.rows:
+        assert seq_del <= seq_ins  # deletion is a posting drop (paper: µs vs s)
+        assert max(edge_del, edge_ins, seq_ins) < 5.0

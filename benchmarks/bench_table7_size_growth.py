@@ -1,0 +1,32 @@
+"""Table VII — index-size growth under lazy maintenance.
+
+Lazy updates never merge classes, so churn grows the index; the paper's
+claim to reproduce is that the growth ratio stays modest (≤ ~1.7 at 20%
+churn).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.experiments import table7_size_growth
+
+
+def test_table7(benchmark, results_dir):
+    """Regenerate Table VII and bound the growth ratios."""
+    result = benchmark.pedantic(
+        lambda: table7_size_growth(
+            dataset="robots",
+            edge_ratios=(0.01, 0.05, 0.20),
+            seq_counts=(2, 6),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    write_result(results_dir, result)
+    for _index, _kind, _amount, ratio in result.rows:
+        assert 0.5 <= ratio <= 3.0
+    edge_rows = [row for row in result.rows if row[1] == "edges" and row[0] == "CPQx"]
+    ratios = [row[3] for row in edge_rows]
+    # growth is (weakly) monotone in churn
+    assert all(b >= a * 0.95 for a, b in zip(ratios, ratios[1:]))

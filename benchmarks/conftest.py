@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see
+DESIGN.md §3).  Rendered result tables are written to
+``benchmarks/results/*.txt`` so a ``pytest benchmarks/ --benchmark-only``
+run leaves the paper-shaped outputs on disk alongside pytest-benchmark's
+own timing report.
+
+Scale is kept small by default so the whole suite completes in minutes on
+a laptop; export ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_QUERIES`` to run
+closer to the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+os.environ.setdefault("REPRO_BENCH_QUERIES", "2")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config) -> None:
+    """Keep benchmark calibration short so the whole suite stays fast."""
+    for option, value in (
+        ("benchmark_max_time", 0.4),
+        ("benchmark_min_rounds", 2),
+        ("benchmark_warmup", False),
+    ):
+        if hasattr(config.option, option):
+            setattr(config.option, option, value)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered experiment tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, result) -> None:
+    """Persist a rendered ExperimentResult (used by every bench module)."""
+    safe = result.experiment.lower().replace(" ", "_").replace(".", "")
+    path = results_dir / f"{safe}.txt"
+    path.write_text(result.render() + "\n", encoding="utf-8")

@@ -1,0 +1,60 @@
+"""Run all seven engines of the paper's study side by side (mini Fig. 6).
+
+Builds one dataset stand-in, generates the Fig. 5 template workload, and
+prints a query-time matrix across CPQx, iaCPQx, Path, iaPath,
+TurboHom++-style, Tentris-style, and BFS — every answer cross-checked.
+
+Run:  python examples/engine_comparison.py [dataset] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.runner import ALL_METHODS, prepare_dataset
+from repro.graph.datasets import load_dataset
+from repro.query.templates import template_names
+
+
+def main(dataset: str = "robots", scale: float = 0.5) -> None:
+    graph = load_dataset(dataset, scale=scale, seed=7)
+    print(f"{dataset}: {graph}")
+    prepared = prepare_dataset(
+        dataset, graph, tuple(template_names()), queries_per_template=3, seed=7
+    )
+
+    engines = {}
+    for method in ALL_METHODS:
+        start = time.perf_counter()
+        engines[method] = prepared.engine(method)
+        print(f"  {method:<9} ready in {time.perf_counter() - start:6.2f}s")
+
+    header = f"{'template':<9}" + "".join(f"{m:>11}" for m in ALL_METHODS)
+    print("\nper-template mean query time [ms]")
+    print(header)
+    print("-" * len(header))
+    for template in template_names():
+        queries = [wq.query for wq in prepared.workload[template]]
+        if not queries:
+            continue
+        cells = []
+        reference = None
+        for method in ALL_METHODS:
+            engine = engines[method]
+            start = time.perf_counter()
+            answers = [engine.evaluate(q) for q in queries]
+            elapsed = 1000 * (time.perf_counter() - start) / len(queries)
+            if reference is None:
+                reference = answers
+            else:
+                assert answers == reference, f"{method} disagrees on {template}"
+            cells.append(f"{elapsed:>11.3f}")
+        print(f"{template:<9}" + "".join(cells))
+    print("\nall engines agreed on every answer")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "robots"
+    factor = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    main(name, factor)

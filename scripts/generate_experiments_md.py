@@ -1,0 +1,182 @@
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Runs every experiment in :mod:`repro.bench.experiments` at the configured
+bench scale and writes a markdown report juxtaposing the paper's reported
+qualitative outcome with the measured numbers from this reproduction.
+
+Usage::
+
+    REPRO_BENCH_SCALE=0.25 python scripts/generate_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+os.environ.setdefault("REPRO_BENCH_QUERIES", "3")
+
+from repro.bench import experiments as E  # noqa: E402
+from repro.bench.reporting import render_series  # noqa: E402
+
+OUT = Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+#: Figure experiments additionally rendered as log-scale ASCII series
+#: (x column, y column, group column) so the *shape* is eyeball-able.
+SERIES_VIEWS = {
+    "Fig. 8": ("interest_pct", "mean_time_s", "template"),
+    "Fig. 10": ("edges", "mean_time_s", "suite"),
+    "Fig. 11": ("vertices", "mean_time_s", "template"),
+    "Fig. 13": ("updated_pct", "mean_time_s", "template"),
+    "Fig. 14": ("k", "mean_time_s", "template"),
+    "Fig. 15": ("k", "size_bytes", "dataset"),
+}
+
+#: What the paper reports, per experiment — the shape we try to reproduce.
+PAPER_CLAIMS = {
+    "Table II": (
+        "14 real graphs (1.5K–14M vertices, up to 213M edges incl. inverses, "
+        "8–1556 labels) plus five gMark synthetics. Here: seeded synthetic "
+        "stand-ins at ~100–1000× smaller scale preserving density, label "
+        "vocabulary size, and λ=0.5 label skew (paper columns included in "
+        "the table for reference)."
+    ),
+    "Fig. 6": (
+        "CPQx/iaCPQx are fastest on the conjunction templates (T, S, TT, St) "
+        "by up to three orders of magnitude; Path is competitive on pure "
+        "join chains (C2, C4); TurboHom++/Tentris win some cyclic-join "
+        "templates (Ti, Si) on some datasets; BFS trails everywhere."
+    ),
+    "Table III": (
+        "The number of class identifiers CPQx/iaCPQx touch when evaluating "
+        "S queries is orders of magnitude below the number of s-t pairs "
+        "iaPath touches; iaCPQx touches fewer than CPQx."
+    ),
+    "Fig. 7": (
+        "iaCPQx beats TurboHom++ and Tentris on both empty and non-empty "
+        "queries on most templates; empty queries are generally cheaper; "
+        "first-answer times are lower than full-enumeration times."
+    ),
+    "Fig. 8": (
+        "Query time rises as the interest share shrinks from 100% to 0% "
+        "(more joins replace single lookups), with the largest impact on "
+        "templates whose sequences leave the interest set."
+    ),
+    "Fig. 9": ("iaCPQx achieves the smallest average time on Y1–Y4."),
+    "Fig. 10": (
+        "Query time grows with graph size; WatDiv grows faster than LUBM "
+        "because its benchmark queries need more joins."
+    ),
+    "Fig. 11": ("iaCPQx query time grows smoothly with gMark graph size."),
+    "Fig. 12": (
+        "Path/CPQx sizes grow with the label count; iaPath/iaCPQx sizes "
+        "shrink; CPQ-aware indexes stay at or below their language-unaware "
+        "counterparts."
+    ),
+    "Table IV": (
+        "CPQx is smaller than Path (γ-fold posting dedup); iaCPQx/iaPath "
+        "are much smaller and much faster to build; CPQx/Path hit OOM on "
+        "the six largest graphs (reported as '-')."
+    ),
+    "Table V": ("Edge deletion/insertion on CPQx take well under a second "
+                "per operation on the small datasets — far below a rebuild."),
+    "Table VI": (
+        "iaCPQx edge updates cost fractions of a second; interest deletion "
+        "is near-instant (µs — dropping one posting list); interest "
+        "insertion costs one sequence evaluation (seconds at paper scale)."
+    ),
+    "Table VII": (
+        "Lazy maintenance grows the index by ≤1.63× even after 20% edge "
+        "churn and ≤1.48× after 10 interest re-insertions."
+    ),
+    "Fig. 13": (
+        "Cheap templates (T, C2i) slow down somewhat after churn (lookup "
+        "cost rises with the finer classes); join-heavy templates (C4, Si) "
+        "barely move; answers stay identical."
+    ),
+    "Fig. 14": (
+        "Query time drops from k=1 to k=2; beyond that some templates "
+        "regress (over-fine classes, costlier lookups); diameter-i queries "
+        "are fastest near k=i."
+    ),
+    "Fig. 15": ("Index size and construction time grow with k."),
+}
+
+
+def main() -> None:
+    sections: list[tuple[str, object, float]] = []
+    runs = [
+        ("Table II", lambda: E.table2_datasets()),
+        ("Fig. 6", lambda: E.fig6_query_time(
+            datasets=("robots", "advogato", "youtube", "biogrid"))),
+        ("Table III", lambda: E.table3_pruning_power(
+            datasets=("robots", "advogato", "youtube", "biogrid", "epinions"))),
+        ("Fig. 7", lambda: E.fig7_empty_nonempty(datasets=("yago",))),
+        ("Fig. 8", lambda: E.fig8_interest_size(
+            dataset="yago", fractions=(1.0, 0.6, 0.2, 0.0),
+            templates=("C2", "T", "S", "C4"))),
+        ("Fig. 9", lambda: E.fig9_yago_benchmark()),
+        ("Fig. 10", lambda: E.fig10_lubm_watdiv(sizes=(300, 600, 1200, 2400))),
+        ("Fig. 11", lambda: E.fig11_scalability(
+            sizes=(300, 600, 1200, 2400), templates=("C2", "T", "S", "C4"))),
+        ("Fig. 12", lambda: E.fig12_label_count()),
+        ("Table IV", lambda: E.table4_index_size(
+            datasets=("robots", "advogato", "biogrid", "wikidata", "g-mark-1m"))),
+        ("Table V", lambda: E.table5_cpqx_updates(datasets=("robots", "advogato"))),
+        ("Table VI", lambda: E.table6_iacpqx_updates(
+            datasets=("robots", "advogato", "yago"))),
+        ("Table VII", lambda: E.table7_size_growth()),
+        ("Fig. 13", lambda: E.fig13_maintenance_impact()),
+        ("Fig. 14", lambda: E.fig14_k_query_time(ks=(1, 2, 3))),
+        ("Fig. 15", lambda: E.fig15_k_index_cost(ks=(1, 2, 3))),
+    ]
+    for name, runner in runs:
+        start = time.perf_counter()
+        print(f"running {name}...", flush=True)
+        result = runner()
+        sections.append((name, result, time.perf_counter() - start))
+
+    scale = os.environ["REPRO_BENCH_SCALE"]
+    queries = os.environ["REPRO_BENCH_QUERIES"]
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `scripts/generate_experiments_md.py` "
+        f"(REPRO_BENCH_SCALE={scale}, REPRO_BENCH_QUERIES={queries}, "
+        "single-threaded pure Python).",
+        "",
+        "Absolute numbers are **not** comparable to the paper's C++/512GB-server",
+        "results on the real datasets; the reproduction target is the *shape* of",
+        "each experiment — who wins, rough factors, crossovers (see DESIGN.md §2",
+        "for the substitution rationale). Each section states the paper's claim,",
+        "then the measured table.",
+        "",
+    ]
+    for name, result, elapsed in sections:
+        lines.append(f"## {name} — {result.title}")
+        lines.append("")
+        lines.append(f"**Paper:** {PAPER_CLAIMS[name]}")
+        lines.append("")
+        lines.append(f"**Measured** ({elapsed:.1f}s to generate):")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+        view = SERIES_VIEWS.get(name)
+        if view is not None and result.rows:
+            lines.append("Shape (log scale):")
+            lines.append("")
+            lines.append("```")
+            lines.append(render_series(result, x=view[0], y=view[1], group_by=view[2]))
+            lines.append("```")
+            lines.append("")
+    OUT.write_text("\n".join(lines), encoding="utf-8")
+    print(f"wrote {OUT} ({len(sections)} experiments)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+This offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on environments that do have
+``wheel``) installs the package equivalently; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

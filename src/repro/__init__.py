@@ -1,0 +1,63 @@
+"""repro — reproduction of "Language-aware Indexing for Conjunctive Path
+Queries" (Sasaki, Fletcher, Onizuka; ICDE 2022).
+
+Public API quick reference::
+
+    from repro import LabeledDigraph, CPQxIndex, parse
+
+    g = LabeledDigraph.from_triples([("a", "b", "f"), ("b", "a", "f")])
+    index = CPQxIndex.build(g, k=2)
+    answers = index.evaluate(parse("(f . f) & id", g.registry))
+
+Sub-packages:
+
+* :mod:`repro.graph` — labeled digraphs, IO, generators, datasets;
+* :mod:`repro.query` — the CPQ algebra, parser, reference semantics,
+  templates, workloads;
+* :mod:`repro.plan` — logical plans and the planner;
+* :mod:`repro.core` — the paper's contribution: partitioning, CPQx,
+  iaCPQx, executor, maintenance;
+* :mod:`repro.baselines` — Path, iaPath, BFS, TurboHom++-style and
+  Tentris-style engines;
+* :mod:`repro.bench` — the benchmark harness regenerating every table
+  and figure of the evaluation.
+"""
+
+from repro.baselines import (
+    BFSEngine,
+    InterestAwarePathIndex,
+    PathIndex,
+    TentrisEngine,
+    TurboHomEngine,
+)
+from repro.core import (
+    CPQxIndex,
+    ExecutionStats,
+    InterestAwareIndex,
+    compute_partition,
+)
+from repro.graph import LabeledDigraph, LabelRegistry
+from repro.graph.datasets import example_graph, load_dataset
+from repro.query import evaluate, label, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFSEngine",
+    "CPQxIndex",
+    "ExecutionStats",
+    "InterestAwareIndex",
+    "InterestAwarePathIndex",
+    "LabelRegistry",
+    "LabeledDigraph",
+    "PathIndex",
+    "TentrisEngine",
+    "TurboHomEngine",
+    "__version__",
+    "compute_partition",
+    "evaluate",
+    "example_graph",
+    "label",
+    "load_dataset",
+    "parse",
+]

@@ -1,0 +1,20 @@
+"""Baseline engines the paper compares CPQx / iaCPQx against."""
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+from repro.baselines.pattern import PatternGraph, cpq_to_pattern
+from repro.baselines.relational import RelationalEngine
+from repro.baselines.tentris import HyperTrie, TentrisEngine
+from repro.baselines.turbohom import TurboHomEngine
+
+__all__ = [
+    "BFSEngine",
+    "HyperTrie",
+    "InterestAwarePathIndex",
+    "PathIndex",
+    "PatternGraph",
+    "RelationalEngine",
+    "TentrisEngine",
+    "TurboHomEngine",
+    "cpq_to_pattern",
+]

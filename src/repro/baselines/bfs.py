@@ -1,0 +1,36 @@
+"""Index-free breadth-first-search query evaluation — the ``BFS`` baseline.
+
+Sec. VI's "BFS, index-free breadth-first-search query evaluation [7]":
+every LOOKUP of a label sequence is answered by composing the label
+relations on the fly (a BFS frontier expansion per label), and the rest
+of the plan (joins, conjunctions, identity) runs through the same
+executor as the index-based engines — the paper's "same query plans for
+all methods" protocol.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+from repro.core.executor import EngineBase, Result
+from repro.plan.planner import Splitter
+
+
+class BFSEngine(EngineBase):
+    """Evaluate CPQs straight off the graph, no index."""
+
+    name = "BFS"
+
+    def __init__(self, graph: LabeledDigraph) -> None:
+        self.graph = graph
+
+    def splitter(self) -> Splitter:
+        """No index bound: a whole label sequence is one traversal."""
+        def split(seq: LabelSeq) -> list[LabelSeq]:
+            return [seq]
+
+        return split
+
+    def lookup(self, seq: LabelSeq) -> Result:
+        """Compose the label relations of ``seq`` by frontier expansion."""
+        return Result.of_pairs(self.graph.sequence_relation(seq))

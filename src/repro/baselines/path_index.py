@@ -1,0 +1,149 @@
+"""The language-unaware path index of [14] — the ``Path`` baseline.
+
+Sec. III-C: "The state-of-the-art language-unaware path index is an
+inverted index that outputs a set of paths corresponding to a given label
+sequence as a search key."  It stores, for every label sequence of length
+≤ k, the sorted list of s-t pairs it connects.  Its size is
+``O(γ |P≤k|)`` because each pair is stored once per sequence it matches —
+the redundancy CPQx eliminates (Thm. 4.2's comparison).
+
+``iaPath`` is the paper's interest-restricted variant: only sequences in
+the interest set (plus all single labels) are indexed.  The paper notes
+iaPath is *not* faster than Path on lookups — both store the same pair
+lists per sequence — it is only smaller and cheaper to build; the same
+holds here by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexBuildError, QueryDiameterError
+from repro.graph.digraph import LabeledDigraph, Pair
+from repro.graph.labels import LabelSeq
+from repro.core.executor import EngineBase, Result
+from repro.core.paths import enumerate_sequences
+from repro.plan.planner import Splitter, greedy_splitter, interest_splitter
+
+
+class PathIndex(EngineBase):
+    """Inverted index: label sequence (length ≤ k) → sorted s-t pairs."""
+
+    name = "Path"
+
+    def __init__(
+        self,
+        graph: LabeledDigraph,
+        k: int,
+        entries: dict[LabelSeq, list[Pair]],
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self._entries = entries
+
+    @classmethod
+    def build(cls, graph: LabeledDigraph, k: int = 2) -> "PathIndex":
+        """Enumerate all ≤k label sequences and their pair lists."""
+        if k < 1:
+            raise IndexBuildError(f"k must be >= 1, got {k}")
+        sequences = enumerate_sequences(graph, k)
+        entries = {
+            seq: sorted(pairs, key=repr) for seq, pairs in sequences.items()
+        }
+        return cls(graph=graph, k=k, entries=entries)
+
+    # ------------------------------------------------------------------
+    # executor interface
+    # ------------------------------------------------------------------
+    def splitter(self) -> Splitter:
+        """Same greedy ≤k splitting as CPQx (same plans for all methods)."""
+        return greedy_splitter(self.k)
+
+    def lookup(self, seq: LabelSeq) -> Result:
+        """Return the s-t pairs of a label sequence."""
+        if len(seq) > self.k:
+            raise QueryDiameterError(
+                f"sequence of length {len(seq)} exceeds index parameter k={self.k}"
+            )
+        return Result.of_pairs(self._entries.get(seq, ()))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_sequences(self) -> int:
+        """Number of indexed label sequences."""
+        return len(self._entries)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of *distinct* s-t pairs appearing in the index."""
+        pairs: set[Pair] = set()
+        for stored in self._entries.values():
+            pairs.update(stored)
+        return len(pairs)
+
+    @property
+    def num_postings(self) -> int:
+        """Total stored (sequence, pair) postings — the γ|P≤k| term."""
+        return sum(len(stored) for stored in self._entries.values())
+
+    def pairs_of_sequence(self, seq: LabelSeq) -> list[Pair]:
+        """Stored pair list for a sequence (copy)."""
+        return list(self._entries.get(seq, ()))
+
+    def size_bytes(self) -> int:
+        """32-bit-id size model: 4 bytes per key label, 8 per posted pair."""
+        return sum(
+            4 * len(seq) + 8 * len(pairs) for seq, pairs in self._entries.items()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(k={self.k}, |seqs|={self.num_sequences}, "
+            f"postings={self.num_postings})"
+        )
+
+
+class InterestAwarePathIndex(PathIndex):
+    """``iaPath``: the Path index restricted to interest sequences."""
+
+    name = "iaPath"
+
+    def __init__(
+        self,
+        graph: LabeledDigraph,
+        k: int,
+        entries: dict[LabelSeq, list[Pair]],
+        interests: frozenset[LabelSeq],
+    ) -> None:
+        super().__init__(graph, k, entries)
+        self.interests = interests
+
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledDigraph,
+        k: int = 2,
+        interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
+    ) -> "InterestAwarePathIndex":
+        """Index only the interest sequences (plus all single labels)."""
+        if k < 1:
+            raise IndexBuildError(f"k must be >= 1, got {k}")
+        for seq in interests:
+            if not seq or len(seq) > k:
+                raise IndexBuildError(
+                    f"interest must have length 1..k, got {seq}"
+                )
+        full: set[LabelSeq] = set(interests)
+        for label in graph.labels_used():
+            full.add((label,))
+            full.add((-label,))
+        entries = {
+            seq: sorted(graph.sequence_relation(seq), key=repr)
+            for seq in full
+        }
+        entries = {seq: pairs for seq, pairs in entries.items() if pairs}
+        return cls(graph=graph, k=k, entries=entries, interests=frozenset(full))
+
+    def splitter(self) -> Splitter:
+        """Split at interest boundaries, as iaCPQx does."""
+        return interest_splitter(self.interests, self.k)

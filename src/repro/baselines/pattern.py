@@ -1,0 +1,126 @@
+"""CPQ → query-graph compilation, shared by TurboHom++ and Tentris.
+
+Evaluating a CPQ "amounts to finding all embeddings of the pattern
+specified by the query into the graph" (Sec. III-B, Fig. 2).  This module
+builds that pattern: a small directed labeled multigraph over query
+variables with two distinguished variables ``source`` and ``target``.
+
+Compilation rules (a fresh variable per join midpoint, union-find for
+identity):
+
+* ``id``        — merge the two endpoint variables;
+* ``l`` / ``l⁻¹`` — one labeled pattern edge (inverses normalized to a
+  forward edge in the opposite direction, so pattern edges always carry
+  forward labels — which is also what a triple store matches);
+* ``q1 ∘ q2``   — a fresh midpoint variable shared by both sides;
+* ``q1 ∩ q2``   — both sides compiled onto the same endpoints.
+
+The homomorphic matching semantics of CPQ means different variables may
+bind the same graph vertex — matchers over this structure must *not*
+enforce injectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, Identity, Join
+
+#: A pattern edge: (source variable, target variable, forward label id).
+PatternEdge = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PatternGraph:
+    """A compiled CPQ pattern: variables 0..num_vars-1 and labeled edges."""
+
+    num_vars: int
+    edges: tuple[PatternEdge, ...]
+    source: int
+    target: int
+
+    def adjacency(self) -> dict[int, list[tuple[int, int, bool]]]:
+        """Per-variable incident edges as ``(other, label, outgoing)``.
+
+        Self-loop edges appear once with ``other == var``.
+        """
+        adj: dict[int, list[tuple[int, int, bool]]] = {
+            var: [] for var in range(self.num_vars)
+        }
+        for a, b, label in self.edges:
+            if a == b:
+                adj[a].append((a, label, True))
+            else:
+                adj[a].append((b, label, True))
+                adj[b].append((a, label, False))
+        return adj
+
+
+class _UnionFind:
+    """Minimal union-find for identity merging."""
+
+    def __init__(self) -> None:
+        self.parent: list[int] = []
+
+    def fresh(self) -> int:
+        self.parent.append(len(self.parent))
+        return len(self.parent) - 1
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def cpq_to_pattern(query: CPQ) -> PatternGraph:
+    """Compile a resolved CPQ into its query pattern graph."""
+    uf = _UnionFind()
+    raw_edges: list[PatternEdge] = []
+    source = uf.fresh()
+    target = uf.fresh()
+
+    def compile_node(node: CPQ, a: int, b: int) -> None:
+        if isinstance(node, Identity):
+            uf.union(a, b)
+        elif isinstance(node, EdgeLabel):
+            label = node.label_id()
+            if label < 0:
+                raw_edges.append((b, a, -label))
+            else:
+                raw_edges.append((a, b, label))
+        elif isinstance(node, Join):
+            mid = uf.fresh()
+            compile_node(node.left, a, mid)
+            compile_node(node.right, mid, b)
+        elif isinstance(node, Conjunction):
+            compile_node(node.left, a, b)
+            compile_node(node.right, a, b)
+        else:
+            raise QuerySyntaxError(f"cannot compile CPQ node {node!r}")
+
+    compile_node(query, source, target)
+
+    # Renumber union-find roots densely and rewrite edges.
+    remap: dict[int, int] = {}
+
+    def var_of(x: int) -> int:
+        root = uf.find(x)
+        if root not in remap:
+            remap[root] = len(remap)
+        return remap[root]
+
+    src = var_of(source)
+    dst = var_of(target)
+    edges = tuple(sorted({(var_of(a), var_of(b), label) for a, b, label in raw_edges}))
+    # ensure isolated-but-distinguished variables are counted
+    num_vars = len(remap)
+    return PatternGraph(num_vars=num_vars, edges=edges, source=src, target=dst)

@@ -1,0 +1,180 @@
+"""A TurboHom++-style homomorphic subgraph matcher.
+
+The paper compares against TurboHom++ [26], "the state-of-the-art
+algorithm for homomorphic subgraph matching", using the authors' binary.
+That binary is unavailable, so this module implements the same algorithmic
+class from scratch: candidate filtering plus backtracking search over an
+adaptively chosen matching order, under **homomorphic** semantics (no
+injectivity — the paper stresses isomorphic matchers return incorrect
+CPQ results).
+
+Faithful-in-spirit ingredients:
+
+* candidate sets seeded from label relations (TurboHom++'s candidate
+  regions built from the NLF filter);
+* matching order: start at the most label-constrained variable, then
+  expand through pattern adjacency, most-constrained-first (its adaptive
+  matching order);
+* early termination for first-answer evaluation (Fig. 7 measures this);
+* output is the projection of embeddings onto ``(source, target)``,
+  de-duplicated — the paper notes TurboHom++ outputs whole subgraphs,
+  which is why its full-enumeration times suffer on binary-output CPQs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.core.executor import ExecutionStats
+from repro.query.ast import CPQ, is_resolved, resolve
+from repro.baselines.pattern import PatternGraph, cpq_to_pattern
+
+
+class _StopSearch(Exception):
+    """Raised internally when the answer limit is reached."""
+
+
+class TurboHomEngine:
+    """Backtracking homomorphic matcher over CPQ pattern graphs."""
+
+    name = "TurboHom"
+
+    def __init__(self, graph: LabeledDigraph) -> None:
+        self.graph = graph
+
+    def evaluate(
+        self,
+        query: CPQ,
+        stats: ExecutionStats | None = None,
+        limit: int | None = None,
+    ) -> frozenset[Pair]:
+        """Find all (or up to ``limit``) s-t pairs of embeddings of ``query``."""
+        if not is_resolved(query):
+            query = resolve(query, self.graph.registry)
+        pattern = cpq_to_pattern(query)
+        if not pattern.edges:
+            # Pure-identity pattern: every vertex is an embedding.
+            pairs = ((v, v) for v in self.graph.vertices())
+            if limit is not None:
+                collected = []
+                for pair in pairs:
+                    collected.append(pair)
+                    if len(collected) >= limit:
+                        break
+                return frozenset(collected)
+            return frozenset(pairs)
+
+        order = self._matching_order(pattern)
+        adjacency = pattern.adjacency()
+        assignment: dict[int, Vertex] = {}
+        results: set[Pair] = set()
+
+        def backtrack(depth: int) -> None:
+            if depth == len(order):
+                results.add((assignment[pattern.source], assignment[pattern.target]))
+                if limit is not None and len(results) >= limit:
+                    raise _StopSearch
+                return
+            var = order[depth]
+            candidates = self._candidates(var, adjacency[var], assignment)
+            if stats is not None:
+                stats.pairs_touched += len(candidates)
+            for vertex in candidates:
+                assignment[var] = vertex
+                backtrack(depth + 1)
+            assignment.pop(var, None)
+
+        try:
+            backtrack(0)
+        except _StopSearch:
+            pass
+        return frozenset(results)
+
+    # ------------------------------------------------------------------
+    # matching machinery
+    # ------------------------------------------------------------------
+    def _matching_order(self, pattern: PatternGraph) -> list[int]:
+        """Adaptive order: most-constrained seed, then adjacency expansion."""
+        adjacency = pattern.adjacency()
+        constraint = {var: len(edges) for var, edges in adjacency.items()}
+        order: list[int] = []
+        seen: set[int] = set()
+        # Seed with the variable carrying the most edge constraints.
+        seed = max(constraint, key=lambda var: (constraint[var], -var))
+        frontier = [seed]
+        while len(order) < pattern.num_vars:
+            if not frontier:
+                remaining = [v for v in range(pattern.num_vars) if v not in seen]
+                frontier = [max(remaining, key=lambda var: (constraint[var], -var))]
+            frontier.sort(key=lambda var: (constraint[var], -var))
+            var = frontier.pop()
+            if var in seen:
+                continue
+            seen.add(var)
+            order.append(var)
+            for other, _, _ in adjacency[var]:
+                if other not in seen:
+                    frontier.append(other)
+        return order
+
+    def _candidates(
+        self,
+        var: int,
+        incident: list[tuple[int, int, bool]],
+        assignment: dict[int, Vertex],
+    ) -> list[Vertex]:
+        """Candidate vertices for ``var`` under the current assignment.
+
+        Intersects the neighborhoods imposed by edges whose other endpoint
+        is already bound; unbound-neighbor edges only contribute when no
+        bound constraint exists (the seed variable), via label-relation
+        endpoints — TurboHom++'s candidate-region filter.
+        """
+        graph = self.graph
+        candidate_set: set[Vertex] | None = None
+        loop_constraints: list[tuple[int, bool]] = []
+        unbound: list[tuple[int, int, bool]] = []
+        for other, label, outgoing in incident:
+            if other == var:
+                loop_constraints.append((label, outgoing))
+                continue
+            bound = assignment.get(other)
+            if bound is None:
+                unbound.append((other, label, outgoing))
+                continue
+            # var --label--> bound (outgoing) means var ∈ successors(bound, -label)
+            traverse = -label if outgoing else label
+            neighborhood = graph.successors(bound, traverse)
+            candidate_set = (
+                set(neighborhood)
+                if candidate_set is None
+                else candidate_set & neighborhood
+            )
+            if not candidate_set:
+                return []
+        if candidate_set is None:
+            # No bound constraint: seed from the tightest label relation.
+            candidate_set = self._seed_candidates(unbound, loop_constraints)
+        for label, _ in loop_constraints:
+            candidate_set = {
+                v for v in candidate_set if graph.has_edge(v, v, label)
+            }
+        return sorted(candidate_set, key=repr)
+
+    def _seed_candidates(
+        self,
+        unbound: list[tuple[int, int, bool]],
+        loop_constraints: list[tuple[int, bool]],
+    ) -> set[Vertex]:
+        graph = self.graph
+        best: set[Vertex] | None = None
+        for _, label, outgoing in unbound:
+            relation = graph.label_relation(label)
+            endpoints = {pair[0] if outgoing else pair[1] for pair in relation}
+            if best is None or len(endpoints) < len(best):
+                best = endpoints
+        if best is None:
+            if loop_constraints:
+                label = loop_constraints[0][0]
+                return {v for v, u in graph.label_relation(label) if v == u}
+            return set(graph.vertices())
+        return best

@@ -1,0 +1,724 @@
+"""One function per table and figure of the paper's evaluation (Sec. VI).
+
+Each function is deterministic (seeded), returns an
+:class:`repro.bench.reporting.ExperimentResult`, and is wrapped by a
+``benchmarks/bench_*.py`` target.  Dataset sizes are governed by the
+harness scale (see :mod:`repro.bench.runner`); the reproduction target is
+the paper's *shape* — method rankings, rough factors, crossovers — not
+absolute numbers (pure-Python substrate on synthetic stand-ins).
+
+Index of experiments (see DESIGN.md §3): Table II → :func:`table2_datasets`,
+Fig. 6 → :func:`fig6_query_time`, Table III → :func:`table3_pruning_power`,
+Fig. 7 → :func:`fig7_empty_nonempty`, Fig. 8 → :func:`fig8_interest_size`,
+Fig. 9 → :func:`fig9_yago_benchmark`, Fig. 10 → :func:`fig10_lubm_watdiv`,
+Fig. 11 → :func:`fig11_scalability`, Fig. 12 → :func:`fig12_label_count`,
+Table IV → :func:`table4_index_size`, Table V → :func:`table5_cpqx_updates`,
+Table VI → :func:`table6_iacpqx_updates`, Table VII →
+:func:`table7_size_growth`, Fig. 13 → :func:`fig13_maintenance_impact`,
+Fig. 14 → :func:`fig14_k_query_time`, Fig. 15 → :func:`fig15_k_index_cost`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runner import (
+    ALL_METHODS,
+    FULL_INDEX_METHODS,
+    bench_datasets,
+    bench_queries,
+    bench_scale,
+    build_engine,
+    prepare_dataset,
+)
+from repro.bench.timing import time_call, time_queries
+from repro.core.cpqx import CPQxIndex
+from repro.core.executor import ExecutionStats
+from repro.core.interest import InterestAwareIndex
+from repro.core.stats import dataset_stats
+from repro.graph.datasets import REGISTRY, gmark_interests
+from repro.graph.generators import preferential_attachment_graph, relabel_graph
+from repro.graph.schema import citation_schema, lubm_schema, watdiv_schema
+from repro.query.templates import template_names, lubm_queries, watdiv_queries, yago2_queries
+from repro.query.workloads import split_by_emptiness, workload_interests
+
+#: Small, fast dataset subset used by default in the per-dataset sweeps.
+DEFAULT_FIG6_DATASETS = (
+    "robots", "ego-facebook", "advogato", "biogrid", "epinions", "yago",
+)
+#: Datasets used for the update-time tables (paper's Tables V/VI rows).
+DEFAULT_UPDATE_DATASETS = ("robots", "advogato", "biogrid")
+
+
+def _load(name: str, scale: float | None = None, seed: int = 7):
+    spec = REGISTRY[name]
+    graph = spec.build(scale=bench_scale() if scale is None else scale, seed=seed)
+    return spec, graph
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+def table2_datasets(names: tuple[str, ...] | None = None, seed: int = 7) -> ExperimentResult:
+    """Table II: dataset overview (stand-in vs paper statistics)."""
+    names = names or tuple(REGISTRY)
+    result = ExperimentResult(
+        experiment="Table II",
+        title="dataset overview (|E|,|L| include inverses; paper columns for reference)",
+        headers=["dataset", "|V|", "|E|", "|L|", "paper|V|", "paper|E|", "paper|L|", "real labels"],
+    )
+    for name in names:
+        spec, graph = _load(name, seed=seed)
+        stats = dataset_stats(name, graph)
+        result.rows.append([
+            name, stats.vertices, stats.edges_extended, stats.labels_extended,
+            spec.paper_stats.vertices, spec.paper_stats.edges, spec.paper_stats.labels,
+            "yes" if spec.paper_stats.real_labels else "no",
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — the main query-time comparison
+# ---------------------------------------------------------------------------
+
+def fig6_query_time(
+    datasets: tuple[str, ...] | None = None,
+    methods: tuple[str, ...] = ALL_METHODS,
+    templates: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Fig. 6: average query time per template, per dataset, per method.
+
+    Methods needing the full ≤k enumeration (CPQx, Path) are skipped on
+    datasets marked infeasible — the stand-in for the paper's
+    out-of-memory dashes.
+    """
+    datasets = bench_datasets(datasets or DEFAULT_FIG6_DATASETS)
+    templates = templates or tuple(template_names())
+    result = ExperimentResult(
+        experiment="Fig. 6",
+        title="average query time [s] per template",
+        headers=["dataset", "method", "template", "mean_time_s", "queries", "answers"],
+    )
+    for name in datasets:
+        spec, graph = _load(name, seed=seed)
+        prepared = prepare_dataset(
+            name, graph, templates, bench_queries(), k=k, seed=seed,
+            full_index_feasible=spec.full_index_feasible,
+        )
+        for method in methods:
+            if method in FULL_INDEX_METHODS and not prepared.full_index_feasible:
+                continue
+            engine = prepared.engine(method, k=k)
+            for template in templates:
+                queries = prepared.workload[template]
+                if not queries:
+                    continue
+                answers = sum(len(engine.evaluate(wq.query)) for wq in queries)
+                timing = time_queries(
+                    lambda q: engine.evaluate(q),
+                    [wq.query for wq in queries],
+                    repeats=repeats,
+                )
+                result.rows.append([
+                    name, method, template, timing.mean, len(queries), answers,
+                ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table III — pruning power
+# ---------------------------------------------------------------------------
+
+def table3_pruning_power(
+    datasets: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table III: class ids (CPQx/iaCPQx) vs s-t pairs (iaPath) on S queries."""
+    datasets = bench_datasets(datasets or DEFAULT_FIG6_DATASETS)
+    result = ExperimentResult(
+        experiment="Table III",
+        title="identifiers involved in evaluating S queries (lower = more pruning)",
+        headers=["dataset", "CPQx classes", "iaCPQx classes", "iaPath pairs"],
+    )
+    for name in datasets:
+        spec, graph = _load(name, seed=seed)
+        prepared = prepare_dataset(
+            name, graph, ("S",), bench_queries(), k=k, seed=seed,
+            full_index_feasible=spec.full_index_feasible,
+        )
+        queries = [wq.query for wq in prepared.workload["S"]]
+        if not queries:
+            continue
+
+        def touched(engine, classes: bool) -> float:
+            totals = []
+            for query in queries:
+                stats = ExecutionStats()
+                engine.evaluate(query, stats=stats)
+                totals.append(stats.classes_touched if classes else stats.pairs_touched)
+            return sum(totals) / len(totals)
+
+        cpqx_touched: object = "-"
+        if prepared.full_index_feasible:
+            cpqx_touched = touched(prepared.engine("CPQx", k=k), classes=True)
+        ia_touched = touched(prepared.engine("iaCPQx", k=k), classes=True)
+        iapath_touched = touched(prepared.engine("iaPath", k=k), classes=False)
+        result.rows.append([name, cpqx_touched, ia_touched, iapath_touched])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — empty vs non-empty vs first answer
+# ---------------------------------------------------------------------------
+
+def fig7_empty_nonempty(
+    datasets: tuple[str, ...] = ("yago", "wikidata", "freebase"),
+    methods: tuple[str, ...] = ("iaCPQx", "TurboHom", "Tentris"),
+    templates: tuple[str, ...] = ("C2", "T", "S", "TC", "C4", "Ti"),
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 7: query time split by answer emptiness, plus first-answer time."""
+    datasets = bench_datasets(datasets)
+    result = ExperimentResult(
+        experiment="Fig. 7",
+        title="empty / non-empty / first-answer query time [s]",
+        headers=["dataset", "method", "template", "kind", "mean_time_s", "queries"],
+    )
+    for name in datasets:
+        spec, graph = _load(name, seed=seed)
+        prepared = prepare_dataset(
+            name, graph, templates, bench_queries() * 2, k=k, seed=seed,
+            full_index_feasible=spec.full_index_feasible,
+        )
+        for template in templates:
+            non_empty, empty = split_by_emptiness(prepared.workload[template], graph)
+            for method in methods:
+                engine = prepared.engine(method, k=k)
+                for kind, queries in (("non-empty", non_empty), ("empty", empty)):
+                    if not queries:
+                        continue
+                    timing = time_queries(
+                        lambda q: engine.evaluate(q), [wq.query for wq in queries]
+                    )
+                    result.rows.append([
+                        name, method, template, kind, timing.mean, len(queries),
+                    ])
+                if non_empty:
+                    timing = time_queries(
+                        lambda q: engine.evaluate(q, limit=1),
+                        [wq.query for wq in non_empty],
+                    )
+                    result.rows.append([
+                        name, method, template, "first", timing.mean, len(non_empty),
+                    ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — interest-set size vs query time
+# ---------------------------------------------------------------------------
+
+def fig8_interest_size(
+    dataset: str = "yago",
+    fractions: tuple[float, ...] = (1.0, 0.8, 0.6, 0.4, 0.2, 0.0),
+    templates: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 8: iaCPQx query time as the interest set shrinks 100% → 0%.
+
+    At 0% only the mandatory length-1 interests remain, so every multi-hop
+    lookup decomposes into joins — the paper shows times rising as the
+    interest share drops.
+    """
+    templates = templates or tuple(template_names())
+    spec, graph = _load(dataset, seed=seed)
+    prepared = prepare_dataset(
+        dataset, graph, templates, bench_queries(), k=k, seed=seed,
+        full_index_feasible=spec.full_index_feasible,
+    )
+    full_interests = sorted(
+        (seq for seq in prepared.interests if len(seq) > 1), key=repr
+    )
+    rng = random.Random(seed)
+    rng.shuffle(full_interests)
+    result = ExperimentResult(
+        experiment="Fig. 8",
+        title=f"iaCPQx query time vs interest share on {dataset}",
+        headers=["interest_pct", "template", "mean_time_s", "|Lq|"],
+    )
+    for fraction in fractions:
+        keep = frozenset(full_interests[: int(round(len(full_interests) * fraction))])
+        engine = InterestAwareIndex.build(graph, k=k, interests=keep)
+        for template in templates:
+            queries = [wq.query for wq in prepared.workload[template]]
+            if not queries:
+                continue
+            timing = time_queries(lambda q: engine.evaluate(q), queries)
+            result.rows.append([
+                int(fraction * 100), template, timing.mean, len(engine.interests),
+            ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — YAGO2 benchmark queries
+# ---------------------------------------------------------------------------
+
+def fig9_yago_benchmark(
+    methods: tuple[str, ...] = ("iaCPQx", "iaPath", "TurboHom", "Tentris", "BFS"),
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 9: Y1–Y4 query time on the YAGO2-like schema graph."""
+    _, graph = _load("yago2-bench", seed=seed)
+    queries = {
+        name: query for name, query in yago2_queries().items()
+    }
+    interests = frozenset(workload_interests(
+        [_resolve(graph, q) for q in queries.values()], k
+    ))
+    result = ExperimentResult(
+        experiment="Fig. 9",
+        title="YAGO2 benchmark queries Y1-Y4 [s]",
+        headers=["query", "method", "mean_time_s", "answers"],
+    )
+    engines = {m: build_engine(m, graph, k=k, interests=interests) for m in methods}
+    for qname, query in queries.items():
+        resolved = _resolve(graph, query)
+        for method in methods:
+            engine = engines[method]
+            answers = len(engine.evaluate(resolved))
+            timing = time_call(lambda: engine.evaluate(resolved))
+            result.rows.append([qname, method, timing.mean, answers])
+    return result
+
+
+def _resolve(graph, query):
+    from repro.query.ast import resolve
+
+    return resolve(query, graph.registry)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — LUBM / WatDiv growth
+# ---------------------------------------------------------------------------
+
+def fig10_lubm_watdiv(
+    sizes: tuple[int, ...] = (400, 800, 1600, 3200),
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 10: iaCPQx average benchmark-query time vs graph size.
+
+    WatDiv's join-heavier queries grow faster than LUBM's, as in the
+    paper.
+    """
+    result = ExperimentResult(
+        experiment="Fig. 10",
+        title="iaCPQx query time vs graph size (LUBM-like / WatDiv-like)",
+        headers=["suite", "vertices", "edges", "mean_time_s"],
+    )
+    suites = (
+        ("LUBM", lubm_schema(), lubm_queries()),
+        ("WatDiv", watdiv_schema(), watdiv_queries()),
+    )
+    for suite_name, schema, queries in suites:
+        for size in sizes:
+            graph = schema.generate(size, seed=seed)
+            resolved = [_resolve(graph, q) for q in queries.values()]
+            interests = frozenset(workload_interests(resolved, k))
+            engine = InterestAwareIndex.build(graph, k=k, interests=interests)
+            timing = time_queries(lambda q: engine.evaluate(q), resolved)
+            result.rows.append([
+                suite_name, graph.num_vertices, graph.num_edges, timing.mean,
+            ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — gMark scalability
+# ---------------------------------------------------------------------------
+
+def fig11_scalability(
+    sizes: tuple[int, ...] = (400, 800, 1600, 3200, 6400),
+    templates: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 11: iaCPQx per-template query time as gMark graphs grow.
+
+    Uses the paper's five citation-schema interests (Sec. VI "Methods").
+    """
+    templates = templates or tuple(template_names())
+    result = ExperimentResult(
+        experiment="Fig. 11",
+        title="iaCPQx query time vs gMark graph size",
+        headers=["vertices", "edges", "template", "mean_time_s"],
+    )
+    schema = citation_schema()
+    for size in sizes:
+        graph = schema.generate(size, seed=seed)
+        interests = frozenset(gmark_interests(graph))
+        prepared = prepare_dataset(
+            f"gmark-{size}", graph, templates, bench_queries(), k=k, seed=seed
+        )
+        engine = InterestAwareIndex.build(
+            graph, k=k, interests=interests | prepared.interests
+        )
+        for template in templates:
+            queries = [wq.query for wq in prepared.workload[template]]
+            if not queries:
+                continue
+            timing = time_queries(lambda q: engine.evaluate(q), queries)
+            result.rows.append([
+                graph.num_vertices, graph.num_edges, template, timing.mean,
+            ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — label-count sweep on the ego-Facebook topology
+# ---------------------------------------------------------------------------
+
+def fig12_label_count(
+    label_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024),
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 12: index sizes on one topology as the label count grows.
+
+    Path/CPQx sizes grow with label count (more distinct sequences /
+    classes); iaPath/iaCPQx sizes *shrink* (fewer pairs match the fixed
+    interests) — the paper's robustness argument.
+    """
+    base = preferential_attachment_graph(
+        max(120, int(404 * bench_scale())), 4, 8, seed=seed
+    )
+    result = ExperimentResult(
+        experiment="Fig. 12",
+        title="index size [bytes] vs number of labels (ego-Facebook topology)",
+        headers=["labels", "Path", "CPQx", "iaPath", "iaCPQx"],
+    )
+    for count in label_counts:
+        graph = relabel_graph(base, count, seed=seed)
+        prepared = prepare_dataset(
+            f"fb-{count}", graph, ("S", "C2"), bench_queries(), k=k, seed=seed
+        )
+        sizes = {}
+        for method in ("Path", "CPQx", "iaPath", "iaCPQx"):
+            engine = build_engine(method, graph, k=k, interests=prepared.interests)
+            sizes[method] = engine.size_bytes()
+        result.rows.append([
+            count, sizes["Path"], sizes["CPQx"], sizes["iaPath"], sizes["iaCPQx"],
+        ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table IV — index size and construction time
+# ---------------------------------------------------------------------------
+
+def table4_index_size(
+    datasets: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table IV: size and build time for CPQx/iaCPQx/Path/iaPath.
+
+    Datasets marked infeasible get "-" for CPQx/Path, mirroring the
+    paper's out-of-memory entries.
+    """
+    datasets = bench_datasets(datasets or DEFAULT_FIG6_DATASETS + ("wikidata", "g-mark-1m"))
+    result = ExperimentResult(
+        experiment="Table IV",
+        title="index size [bytes] and construction time [s]",
+        headers=["dataset", "method", "size_bytes", "build_s", "classes", "pairs"],
+    )
+    for name in datasets:
+        spec, graph = _load(name, seed=seed)
+        prepared = prepare_dataset(
+            name, graph, ("S", "C2", "T"), bench_queries(), k=k, seed=seed,
+            full_index_feasible=spec.full_index_feasible,
+        )
+        for method in ("CPQx", "iaCPQx", "Path", "iaPath"):
+            if method in FULL_INDEX_METHODS and not spec.full_index_feasible:
+                result.rows.append([name, method, "-", "-", "-", "-"])
+                continue
+            timing = time_call(
+                lambda m=method: prepared.engines.update(
+                    {m: build_engine(m, graph, k=k, interests=prepared.interests)}
+                )
+            )
+            engine = prepared.engines[method]
+            result.rows.append([
+                name, method, engine.size_bytes(), timing.mean,
+                getattr(engine, "num_classes", "-"),
+                getattr(engine, "num_pairs", 0),
+            ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tables V / VI — update times
+# ---------------------------------------------------------------------------
+
+def _update_rounds(graph, rng, count):
+    """Pick ``count`` existing edges to delete and fresh edges to insert."""
+    triples = sorted(graph.triples(), key=repr)
+    deletions = rng.sample(triples, min(count, len(triples)))
+    vertices = sorted(graph.vertices(), key=repr)
+    labels = sorted(graph.labels_used())
+    insertions = []
+    while len(insertions) < count:
+        v = rng.choice(vertices)
+        u = rng.choice(vertices)
+        lab = rng.choice(labels)
+        if not graph.has_edge(v, u, lab):
+            insertions.append((v, u, lab))
+    return deletions, insertions
+
+
+def table5_cpqx_updates(
+    datasets: tuple[str, ...] | None = None,
+    updates: int = 20,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table V: average edge deletion / insertion time on CPQx."""
+    datasets = bench_datasets(datasets or DEFAULT_UPDATE_DATASETS)
+    result = ExperimentResult(
+        experiment="Table V",
+        title=f"CPQx update time [s] (avg over {updates} ops)",
+        headers=["dataset", "edge_deletion_s", "edge_insertion_s"],
+    )
+    for name in datasets:
+        _, graph = _load(name, seed=seed)
+        index = CPQxIndex.build(graph, k=k)
+        rng = random.Random(seed)
+        deletions, insertions = _update_rounds(graph, rng, updates)
+        del_time = time_call(
+            lambda: [index.delete_edge(*edge) for edge in deletions]
+        ).mean / max(1, len(deletions))
+        ins_time = time_call(
+            lambda: [index.insert_edge(*edge) for edge in insertions]
+        ).mean / max(1, len(insertions))
+        result.rows.append([name, del_time, ins_time])
+    return result
+
+
+def table6_iacpqx_updates(
+    datasets: tuple[str, ...] | None = None,
+    updates: int = 20,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table VI: iaCPQx edge and label-sequence (interest) update times."""
+    datasets = bench_datasets(datasets or DEFAULT_UPDATE_DATASETS + ("yago",))
+    result = ExperimentResult(
+        experiment="Table VI",
+        title=f"iaCPQx update time [s] (avg over {updates} ops)",
+        headers=[
+            "dataset", "edge_deletion_s", "edge_insertion_s",
+            "seq_deletion_s", "seq_insertion_s",
+        ],
+    )
+    for name in datasets:
+        spec, graph = _load(name, seed=seed)
+        prepared = prepare_dataset(
+            name, graph, ("C2",), bench_queries() * 3, k=k, seed=seed,
+            full_index_feasible=spec.full_index_feasible,
+        )
+        index = InterestAwareIndex.build(graph, k=k, interests=prepared.interests)
+        rng = random.Random(seed)
+        deletions, insertions = _update_rounds(graph, rng, updates)
+        del_time = time_call(
+            lambda: [index.delete_edge(*edge) for edge in deletions]
+        ).mean / max(1, len(deletions))
+        ins_time = time_call(
+            lambda: [index.insert_edge(*edge) for edge in insertions]
+        ).mean / max(1, len(insertions))
+        # label-sequence (interest) updates: C2-query sequences, as the paper
+        seqs = sorted(
+            (seq for seq in index.interests if len(seq) > 1), key=repr
+        )[:max(1, updates // 4)]
+        seq_del = time_call(
+            lambda: [index.delete_interest(seq) for seq in seqs]
+        ).mean / max(1, len(seqs))
+        seq_ins = time_call(
+            lambda: [index.insert_interest(seq) for seq in seqs]
+        ).mean / max(1, len(seqs))
+        result.rows.append([name, del_time, ins_time, seq_del, seq_ins])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table VII / Fig. 13 — maintenance impact on size and query time
+# ---------------------------------------------------------------------------
+
+def table7_size_growth(
+    dataset: str = "robots",
+    edge_ratios: tuple[float, ...] = (0.01, 0.02, 0.05, 0.10, 0.20),
+    seq_counts: tuple[int, ...] = (2, 4, 6, 8, 10),
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table VII: index-size growth ratio after update bursts.
+
+    Lazy maintenance never merges classes, so the index grows slightly;
+    the paper's point is that the ratio stays small even at 20% churn.
+    """
+    result = ExperimentResult(
+        experiment="Table VII",
+        title=f"index size growth ratio after updates on {dataset}",
+        headers=["index", "update_kind", "amount", "size_ratio"],
+    )
+    for ratio in edge_ratios:
+        for method in ("CPQx", "iaCPQx"):
+            _, graph = _load(dataset, seed=seed)
+            prepared = prepare_dataset(
+                dataset, graph, ("C2",), bench_queries() * 2, k=k, seed=seed
+            )
+            index = build_engine(method, graph, k=k, interests=prepared.interests)
+            base_size = index.size_bytes()
+            rng = random.Random(seed)
+            count = max(1, int(graph.num_edges * ratio))
+            deletions, _ = _update_rounds(graph, rng, count)
+            for edge in deletions:
+                index.delete_edge(*edge)
+            for edge in deletions:
+                index.insert_edge(*edge)
+            result.rows.append([
+                method, "edges", f"{int(ratio * 100)}%",
+                index.size_bytes() / max(1, base_size),
+            ])
+    for count in seq_counts:
+        _, graph = _load(dataset, seed=seed)
+        prepared = prepare_dataset(
+            dataset, graph, ("C2", "S"), bench_queries() * 3, k=k, seed=seed
+        )
+        index = InterestAwareIndex.build(graph, k=k, interests=prepared.interests)
+        base_size = index.size_bytes()
+        seqs = sorted((s for s in index.interests if len(s) > 1), key=repr)[:count]
+        for seq in seqs:
+            index.delete_interest(seq)
+        for seq in seqs:
+            index.insert_interest(seq)
+        result.rows.append([
+            "iaCPQx", "sequences", str(len(seqs)),
+            index.size_bytes() / max(1, base_size),
+        ])
+    return result
+
+
+def fig13_maintenance_impact(
+    dataset: str = "robots",
+    edge_ratios: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20),
+    templates: tuple[str, ...] | None = None,
+    k: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 13: query time after lazily applying x% edge updates."""
+    templates = templates or ("T", "S", "C2", "C4", "C2i", "Si")
+    result = ExperimentResult(
+        experiment="Fig. 13",
+        title=f"query time after updates on {dataset}",
+        headers=["index", "updated_pct", "template", "mean_time_s"],
+    )
+    for method in ("CPQx", "iaCPQx"):
+        for ratio in edge_ratios:
+            _, graph = _load(dataset, seed=seed)
+            prepared = prepare_dataset(
+                dataset, graph, templates, bench_queries(), k=k, seed=seed
+            )
+            index = build_engine(method, graph, k=k, interests=prepared.interests)
+            rng = random.Random(seed)
+            count = max(0, int(graph.num_edges * ratio))
+            if count:
+                deletions, _ = _update_rounds(graph, rng, count)
+                for edge in deletions:
+                    index.delete_edge(*edge)
+                for edge in deletions:
+                    index.insert_edge(*edge)
+            for template in templates:
+                queries = [wq.query for wq in prepared.workload[template]]
+                if not queries:
+                    continue
+                timing = time_queries(lambda q: index.evaluate(q), queries)
+                result.rows.append([
+                    method, int(ratio * 100), template, timing.mean,
+                ])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figs. 14 / 15 — behaviour in k
+# ---------------------------------------------------------------------------
+
+def fig14_k_query_time(
+    datasets: tuple[str, ...] = ("robots",),
+    ks: tuple[int, ...] = (1, 2, 3, 4),
+    templates: tuple[str, ...] | None = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 14: iaCPQx query time as k grows (queries of diameter i are
+    fastest around k = i; over-fine partitions can slow lookups)."""
+    templates = templates or tuple(template_names())
+    result = ExperimentResult(
+        experiment="Fig. 14",
+        title="iaCPQx query time vs k",
+        headers=["dataset", "k", "template", "mean_time_s"],
+    )
+    for name in datasets:
+        _, graph = _load(name, seed=seed)
+        for k in ks:
+            prepared = prepare_dataset(
+                name, graph, templates, bench_queries(), k=k, seed=seed
+            )
+            engine = InterestAwareIndex.build(graph, k=k, interests=prepared.interests)
+            for template in templates:
+                queries = [wq.query for wq in prepared.workload[template]]
+                if not queries:
+                    continue
+                timing = time_queries(lambda q: engine.evaluate(q), queries)
+                result.rows.append([name, k, template, timing.mean])
+    return result
+
+
+def fig15_k_index_cost(
+    datasets: tuple[str, ...] = ("robots", "advogato"),
+    ks: tuple[int, ...] = (1, 2, 3, 4),
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 15: iaCPQx index size and construction time as k grows."""
+    result = ExperimentResult(
+        experiment="Fig. 15",
+        title="iaCPQx size [bytes] and build time [s] vs k",
+        headers=["dataset", "k", "size_bytes", "build_s", "classes", "pairs"],
+    )
+    for name in datasets:
+        _, graph = _load(name, seed=seed)
+        for k in ks:
+            prepared = prepare_dataset(
+                name, graph, ("S", "C4"), bench_queries(), k=k, seed=seed
+            )
+            holder: dict[str, InterestAwareIndex] = {}
+            timing = time_call(
+                lambda: holder.update(
+                    idx=InterestAwareIndex.build(graph, k=k, interests=prepared.interests)
+                )
+            )
+            index = holder["idx"]
+            result.rows.append([
+                name, k, index.size_bytes(), timing.mean,
+                index.num_classes, index.num_pairs,
+            ])
+    return result

@@ -1,0 +1,142 @@
+"""Engine construction and workload wiring shared by all experiments.
+
+The seven compared methods (Sec. VI "Methods"):
+
+* ``CPQx`` / ``iaCPQx`` — this paper's indexes;
+* ``Path`` / ``iaPath`` — the language-unaware path index [14] and its
+  interest-restricted variant;
+* ``TurboHom`` — homomorphic subgraph matcher (TurboHom++-style);
+* ``Tentris`` — hypertrie triple store with WCOJ evaluation;
+* ``BFS`` — index-free evaluation.
+
+The interest-aware indexes receive "all label sequences in the set of
+queries as the interests" (the paper's setup), computed from the generated
+workload by :func:`repro.query.workloads.workload_interests`.
+
+Environment knobs honoured by the harness (all optional):
+
+* ``REPRO_BENCH_SCALE`` — dataset scale multiplier (default 0.35);
+* ``REPRO_BENCH_QUERIES`` — queries per template (default 3; paper: 10);
+* ``REPRO_BENCH_DATASETS`` — comma-separated dataset subset for Fig. 6.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+from repro.baselines.tentris import TentrisEngine
+from repro.baselines.turbohom import TurboHomEngine
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+from repro.query.workloads import (
+    WorkloadQuery,
+    random_template_queries,
+    workload_interests,
+)
+
+#: All method names in the paper's reporting order.
+ALL_METHODS = ("CPQx", "iaCPQx", "Path", "iaPath", "TurboHom", "Tentris", "BFS")
+#: Methods that only need the interest sequences (feasible on all datasets).
+INTEREST_METHODS = ("iaCPQx", "iaPath", "TurboHom", "Tentris", "BFS")
+#: Methods that enumerate the full ≤k sequence space (can "OOM" like the paper).
+FULL_INDEX_METHODS = ("CPQx", "Path")
+
+
+def bench_scale(default: float = 0.35) -> float:
+    """Dataset scale multiplier for benchmarks (env: REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_queries(default: int = 3) -> int:
+    """Queries per template (env: REPRO_BENCH_QUERIES; paper uses 10)."""
+    return int(os.environ.get("REPRO_BENCH_QUERIES", default))
+
+
+def bench_datasets(default: tuple[str, ...]) -> tuple[str, ...]:
+    """Dataset subset override (env: REPRO_BENCH_DATASETS)."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if not raw:
+        return default
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def build_engine(
+    method: str,
+    graph: LabeledDigraph,
+    k: int = 2,
+    interests: frozenset[LabelSeq] = frozenset(),
+):
+    """Instantiate one of the seven compared methods over ``graph``."""
+    if method == "CPQx":
+        return CPQxIndex.build(graph, k)
+    if method == "iaCPQx":
+        return InterestAwareIndex.build(graph, k, interests)
+    if method == "Path":
+        return PathIndex.build(graph, k)
+    if method == "iaPath":
+        return InterestAwarePathIndex.build(graph, k, interests)
+    if method == "TurboHom":
+        return TurboHomEngine(graph)
+    if method == "Tentris":
+        return TentrisEngine(graph)
+    if method == "BFS":
+        return BFSEngine(graph)
+    raise DatasetError(f"unknown method {method!r}; known: {ALL_METHODS}")
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset graph with its generated workload and interest set."""
+
+    name: str
+    graph: LabeledDigraph
+    workload: dict[str, list[WorkloadQuery]]
+    interests: frozenset[LabelSeq]
+    full_index_feasible: bool = True
+    engines: dict[str, object] = field(default_factory=dict)
+
+    def engine(self, method: str, k: int = 2):
+        """Build (and cache) an engine for this dataset."""
+        key = f"{method}:k={k}"
+        if key not in self.engines:
+            self.engines[key] = build_engine(
+                method, self.graph, k=k, interests=self.interests
+            )
+        return self.engines[key]
+
+    def all_queries(self) -> list[WorkloadQuery]:
+        """The flattened workload across templates."""
+        return [wq for queries in self.workload.values() for wq in queries]
+
+
+def prepare_dataset(
+    name: str,
+    graph: LabeledDigraph,
+    templates: tuple[str, ...],
+    queries_per_template: int,
+    k: int = 2,
+    seed: int = 0,
+    full_index_feasible: bool = True,
+) -> PreparedDataset:
+    """Generate the per-template workload and its induced interest set."""
+    workload: dict[str, list[WorkloadQuery]] = {}
+    for position, template in enumerate(templates):
+        workload[template] = random_template_queries(
+            graph, template, count=queries_per_template, seed=seed * 1009 + position
+        )
+    interests = frozenset(workload_interests(
+        [wq for queries in workload.values() for wq in queries], k
+    ))
+    return PreparedDataset(
+        name=name,
+        graph=graph,
+        workload=workload,
+        interests=interests,
+        full_index_feasible=full_index_feasible,
+    )

@@ -1,0 +1,61 @@
+"""Timing utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Aggregate of repeated timed runs (seconds)."""
+
+    repeats: int
+    total: float
+    best: float
+    mean: float
+
+    def format_mean(self) -> str:
+        """Paper-style scientific rendering (their plots are log-scale)."""
+        return f"{self.mean:.3e}s"
+
+
+def time_call(fn: Callable[[], object], repeats: int = 1) -> Timing:
+    """Time ``fn`` over ``repeats`` runs with ``perf_counter``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    durations: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - start)
+    total = sum(durations)
+    return Timing(
+        repeats=repeats,
+        total=total,
+        best=min(durations),
+        mean=total / repeats,
+    )
+
+
+def time_queries(
+    evaluate: Callable[[object], object],
+    queries: list,
+    repeats: int = 1,
+) -> Timing:
+    """Average evaluation time over a query list (the paper reports the
+    average response time over each template's ten queries)."""
+    if not queries:
+        return Timing(repeats=0, total=0.0, best=0.0, mean=0.0)
+    per_query: list[float] = []
+    for query in queries:
+        timing = time_call(lambda q=query: evaluate(q), repeats=repeats)
+        per_query.append(timing.mean)
+    total = sum(per_query)
+    return Timing(
+        repeats=len(per_query) * repeats,
+        total=total,
+        best=min(per_query),
+        mean=total / len(per_query),
+    )

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirroring the index life cycle the paper supports:
+
+* ``datasets`` — list the registry with stand-in and paper statistics;
+* ``build``    — build CPQx/iaCPQx over a dataset and save it to disk;
+* ``query``    — evaluate a CPQ (text syntax) against a saved index or a
+  freshly built dataset;
+* ``info``     — statistics of a saved index;
+* ``experiment`` — regenerate one paper table/figure by name.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro build --dataset robots --k 2 --out robots.idx
+    python -m repro query --index robots.idx "(l1 . l1) & l1^-"
+    python -m repro experiment table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as experiments_module
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.stats import dataset_stats, format_bytes, stats_of
+from repro.errors import ReproError
+from repro.graph.datasets import REGISTRY, load_dataset
+from repro.query.parser import parse
+from repro.query.workloads import random_template_queries, workload_interests
+
+#: experiment-name → generator function mapping for the CLI.
+EXPERIMENTS = {
+    "table2": lambda: experiments_module.table2_datasets(),
+    "fig6": lambda: experiments_module.fig6_query_time(datasets=("robots", "advogato")),
+    "table3": lambda: experiments_module.table3_pruning_power(datasets=("robots", "advogato")),
+    "fig7": lambda: experiments_module.fig7_empty_nonempty(datasets=("yago",)),
+    "fig8": lambda: experiments_module.fig8_interest_size(fractions=(1.0, 0.5, 0.0)),
+    "fig9": lambda: experiments_module.fig9_yago_benchmark(),
+    "fig10": lambda: experiments_module.fig10_lubm_watdiv(sizes=(300, 600, 1200)),
+    "fig11": lambda: experiments_module.fig11_scalability(sizes=(300, 600, 1200)),
+    "fig12": lambda: experiments_module.fig12_label_count(label_counts=(16, 64, 256)),
+    "table4": lambda: experiments_module.table4_index_size(datasets=("robots", "advogato")),
+    "table5": lambda: experiments_module.table5_cpqx_updates(datasets=("robots",)),
+    "table6": lambda: experiments_module.table6_iacpqx_updates(datasets=("robots",)),
+    "table7": lambda: experiments_module.table7_size_growth(),
+    "fig13": lambda: experiments_module.fig13_maintenance_impact(),
+    "fig14": lambda: experiments_module.fig14_k_query_time(),
+    "fig15": lambda: experiments_module.fig15_k_index_cost(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPQ-aware path indexing (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+
+    build = sub.add_parser("build", help="build an index over a dataset")
+    build.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
+    build.add_argument("--scale", type=float, default=0.25)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--k", type=int, default=2)
+    build.add_argument(
+        "--type", choices=("cpqx", "iacpqx"), default="cpqx",
+        help="full CPQx or interest-aware iaCPQx",
+    )
+    build.add_argument(
+        "--interests", default="auto",
+        help="'auto' derives interests from a template workload; "
+             "or a comma list of label sequences like 'l1.l2,l2.l3^-'",
+    )
+    build.add_argument("--out", required=True, help="output index file")
+
+    query = sub.add_parser("query", help="evaluate a CPQ")
+    query.add_argument("cpq", help="query text, e.g. '(f . f) & f^-'")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--index", help="a saved index file")
+    source.add_argument("--dataset", choices=sorted(REGISTRY))
+    query.add_argument("--scale", type=float, default=0.25)
+    query.add_argument("--seed", type=int, default=7)
+    query.add_argument("--k", type=int, default=2)
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--show", type=int, default=20, help="answers to print")
+
+    info = sub.add_parser("info", help="statistics of a saved index")
+    info.add_argument("index")
+    info.add_argument(
+        "--verify", action="store_true",
+        help="re-derive ground truth and check every index invariant",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    return parser
+
+
+def _parse_interest_list(raw: str, registry) -> set[tuple[int, ...]]:
+    interests: set[tuple[int, ...]] = set()
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        interests.add(tuple(
+            registry.id_of(name.strip()) for name in chunk.split(".")
+        ))
+    return interests
+
+
+def cmd_datasets(_args) -> int:
+    print(f"{'name':<14}{'|V|':>7}{'|E|':>8}{'|L|':>6}  "
+          f"{'paper |V|':>10}{'paper |E|':>12}  full-index")
+    for name, spec in REGISTRY.items():
+        graph = spec.build(scale=0.1, seed=0)
+        stats = dataset_stats(name, graph)
+        print(f"{name:<14}{stats.vertices:>7}{stats.edges_extended:>8}"
+              f"{stats.labels_extended:>6}  {spec.paper_stats.vertices:>10}"
+              f"{spec.paper_stats.edges:>12}  "
+              f"{'yes' if spec.full_index_feasible else 'no (OOM in paper)'}")
+    return 0
+
+
+def cmd_build(args) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"loaded {args.dataset}: {graph}")
+    start = time.perf_counter()
+    if args.type == "cpqx":
+        index = CPQxIndex.build(graph, k=args.k)
+    else:
+        if args.interests == "auto":
+            workload = []
+            for template in ("C2", "T", "S"):
+                workload.extend(random_template_queries(
+                    graph, template, count=5, seed=args.seed))
+            interests = workload_interests(workload, args.k)
+        else:
+            interests = _parse_interest_list(args.interests, graph.registry)
+        index = InterestAwareIndex.build(graph, k=args.k, interests=interests)
+    elapsed = time.perf_counter() - start
+    save_index(index, args.out)
+    stats = stats_of(index, build_seconds=elapsed)
+    print(stats.describe())
+    print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    if args.index:
+        index = load_index(args.index)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        index = CPQxIndex.build(graph, k=args.k)
+    query = parse(args.cpq, index.graph.registry)
+    start = time.perf_counter()
+    answers = index.evaluate(query, limit=args.limit)
+    elapsed = time.perf_counter() - start
+    print(f"{len(answers)} answers in {elapsed * 1000:.3f} ms")
+    for pair in sorted(answers, key=repr)[: args.show]:
+        print(f"  {pair[0]!r} -> {pair[1]!r}")
+    if len(answers) > args.show:
+        print(f"  ... and {len(answers) - args.show} more")
+    return 0
+
+
+def cmd_info(args) -> int:
+    index = load_index(args.index)
+    stats = stats_of(index)
+    print(stats.describe())
+    print(f"graph: {index.graph}")
+    print(f"size: {format_bytes(index.size_bytes())}")
+    if hasattr(index, "interests"):
+        multi = sorted(s for s in index.interests if len(s) > 1)
+        print(f"interests: {len(index.interests)} "
+              f"({len(multi)} multi-label)")
+    if args.verify:
+        from repro.core.validate import verify_index
+
+        report = verify_index(index)
+        print(report.describe())
+        return 0 if report.ok else 1
+    return 0
+
+
+#: Figure experiments that also get a log-scale ASCII series rendering:
+#: name → (x column, y column, group column).
+SERIES_VIEWS = {
+    "fig8": ("interest_pct", "mean_time_s", "template"),
+    "fig10": ("edges", "mean_time_s", "suite"),
+    "fig11": ("vertices", "mean_time_s", "template"),
+    "fig12": ("labels", "Path", "labels"),
+    "fig13": ("updated_pct", "mean_time_s", "template"),
+    "fig14": ("k", "mean_time_s", "template"),
+    "fig15": ("k", "size_bytes", "dataset"),
+}
+
+
+def cmd_experiment(args) -> int:
+    result = EXPERIMENTS[args.name]()
+    print(result.render())
+    view = SERIES_VIEWS.get(args.name)
+    if view is not None:
+        from repro.bench.reporting import render_series
+
+        print()
+        print(render_series(result, x=view[0], y=view[1], group_by=view[2]))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "build": cmd_build,
+        "query": cmd_query,
+        "info": cmd_info,
+        "experiment": cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

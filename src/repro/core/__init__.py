@@ -1,0 +1,90 @@
+"""The paper's primary contribution: CPQx, iaCPQx, and their machinery."""
+
+from repro.core.advisor import (
+    InterestRecommendation,
+    advise_k,
+    recommend_interests,
+    sequence_frequencies,
+)
+from repro.core.bisimulation import bisimulation_classes, k_path_bisimilar
+from repro.core.cpqx import CPQxIndex
+from repro.core.costmodel import (
+    construction_estimate,
+    explain_index,
+    index_size_estimate,
+    query_estimate,
+    update_estimate,
+)
+from repro.core.cq import (
+    ConjunctiveQuery,
+    TriplePattern,
+    collapse_chains,
+    evaluate_cq,
+    parse_bgp,
+)
+from repro.core.validate import ValidationReport, quick_verify, verify_index
+from repro.core.executor import EngineBase, ExecutionStats, Result, execute_plan
+from repro.core.interest import InterestAwareIndex
+from repro.core.persistence import PersistenceError, load_index, save_index
+from repro.core.partition import PathPartition, compute_partition, level1_classes, refines
+from repro.core.paths import (
+    enumerate_sequences,
+    gamma,
+    invert_sequences,
+    label_sequences_for_pair,
+    reachable_pairs,
+)
+from repro.core.stats import (
+    DatasetStats,
+    IndexStats,
+    build_with_stats,
+    dataset_stats,
+    format_bytes,
+    stats_of,
+)
+
+__all__ = [
+    "CPQxIndex",
+    "ConjunctiveQuery",
+    "DatasetStats",
+    "EngineBase",
+    "ExecutionStats",
+    "IndexStats",
+    "InterestAwareIndex",
+    "InterestRecommendation",
+    "PathPartition",
+    "PersistenceError",
+    "Result",
+    "TriplePattern",
+    "ValidationReport",
+    "advise_k",
+    "bisimulation_classes",
+    "collapse_chains",
+    "construction_estimate",
+    "evaluate_cq",
+    "explain_index",
+    "index_size_estimate",
+    "parse_bgp",
+    "query_estimate",
+    "quick_verify",
+    "update_estimate",
+    "verify_index",
+    "k_path_bisimilar",
+    "load_index",
+    "recommend_interests",
+    "save_index",
+    "sequence_frequencies",
+    "build_with_stats",
+    "compute_partition",
+    "dataset_stats",
+    "enumerate_sequences",
+    "execute_plan",
+    "format_bytes",
+    "gamma",
+    "invert_sequences",
+    "label_sequences_for_pair",
+    "level1_classes",
+    "reachable_pairs",
+    "refines",
+    "stats_of",
+]

@@ -1,0 +1,133 @@
+"""Workload-driven interest selection under a size budget (Sec. VII).
+
+The paper's second future-work item: "investigate practical methods for
+scalable index construction that adaptively controls interests and k".
+This module implements the interests half: given a query log and a byte
+budget, pick the interest set that maximizes expected lookup benefit.
+
+Model:
+
+* every multi-label sequence ``s`` appearing in the log is a candidate;
+* its *benefit* is ``frequency(s) × joins_saved(s)`` — how many join
+  steps a single LOOKUP replaces, weighted by how often the workload
+  asks for it;
+* its *cost* is the bytes iaCPQx spends storing it: one posting per
+  matching s-t pair (8 bytes) plus key bytes — estimated from the actual
+  relation size on the graph;
+* selection is greedy by benefit density (benefit / cost), the standard
+  knapsack heuristic — and single-label sequences are always free picks
+  because iaCPQx mandates them anyway.
+
+:func:`advise_k` covers the other half: the smallest ``k`` that lets
+every workload sequence be answered with the fewest splits, bounded by a
+build-cost ceiling (Sec. VI-D: "we can generally select the maximum
+length of interests").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+from repro.query.ast import CPQ, label_sequences_in
+
+
+@dataclass(frozen=True)
+class InterestRecommendation:
+    """Outcome of the advisor: the chosen interests plus accounting."""
+
+    interests: frozenset[LabelSeq]
+    estimated_bytes: int
+    candidate_count: int
+    covered_frequency: float
+    skipped: tuple[LabelSeq, ...]
+
+    def coverage(self) -> float:
+        """Fraction of weighted workload lookups served by the selection."""
+        return self.covered_frequency
+
+
+def sequence_frequencies(queries: list[CPQ], k: int) -> Counter:
+    """Multi-label (length 2..k) sequence usage counts across a workload.
+
+    Sequences longer than ``k`` contribute their length-``k`` windows,
+    since those are the chunks an index of parameter ``k`` could serve.
+    """
+    counts: Counter = Counter()
+    for query in queries:
+        for seq in label_sequences_in(query):
+            if len(seq) <= 1:
+                continue
+            if len(seq) <= k:
+                counts[seq] += 1
+            else:
+                for start in range(0, len(seq) - k + 1):
+                    counts[seq[start:start + k]] += 1
+    return counts
+
+
+def estimate_interest_bytes(graph: LabeledDigraph, seq: LabelSeq) -> int:
+    """Bytes iaCPQx spends on one interest: 8 per matching pair + key."""
+    return 4 * len(seq) + 8 * len(graph.sequence_relation(seq))
+
+
+def recommend_interests(
+    graph: LabeledDigraph,
+    queries: list[CPQ],
+    k: int = 2,
+    budget_bytes: int | None = None,
+) -> InterestRecommendation:
+    """Pick the best interest set for a workload under a byte budget.
+
+    With ``budget_bytes=None`` every workload sequence is selected (the
+    paper's default experimental setup).  Budgeted selection is greedy by
+    benefit density; ties broken deterministically.
+    """
+    counts = sequence_frequencies(queries, k)
+    total_frequency = float(sum(counts.values())) or 1.0
+    candidates = []
+    for seq, frequency in counts.items():
+        cost = estimate_interest_bytes(graph, seq)
+        joins_saved = len(seq) - 1
+        benefit = frequency * joins_saved
+        density = benefit / max(1, cost)
+        candidates.append((density, benefit, seq, cost, frequency))
+    candidates.sort(key=lambda item: (-item[0], -item[1], repr(item[2])))
+
+    chosen: set[LabelSeq] = set()
+    skipped: list[LabelSeq] = []
+    spent = 0
+    covered = 0.0
+    for _, _, seq, cost, frequency in candidates:
+        if budget_bytes is not None and spent + cost > budget_bytes:
+            skipped.append(seq)
+            continue
+        chosen.add(seq)
+        spent += cost
+        covered += frequency
+    return InterestRecommendation(
+        interests=frozenset(chosen),
+        estimated_bytes=spent,
+        candidate_count=len(candidates),
+        covered_frequency=covered / total_frequency if candidates else 1.0,
+        skipped=tuple(skipped),
+    )
+
+
+def advise_k(
+    queries: list[CPQ],
+    max_k: int = 4,
+) -> int:
+    """The smallest ``k`` covering the workload's longest lookup chain.
+
+    Sec. VI-D: "for deciding appropriate k, we can generally select the
+    maximum length of interests"; diameters beyond ``max_k`` are clamped
+    (longer chains split, as the paper's own Fig. 4 does).
+    """
+    longest = 1
+    for query in queries:
+        for seq in label_sequences_in(query):
+            longest = max(longest, len(seq))
+    return min(longest, max_k)

@@ -1,0 +1,266 @@
+"""The CPQ-aware path index **CPQx** (Sec. IV, Definitions 4.2/4.3).
+
+CPQx is an inverted index in two parts:
+
+* ``Il2c`` — label sequence (length ≤ k) → set of class identifiers whose
+  pairs' ``L≤k`` sets contain that sequence;
+* ``Ic2p`` — class identifier → sorted list of member s-t pairs.
+
+Classes are the CPQ_k-equivalence classes computed by
+:mod:`repro.core.partition`.  A lookup touches class ids instead of
+pairs; conjunctions intersect class-id sets (Prop. 4.1); pairs are only
+materialized when a JOIN or the query root demands them.
+
+Construction (Algorithm 2) supports two strategies:
+
+* ``"representative"`` (default) — exploit label-sequence uniformity
+  (Def. 4.2): compute ``L≤k`` once per class from a representative pair;
+* ``"per-pair"`` — the paper's literal Algorithm 2 loop over every pair
+  and each of its sequences; used by the construction ablation bench to
+  show the two produce identical indexes at different cost.
+
+The index retains a reference to its graph and supports the paper's lazy
+maintenance (Sec. IV-E) through :meth:`insert_edge` / :meth:`delete_edge`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexBuildError, QueryDiameterError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.labels import LabelSeq
+from repro.core.executor import EngineBase, Result
+from repro.core.partition import compute_partition
+from repro.core.paths import (
+    enumerate_sequences,
+    invert_sequences,
+    label_sequences_for_pair,
+)
+from repro.plan.planner import Splitter, greedy_splitter
+
+
+class CPQxIndex(EngineBase):
+    """The CPQ-aware path index of Sec. IV."""
+
+    name = "CPQx"
+
+    def __init__(
+        self,
+        graph: LabeledDigraph,
+        k: int,
+        il2c: dict[LabelSeq, set[int]],
+        ic2p: dict[int, list[Pair]],
+        class_of: dict[Pair, int],
+        class_sequences: dict[int, frozenset[LabelSeq]],
+        loop_classes: set[int],
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self._il2c = il2c
+        self._ic2p = ic2p
+        self._class_of = class_of
+        self._class_sequences = class_sequences
+        self._loop_classes = loop_classes
+        self._next_class = max(ic2p, default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledDigraph,
+        k: int = 2,
+        il2c_method: str = "representative",
+    ) -> "CPQxIndex":
+        """Build CPQx over ``graph`` with path-length bound ``k``.
+
+        Runs Algorithm 1 (partition) then Algorithm 2 (index assembly).
+        """
+        if k < 1:
+            raise IndexBuildError(f"k must be >= 1, got {k}")
+        partition = compute_partition(graph, k)
+        ic2p = {c: list(members) for c, members in partition.blocks.items()}
+
+        class_sequences: dict[int, frozenset[LabelSeq]] = {}
+        if il2c_method == "representative":
+            for class_id, members in ic2p.items():
+                rep = members[0]
+                class_sequences[class_id] = label_sequences_for_pair(
+                    graph, rep[0], rep[1], k
+                )
+        elif il2c_method == "per-pair":
+            per_pair = invert_sequences(enumerate_sequences(graph, k))
+            for pair, seqs in per_pair.items():
+                class_id = partition.class_of[pair]
+                known = class_sequences.get(class_id)
+                if known is None:
+                    class_sequences[class_id] = seqs
+                elif known != seqs:  # pragma: no cover - uniformity invariant
+                    raise IndexBuildError(
+                        f"class {class_id} is not label-sequence uniform"
+                    )
+        else:
+            raise IndexBuildError(f"unknown il2c_method {il2c_method!r}")
+
+        il2c: dict[LabelSeq, set[int]] = {}
+        for class_id, seqs in class_sequences.items():
+            for seq in seqs:
+                il2c.setdefault(seq, set()).add(class_id)
+
+        return cls(
+            graph=graph,
+            k=k,
+            il2c=il2c,
+            ic2p=ic2p,
+            class_of=dict(partition.class_of),
+            class_sequences=class_sequences,
+            loop_classes=set(partition.loop_classes),
+        )
+
+    # ------------------------------------------------------------------
+    # executor interface
+    # ------------------------------------------------------------------
+    def splitter(self) -> Splitter:
+        """CPQx splits label sequences greedily at length ``k`` (Fig. 4)."""
+        return greedy_splitter(self.k)
+
+    def lookup(self, seq: LabelSeq) -> Result:
+        """``Il2c(seq)`` — the class identifiers of a label sequence."""
+        if len(seq) > self.k:
+            raise QueryDiameterError(
+                f"sequence of length {len(seq)} exceeds index parameter k={self.k}"
+            )
+        return Result.of_classes(self._il2c.get(seq, ()))
+
+    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
+        """``∪ Ic2p(c)`` over ``classes``."""
+        pairs: set[Pair] = set()
+        for class_id in classes:
+            pairs.update(self._ic2p.get(class_id, ()))
+        return frozenset(pairs)
+
+    def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
+        """IDENTITY on class sets: keep classes whose pairs are loops."""
+        return frozenset(classes & self._loop_classes)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """``|C|`` — the number of CPQ_k-equivalence classes."""
+        return len(self._ic2p)
+
+    @property
+    def num_pairs(self) -> int:
+        """``|P≤k|`` restricted to non-empty paths."""
+        return len(self._class_of)
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of distinct label sequences keyed in ``Il2c``."""
+        return len(self._il2c)
+
+    def class_of(self, pair: Pair) -> int | None:
+        """The class identifier of a pair, or None if not indexed."""
+        return self._class_of.get(pair)
+
+    def pairs_of_class(self, class_id: int) -> list[Pair]:
+        """``Ic2p(c)`` as a sorted list (copy)."""
+        return list(self._ic2p.get(class_id, ()))
+
+    def sequences_of_class(self, class_id: int) -> frozenset[LabelSeq]:
+        """The (uniform) ``L≤k`` set shared by every pair of the class."""
+        return self._class_sequences.get(class_id, frozenset())
+
+    def classes(self) -> list[int]:
+        """All class identifiers."""
+        return list(self._ic2p)
+
+    def gamma(self) -> float:
+        """Average ``|L≤k(v,u)|`` over indexed pairs (the paper's γ)."""
+        if not self._class_of:
+            return 0.0
+        total = sum(
+            len(self._class_sequences[c]) * len(members)
+            for c, members in self._ic2p.items()
+        )
+        return total / len(self._class_of)
+
+    def size_bytes(self) -> int:
+        """Deterministic size model with 32-bit ids (Thm. 4.2's accounting).
+
+        ``Il2c``: 4 bytes per label in each key plus 4 per posted class id;
+        ``Ic2p``: 4 bytes per class key plus 8 per stored s-t pair.
+        """
+        il2c_bytes = sum(
+            4 * len(seq) + 4 * len(classes) for seq, classes in self._il2c.items()
+        )
+        ic2p_bytes = sum(4 + 8 * len(pairs) for pairs in self._ic2p.values())
+        return il2c_bytes + ic2p_bytes
+
+    # ------------------------------------------------------------------
+    # maintenance (Sec. IV-E); implementation in repro.core.maintenance
+    # ------------------------------------------------------------------
+    def insert_edge(self, v: Vertex, u: Vertex, label: object) -> None:
+        """Insert a forward edge and lazily update the index."""
+        from repro.core.maintenance import insert_edge
+
+        insert_edge(self, v, u, label)
+
+    def delete_edge(self, v: Vertex, u: Vertex, label: object) -> None:
+        """Delete a forward edge and lazily update the index."""
+        from repro.core.maintenance import delete_edge
+
+        delete_edge(self, v, u, label)
+
+    def change_edge_label(
+        self, v: Vertex, u: Vertex, old_label: object, new_label: object
+    ) -> None:
+        """Relabel an edge and lazily update the index (Sec. IV-E)."""
+        from repro.core.maintenance import change_edge_label
+
+        change_edge_label(self, v, u, old_label, new_label)
+
+    def delete_vertex(self, v: Vertex) -> None:
+        """Remove a vertex with its edges and lazily update the index."""
+        from repro.core.maintenance import delete_vertex
+
+        delete_vertex(self, v)
+
+    def insert_vertex(self, v: Vertex, edges: list[tuple] = ()) -> None:
+        """Add a vertex (plus incident edges) and lazily update the index."""
+        from repro.core.maintenance import insert_vertex
+
+        insert_vertex(self, v, edges)
+
+    def describe_classes(self, max_pairs: int = 4) -> str:
+        """Render the equivalence classes the way Fig. 3 presents them.
+
+        One line per class: the member pairs (truncated to ``max_pairs``)
+        followed by the class's uniform label-sequence set.  Classes are
+        ordered by their smallest member for stable output.
+        """
+        registry = self.graph.registry
+        lines = []
+        ordered = sorted(
+            self._ic2p.items(), key=lambda item: repr(item[1][0])
+        )
+        for class_id, members in ordered:
+            shown = ", ".join(f"({v},{u})" for v, u in members[:max_pairs])
+            if len(members) > max_pairs:
+                shown += ", ..."
+            sequences = sorted(
+                self._class_sequences[class_id], key=lambda s: (len(s), s)
+            )
+            labels = "{" + ", ".join(
+                "".join(registry.name_of(l) for l in seq) for seq in sequences
+            ) + "}"
+            lines.append(f"c={class_id}: {shown} {labels}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CPQxIndex(k={self.k}, |C|={self.num_classes}, "
+            f"|P|={self.num_pairs}, |Il2c|={self.num_sequences})"
+        )

@@ -1,0 +1,341 @@
+"""Query processing over path indexes (Algorithms 3 and 4).
+
+The paper evaluates a plan bottom-up where every intermediate result is
+either a set of **class identifiers** (cheap, the language-aware fast
+path) or a set of **s-t pairs** (after a JOIN forces materialization).
+:class:`Result` is that tagged union; :func:`execute_plan` is Algorithm 3;
+the per-operator logic mirrors Algorithm 4:
+
+* CONJUNCTION of two class-results intersects class-id sets without
+  touching any pair (Prop. 4.1) — the paper's headline optimization;
+* IDENTITY on class-results keeps only loop classes, decided per class
+  (all pairs of a class agree on loop-ness, Def. 4.1 cond. 1);
+* JOIN materializes both sides and composes them.
+
+The executor is generic over a :class:`LookupProvider`, so one
+implementation serves CPQx, iaCPQx, and the pair-returning engines
+(Path, iaPath, BFS) — realizing the paper's "we used the same query plans
+for all methods" protocol.  Engines share :class:`EngineBase`, whose
+``evaluate`` runs plan construction + execution and optionally collects
+:class:`ExecutionStats` (the Table III pruning-power counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.errors import QuerySyntaxError
+from repro.graph.digraph import LabeledDigraph, Pair
+from repro.graph.labels import LabelSeq
+from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, PlanNode
+from repro.plan.planner import Splitter, build_plan
+from repro.query.ast import CPQ, is_resolved, resolve
+
+
+@dataclass
+class ExecutionStats:
+    """Operation counters collected during one query evaluation.
+
+    ``classes_touched`` / ``pairs_touched`` back Table III: the number of
+    class identifiers (language-aware engines) or s-t pairs (unaware
+    engines) flowing through lookups and conjunctions.
+    """
+
+    lookups: int = 0
+    classes_touched: int = 0
+    pairs_touched: int = 0
+    class_conjunctions: int = 0
+    pair_conjunctions: int = 0
+    joins: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.lookups += other.lookups
+        self.classes_touched += other.classes_touched
+        self.pairs_touched += other.pairs_touched
+        self.class_conjunctions += other.class_conjunctions
+        self.pair_conjunctions += other.pair_conjunctions
+        self.joins += other.joins
+
+
+@dataclass(frozen=True, slots=True)
+class Result:
+    """Tagged union of Algorithm 3's ``(P, C)`` intermediate results.
+
+    Exactly one of ``pairs`` / ``classes`` is non-None.
+    """
+
+    pairs: frozenset[Pair] | None = None
+    classes: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.pairs is None) == (self.classes is None):
+            raise QuerySyntaxError("Result must carry exactly one of pairs/classes")
+
+    @staticmethod
+    def of_pairs(pairs: Iterable[Pair]) -> "Result":
+        """Wrap a pair set."""
+        return Result(pairs=frozenset(pairs))
+
+    @staticmethod
+    def of_classes(classes: Iterable[int]) -> "Result":
+        """Wrap a class-id set."""
+        return Result(classes=frozenset(classes))
+
+
+@runtime_checkable
+class LookupProvider(Protocol):
+    """What the executor needs from an index / engine."""
+
+    graph: LabeledDigraph
+
+    def lookup(self, seq: LabelSeq) -> Result:
+        """Result of a label-sequence LOOKUP (classes or pairs)."""
+
+    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
+        """Union of ``Ic2p(c)`` over ``classes`` (pair engines never call this)."""
+
+    def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
+        """Subset of ``classes`` whose pairs are loops (IDENTITY on classes)."""
+
+
+def execute_plan(
+    plan: PlanNode,
+    provider: LookupProvider,
+    stats: ExecutionStats | None = None,
+    limit: int | None = None,
+) -> frozenset[Pair]:
+    """Run Algorithm 3: evaluate ``plan`` and materialize the root result.
+
+    ``limit`` enables first-answer mode (Fig. 7): root materialization
+    stops after ``limit`` pairs, which skips expanding the remaining
+    classes — the same early-exit the paper grants TurboHom++.
+    """
+    result = _execute(plan, provider, stats)
+    return _materialize(result, provider, stats, limit)
+
+
+def _execute(
+    plan: PlanNode,
+    provider: LookupProvider,
+    stats: ExecutionStats | None,
+) -> Result:
+    if isinstance(plan, Lookup):
+        result = provider.lookup(plan.seq)
+        if stats is not None:
+            stats.lookups += 1
+            if result.classes is not None:
+                stats.classes_touched += len(result.classes)
+            else:
+                stats.pairs_touched += len(result.pairs or ())
+        if plan.with_identity:
+            result = _identity_filter(result, provider)
+        return result
+
+    if isinstance(plan, IdentityAll):
+        return Result.of_pairs((v, v) for v in provider.graph.vertices())
+
+    if isinstance(plan, JoinNode):
+        left = _materialize(_execute(plan.left, provider, stats), provider, stats, None)
+        right = _materialize(_execute(plan.right, provider, stats), provider, stats, None)
+        if stats is not None:
+            stats.joins += 1
+            stats.pairs_touched += len(left) + len(right)
+        joined = _compose(left, right, loops_only=plan.with_identity)
+        return Result.of_pairs(joined)
+
+    if isinstance(plan, ConjNode):
+        left = _execute(plan.left, provider, stats)
+        right = _execute(plan.right, provider, stats)
+        if left.classes is not None and right.classes is not None:
+            if stats is not None:
+                stats.class_conjunctions += 1
+                stats.classes_touched += len(left.classes) + len(right.classes)
+            classes = left.classes & right.classes
+            result = Result(classes=classes)
+        else:
+            left_pairs = _materialize(left, provider, stats, None)
+            right_pairs = _materialize(right, provider, stats, None)
+            if stats is not None:
+                stats.pair_conjunctions += 1
+                stats.pairs_touched += len(left_pairs) + len(right_pairs)
+            result = Result.of_pairs(left_pairs & right_pairs)
+        if plan.with_identity:
+            result = _identity_filter(result, provider)
+        return result
+
+    raise QuerySyntaxError(f"unknown plan node {plan!r}")
+
+
+def _identity_filter(result: Result, provider: LookupProvider) -> Result:
+    """Apply ``∩ id`` to a result (Algorithm 4's \\*ID variants)."""
+    if result.classes is not None:
+        return Result(classes=provider.loop_classes_of(result.classes))
+    assert result.pairs is not None
+    return Result.of_pairs((v, u) for v, u in result.pairs if v == u)
+
+
+def _materialize(
+    result: Result,
+    provider: LookupProvider,
+    stats: ExecutionStats | None,
+    limit: int | None,
+) -> frozenset[Pair]:
+    """Turn a result into explicit pairs (root of Algorithm 3)."""
+    if result.pairs is not None:
+        pairs = result.pairs
+        if limit is not None and len(pairs) > limit:
+            return frozenset(list(pairs)[:limit])
+        return pairs
+    assert result.classes is not None
+    if limit is None:
+        expanded = provider.expand_classes(result.classes)
+        if stats is not None:
+            stats.pairs_touched += len(expanded)
+        return expanded
+    collected: list[Pair] = []
+    for class_id in sorted(result.classes):
+        for pair in provider.expand_classes(frozenset((class_id,))):
+            collected.append(pair)
+            if len(collected) >= limit:
+                return frozenset(collected)
+    return frozenset(collected)
+
+
+def _compose(
+    left: frozenset[Pair], right: frozenset[Pair], loops_only: bool
+) -> set[Pair]:
+    """Sort/hash-join of two pair sets on the shared middle vertex."""
+    by_source: dict[object, list[object]] = {}
+    for m, u in right:
+        by_source.setdefault(m, []).append(u)
+    if loops_only:
+        return {
+            (v, u)
+            for v, m in left
+            for u in by_source.get(m, ())
+            if v == u
+        }
+    return {
+        (v, u)
+        for v, m in left
+        for u in by_source.get(m, ())
+    }
+
+
+class EngineBase:
+    """Shared high-level evaluation entry point for all engines.
+
+    Subclasses provide ``graph``, ``lookup`` (and for class-based engines
+    ``expand_classes`` / ``loop_classes_of``), plus a :meth:`splitter`
+    describing how label sequences decompose into LOOKUPs.
+    """
+
+    #: Human-readable engine name used by the benchmark harness.
+    name: str = "engine"
+    graph: LabeledDigraph
+
+    def splitter(self) -> Splitter:
+        """The sequence splitter used when planning queries."""
+        raise NotImplementedError
+
+    def plan(self, query: CPQ) -> PlanNode:
+        """Plan a (possibly name-form) CPQ against this engine."""
+        if not is_resolved(query):
+            query = resolve(query, self.graph.registry)
+        return build_plan(query, self.splitter())
+
+    def evaluate(
+        self,
+        query: CPQ,
+        stats: ExecutionStats | None = None,
+        limit: int | None = None,
+        source_filter=None,
+        target_filter=None,
+    ) -> frozenset[Pair]:
+        """Evaluate a CPQ, returning its s-t pair answer set.
+
+        ``source_filter`` / ``target_filter`` are optional predicates on
+        the vertex's local-data dict (Sec. VII's extension: "study
+        practical extensions ... for supporting CPQ combined with querying
+        local data").  They post-filter the answers; e.g.
+        ``target_filter=lambda d: d.get("age", 0) > 30``.
+        """
+        answers = execute_plan(self.plan(query), self, stats=stats, limit=limit)
+        if source_filter is None and target_filter is None:
+            return answers
+        graph = self.graph
+        filtered = []
+        for v, u in answers:
+            if source_filter is not None and not source_filter(graph.vertex_data(v)):
+                continue
+            if target_filter is not None and not target_filter(graph.vertex_data(u)):
+                continue
+            filtered.append((v, u))
+        return frozenset(filtered)
+
+    def count(self, query: CPQ, stats: ExecutionStats | None = None) -> int:
+        """Answer cardinality, avoiding materialization where possible.
+
+        When the plan's root result is a set of class identifiers
+        (conjunction-only queries — the paper's T/S/TT/St shapes), the
+        count is the sum of the class sizes read off ``Ic2p``: no s-t
+        pair is ever touched.  COUNT aggregation is thus another consumer
+        of the CPQ-equivalence structure, beyond Prop. 4.1's membership
+        pruning.  Join-bearing plans fall back to materialized counting.
+        """
+        plan = self.plan(query)
+        result = _execute(plan, self, stats)
+        if result.classes is not None and hasattr(self, "pairs_of_class"):
+            return sum(
+                len(self.pairs_of_class(class_id)) for class_id in result.classes
+            )
+        return len(_materialize(result, self, stats, None))
+
+    def explain(self, query: CPQ) -> str:
+        """Describe how this engine would run ``query``.
+
+        Combines the logical plan (Sec. IV-D), one profiled execution's
+        operator counters, and — for class-based indexes — the Theorem 4.5
+        work estimate.  Returns a human-readable multi-line report.
+        """
+        plan = self.plan(query)
+        stats = ExecutionStats()
+        answers = execute_plan(plan, self, stats=stats)
+        lines = [
+            f"engine: {self.name}",
+            f"plan:   {plan.describe()}",
+            f"answers: {len(answers)}",
+            (
+                f"profile: lookups={stats.lookups} joins={stats.joins} "
+                f"class-conj={stats.class_conjunctions} "
+                f"pair-conj={stats.pair_conjunctions} "
+                f"classes-touched={stats.classes_touched} "
+                f"pairs-touched={stats.pairs_touched}"
+            ),
+        ]
+        if hasattr(self, "expand_classes") and hasattr(self, "num_classes"):
+            try:
+                from repro.core.costmodel import query_estimate
+
+                estimate = query_estimate(query, self)
+                lines.append(
+                    f"thm-4.5 estimate: work≈{estimate.work:.0f} "
+                    f"(α1={estimate.inputs['alpha1']}, "
+                    f"α2={estimate.inputs['alpha2']})"
+                )
+            except QuerySyntaxError:
+                pass
+        return "\n".join(lines)
+
+    # Default implementations for pair-based engines; class-based engines
+    # (CPQx, iaCPQx) override all three.
+    def lookup(self, seq: LabelSeq) -> Result:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
+        raise QuerySyntaxError(f"{self.name} is not a class-based engine")
+
+    def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
+        raise QuerySyntaxError(f"{self.name} is not a class-based engine")

@@ -1,0 +1,362 @@
+"""The interest-aware index **iaCPQx** (Sec. V).
+
+iaCPQx partitions s-t pairs by *interest-aware path-equivalence*
+(Def. 5.1): ``(v,u) ≈ (x,y)`` iff they agree on loop-ness and on
+``L≤k ∩ Lq``, where ``Lq`` is the user's set of interesting label
+sequences.  All length-1 sequences are always included in ``Lq``
+(Sec. V-A), so *every* CPQ remains answerable: the planner splits
+non-interest sequences into interest-covered chunks
+(:func:`repro.plan.planner.interest_splitter`).
+
+Because only the interest sequences are evaluated during construction —
+never the full ``L≤k`` enumeration — build time and size shrink roughly
+with ``|Lq| / |L≤k|`` (Thm. 5.1), which is the paper's scalability story:
+the graphs whose full CPQx ran out of memory in Table IV all get an
+iaCPQx here.
+
+Maintenance covers the paper's four update kinds: edge insertion/deletion
+(like CPQx, restricted to interest sequences) and interest (label
+sequence) insertion/deletion (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexBuildError, MaintenanceError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.labels import LabelSeq
+from repro.core.executor import EngineBase, Result
+from repro.core.maintenance import affected_pairs
+from repro.plan.planner import Splitter, interest_splitter
+
+
+def _single_label_interests(graph: LabeledDigraph) -> set[LabelSeq]:
+    """All length-1 sequences over labels used in the graph (fwd + inverse)."""
+    singles: set[LabelSeq] = set()
+    for label in graph.labels_used():
+        singles.add((label,))
+        singles.add((-label,))
+    return singles
+
+
+def _pair_matches(graph: LabeledDigraph, pair: Pair, seq: LabelSeq) -> bool:
+    """Does some path from pair[0] to pair[1] spell ``seq``?  ``O(d^|seq|)``."""
+    frontier = {pair[0]}
+    for label in seq:
+        next_frontier: set[Vertex] = set()
+        for vertex in frontier:
+            next_frontier.update(graph.successors(vertex, label))
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return pair[1] in frontier
+
+
+class InterestAwareIndex(EngineBase):
+    """iaCPQx: the interest-aware CPQ index of Sec. V."""
+
+    name = "iaCPQx"
+
+    def __init__(
+        self,
+        graph: LabeledDigraph,
+        k: int,
+        interests: frozenset[LabelSeq],
+        il2c: dict[LabelSeq, set[int]],
+        ic2p: dict[int, list[Pair]],
+        class_of: dict[Pair, int],
+        class_sequences: dict[int, frozenset[LabelSeq]],
+        loop_classes: set[int],
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.interests = interests
+        self._il2c = il2c
+        self._ic2p = ic2p
+        self._class_of = class_of
+        self._class_sequences = class_sequences
+        self._loop_classes = loop_classes
+        self._next_class = max(ic2p, default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledDigraph,
+        k: int = 2,
+        interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
+    ) -> "InterestAwareIndex":
+        """Build iaCPQx for the given interest sequences.
+
+        Length-1 sequences are added automatically; interests longer than
+        ``k`` are rejected (the paper instead registers their length-k
+        prefixes — do that at workload level, see
+        :func:`repro.query.workloads.workload_interests`).
+        """
+        if k < 1:
+            raise IndexBuildError(f"k must be >= 1, got {k}")
+        for seq in interests:
+            if not seq:
+                raise IndexBuildError("empty interest sequence")
+            if len(seq) > k:
+                raise IndexBuildError(
+                    f"interest {seq} longer than k={k}; register its k-prefix instead"
+                )
+        full_interests = frozenset(set(interests) | _single_label_interests(graph))
+
+        pair_seqs: dict[Pair, set[LabelSeq]] = {}
+        for seq in full_interests:
+            for pair in graph.sequence_relation(seq):
+                pair_seqs.setdefault(pair, set()).add(seq)
+
+        signature_ids: dict[tuple[bool, frozenset[LabelSeq]], int] = {}
+        il2c: dict[LabelSeq, set[int]] = {}
+        ic2p: dict[int, list[Pair]] = {}
+        class_of: dict[Pair, int] = {}
+        class_sequences: dict[int, frozenset[LabelSeq]] = {}
+        loop_classes: set[int] = set()
+        for pair, seqs in pair_seqs.items():
+            signature = (pair[0] == pair[1], frozenset(seqs))
+            class_id = signature_ids.setdefault(signature, len(signature_ids))
+            ic2p.setdefault(class_id, []).append(pair)
+            class_of[pair] = class_id
+            if class_id not in class_sequences:
+                class_sequences[class_id] = signature[1]
+                if signature[0]:
+                    loop_classes.add(class_id)
+                for seq in signature[1]:
+                    il2c.setdefault(seq, set()).add(class_id)
+        for members in ic2p.values():
+            members.sort(key=repr)
+        return cls(
+            graph=graph,
+            k=k,
+            interests=full_interests,
+            il2c=il2c,
+            ic2p=ic2p,
+            class_of=class_of,
+            class_sequences=class_sequences,
+            loop_classes=loop_classes,
+        )
+
+    # ------------------------------------------------------------------
+    # executor interface
+    # ------------------------------------------------------------------
+    def splitter(self) -> Splitter:
+        """Split sequences at interest boundaries (Sec. V-B)."""
+        return interest_splitter(self.interests, self.k)
+
+    def lookup(self, seq: LabelSeq) -> Result:
+        """``Il2c(seq)``; sequences outside the interests return empty."""
+        return Result.of_classes(self._il2c.get(seq, ()))
+
+    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
+        """``∪ Ic2p(c)`` over ``classes``."""
+        pairs: set[Pair] = set()
+        for class_id in classes:
+            pairs.update(self._ic2p.get(class_id, ()))
+        return frozenset(pairs)
+
+    def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
+        """IDENTITY on class sets."""
+        return frozenset(classes & self._loop_classes)
+
+    # ------------------------------------------------------------------
+    # introspection (mirrors CPQxIndex)
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """Number of interest-aware equivalence classes."""
+        return len(self._ic2p)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of indexed s-t pairs."""
+        return len(self._class_of)
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of label sequences keyed in ``Il2c``."""
+        return len(self._il2c)
+
+    def class_of(self, pair: Pair) -> int | None:
+        """Class identifier of a pair, or None."""
+        return self._class_of.get(pair)
+
+    def pairs_of_class(self, class_id: int) -> list[Pair]:
+        """Members of a class (copy)."""
+        return list(self._ic2p.get(class_id, ()))
+
+    def sequences_of_class(self, class_id: int) -> frozenset[LabelSeq]:
+        """The uniform ``L≤k ∩ Lq`` set of a class."""
+        return self._class_sequences.get(class_id, frozenset())
+
+    def gamma(self) -> float:
+        """Average interest-sequence count per indexed pair."""
+        if not self._class_of:
+            return 0.0
+        total = sum(
+            len(self._class_sequences[c]) * len(members)
+            for c, members in self._ic2p.items()
+        )
+        return total / len(self._class_of)
+
+    def size_bytes(self) -> int:
+        """Size model identical to CPQx's (32-bit ids; Thm. 5.1)."""
+        il2c_bytes = sum(
+            4 * len(seq) + 4 * len(classes) for seq, classes in self._il2c.items()
+        )
+        ic2p_bytes = sum(4 + 8 * len(pairs) for pairs in self._ic2p.values())
+        return il2c_bytes + ic2p_bytes
+
+    # ------------------------------------------------------------------
+    # maintenance (Sec. V-C)
+    # ------------------------------------------------------------------
+    def insert_edge(self, v: Vertex, u: Vertex, label: object) -> None:
+        """Insert a graph edge and lazily patch the index."""
+        lid = self.graph.add_edge(v, u, label)
+        for single in ((lid,), (-lid,)):
+            if single not in self.interests:
+                self.interests = self.interests | {single}
+        self._reclassify(affected_pairs(self.graph, v, u, self.k))
+
+    def delete_edge(self, v: Vertex, u: Vertex, label: object) -> None:
+        """Delete a graph edge and lazily patch the index."""
+        affected = affected_pairs(self.graph, v, u, self.k)
+        try:
+            self.graph.remove_edge(v, u, label)
+        except Exception as exc:
+            raise MaintenanceError(str(exc)) from exc
+        self._reclassify(affected)
+
+    def change_edge_label(
+        self, v: Vertex, u: Vertex, old_label: object, new_label: object
+    ) -> None:
+        """Relabel an edge and lazily update the index (Sec. IV-E)."""
+        from repro.core.maintenance import change_edge_label
+
+        change_edge_label(self, v, u, old_label, new_label)
+
+    def delete_vertex(self, v: Vertex) -> None:
+        """Remove a vertex with its edges and lazily update the index."""
+        from repro.core.maintenance import delete_vertex
+
+        delete_vertex(self, v)
+
+    def insert_vertex(self, v: Vertex, edges: list[tuple] = ()) -> None:
+        """Add a vertex (plus incident edges) and lazily update the index."""
+        from repro.core.maintenance import insert_vertex
+
+        insert_vertex(self, v, edges)
+
+    def insert_interest(self, seq: LabelSeq) -> None:
+        """Add a label sequence to the interests (Sec. V-C).
+
+        Enumerates the pairs matching the new sequence and re-classes
+        them (grouped by previous class, so uniformity is preserved
+        without merging into existing classes).
+        """
+        if not seq or len(seq) > self.k:
+            raise MaintenanceError(f"interest must have length 1..k, got {seq}")
+        if seq in self.interests:
+            return
+        self.interests = self.interests | {seq}
+        matching = self.graph.sequence_relation(seq)
+        by_old_class: dict[int | None, list[Pair]] = {}
+        for pair in matching:
+            by_old_class.setdefault(self._class_of.get(pair), []).append(pair)
+        for old_class, members in by_old_class.items():
+            if old_class is None:
+                loops = [p for p in members if p[0] == p[1]]
+                non_loops = [p for p in members if p[0] != p[1]]
+                for group, is_loop in ((non_loops, False), (loops, True)):
+                    if group:
+                        self._create_class(frozenset((seq,)), is_loop, group)
+            else:
+                # project the old class's record onto the *current*
+                # interests — it may still carry sequences deleted by
+                # delete_interest, which must not be resurrected in Il2c
+                live_seqs = self._class_sequences[old_class] & self.interests
+                new_seqs = live_seqs | {seq}
+                is_loop = old_class in self._loop_classes
+                for pair in members:
+                    self._remove_pair(pair, old_class)
+                self._create_class(frozenset(new_seqs), is_loop, members)
+
+    def delete_interest(self, seq: LabelSeq) -> None:
+        """Drop a label sequence from the interests (Sec. V-C).
+
+        Only the ``Il2c`` postings are removed; classes are left split
+        (the paper: "while we do not merge two sets of paths, we can
+        still guarantee correct query answers").
+        """
+        if len(seq) == 1:
+            raise MaintenanceError("length-1 interests are mandatory (Sec. V-A)")
+        if seq not in self.interests:
+            raise MaintenanceError(f"{seq} is not an interest")
+        self.interests = self.interests - {seq}
+        self._il2c.pop(seq, None)
+
+    # ------------------------------------------------------------------
+    # internal helpers shared by the maintenance paths
+    # ------------------------------------------------------------------
+    def _reclassify(self, pairs: set[Pair]) -> None:
+        regrouped: dict[tuple[frozenset[LabelSeq], bool], list[Pair]] = {}
+        for pair in pairs:
+            new_seqs = frozenset(
+                seq
+                for seq in self.interests
+                if _pair_matches(self.graph, pair, seq)
+            )
+            old_class = self._class_of.get(pair)
+            old_seqs = (
+                self._class_sequences[old_class] & self.interests
+                if old_class is not None
+                else frozenset()
+            )
+            if new_seqs == old_seqs:
+                continue
+            if old_class is not None:
+                self._remove_pair(pair, old_class)
+            if new_seqs:
+                key = (new_seqs, pair[0] == pair[1])
+                regrouped.setdefault(key, []).append(pair)
+        for (seqs, is_loop), members in regrouped.items():
+            self._create_class(seqs, is_loop, members)
+
+    def _remove_pair(self, pair: Pair, class_id: int) -> None:
+        members = self._ic2p[class_id]
+        members.remove(pair)
+        self._class_of.pop(pair, None)
+        if not members:
+            for seq in self._class_sequences[class_id]:
+                postings = self._il2c.get(seq)
+                if postings is not None:
+                    postings.discard(class_id)
+                    if not postings:
+                        del self._il2c[seq]
+            del self._ic2p[class_id]
+            del self._class_sequences[class_id]
+            self._loop_classes.discard(class_id)
+
+    def _create_class(
+        self, seqs: frozenset[LabelSeq], is_loop: bool, members: list[Pair]
+    ) -> int:
+        class_id = self._next_class
+        self._next_class += 1
+        self._ic2p[class_id] = sorted(members, key=repr)
+        self._class_sequences[class_id] = seqs
+        for pair in members:
+            self._class_of[pair] = class_id
+        if is_loop:
+            self._loop_classes.add(class_id)
+        for seq in seqs:
+            self._il2c.setdefault(seq, set()).add(class_id)
+        return class_id
+
+    def __repr__(self) -> str:
+        return (
+            f"InterestAwareIndex(k={self.k}, |Lq|={len(self.interests)}, "
+            f"|C|={self.num_classes}, |P|={self.num_pairs})"
+        )

@@ -1,0 +1,198 @@
+"""Lazy index maintenance under graph updates (Sec. IV-E).
+
+The paper's strategy, reproduced here:
+
+1. enumerate the s-t pairs *affected* by the touched edge — those with a
+   path of length ≤ k through it, found by breadth-first expansion from
+   the edge's endpoints (the extended graph is symmetric, so one BFS per
+   endpoint yields both travel directions);
+2. recompute ``L≤k`` only for those pairs;
+3. move every pair whose sequence set changed into a **fresh** class —
+   never merged into an existing class, even if it is now k-path-bisimilar
+   to one (Prop. 4.2 shows query answers stay exact on such refinements;
+   Table VII measures the resulting size growth).
+
+Vertex insertion/deletion and label changes reduce to edge operations,
+exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MaintenanceError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.labels import LabelSeq
+from repro.core.cpqx import CPQxIndex
+from repro.core.paths import label_sequences_for_pair
+
+
+def insert_edge(index: CPQxIndex, v: Vertex, u: Vertex, label: object) -> None:
+    """Add edge ``(v, u, label)`` to the graph and lazily patch the index."""
+    index.graph.add_edge(v, u, label)
+    affected = affected_pairs(index.graph, v, u, index.k)
+    reclassify(index, affected)
+
+
+def delete_edge(index: CPQxIndex, v: Vertex, u: Vertex, label: object) -> None:
+    """Remove edge ``(v, u, label)`` from the graph and patch the index.
+
+    The affected-pair ball is computed *before* removal (paths through the
+    edge exist only in the pre-deletion graph); re-classification then
+    checks for alternative paths on the post-deletion graph, which is the
+    paper's "check whether there are alternative paths" step.
+    """
+    affected = affected_pairs(index.graph, v, u, index.k)
+    try:
+        index.graph.remove_edge(v, u, label)
+    except Exception as exc:  # normalize to the maintenance error type
+        raise MaintenanceError(str(exc)) from exc
+    reclassify(index, affected)
+
+
+def change_edge_label(
+    index, v: Vertex, u: Vertex, old_label: object, new_label: object
+) -> None:
+    """Relabel an edge (Sec. IV-E's "label change" update).
+
+    Realized, as the paper describes, as a deletion followed by an
+    insertion; both patches share the same affected-pair ball so the cost
+    is comparable to a single edge update.  Dispatches through the
+    index's own edge methods, so it serves CPQx and iaCPQx alike.
+    """
+    index.delete_edge(v, u, old_label)
+    index.insert_edge(v, u, new_label)
+
+
+def delete_vertex(index, v: Vertex) -> None:
+    """Remove a vertex and lazily patch the index (Sec. IV-E).
+
+    "In the vertex deletion, we delete all edges that connect to the
+    deleted vertex, and then delete the vertex."
+    """
+    graph = index.graph
+    if not graph.has_vertex(v):
+        raise MaintenanceError(f"unknown vertex {v!r}")
+    incident = [
+        (a, b, label)
+        for a, b, label in graph.triples()
+        if a == v or b == v
+    ]
+    for a, b, label in incident:
+        index.delete_edge(a, b, label)
+    graph.remove_vertex(v)
+
+
+def insert_vertex(index, v: Vertex, edges: list[tuple] = ()) -> None:
+    """Add a vertex with optional incident edges and patch the index.
+
+    ``edges`` entries are ``(source, target, label)`` triples that must
+    touch ``v`` on at least one side.
+    """
+    index.graph.add_vertex(v)
+    for a, b, label in edges:
+        if v not in (a, b):
+            raise MaintenanceError(
+                f"edge {(a, b, label)!r} does not touch inserted vertex {v!r}"
+            )
+        index.insert_edge(a, b, label)
+
+
+def affected_pairs(graph: LabeledDigraph, v: Vertex, u: Vertex, k: int) -> set[Pair]:
+    """Pairs whose ``L≤k`` may involve the edge ``(v, u)`` in either direction.
+
+    A path of length ≤ k through the edge decomposes as
+    ``x →* v → u →* y`` with prefix+suffix length ≤ k-1 (or the mirrored
+    decomposition through the inverse edge), so the affected set is built
+    from distance balls of radius ``k-1`` around both endpoints.
+    """
+    ball_v = _distance_ball(graph, v, k - 1)
+    ball_u = _distance_ball(graph, u, k - 1)
+    affected: set[Pair] = set()
+    for x, dx in ball_v.items():
+        for y, dy in ball_u.items():
+            if dx + dy <= k - 1:
+                affected.add((x, y))  # uses v --l--> u
+                affected.add((y, x))  # uses u --l⁻¹--> v
+    return affected
+
+
+def _distance_ball(graph: LabeledDigraph, center: Vertex, radius: int) -> dict[Vertex, int]:
+    """BFS distances ≤ radius over the (symmetric) extended adjacency."""
+    distances: dict[Vertex, int] = {center: 0}
+    queue: deque[tuple[Vertex, int]] = deque([(center, 0)])
+    while queue:
+        vertex, dist = queue.popleft()
+        if dist == radius:
+            continue
+        for _, targets in graph.out_items(vertex):
+            for neighbor in targets:
+                if neighbor not in distances:
+                    distances[neighbor] = dist + 1
+                    queue.append((neighbor, dist + 1))
+    return distances
+
+
+def reclassify(index: CPQxIndex, pairs: set[Pair]) -> None:
+    """Recompute ``L≤k`` for ``pairs`` and move changed pairs to new classes.
+
+    Changed pairs with identical new sequence sets (and matching loop
+    flags) are grouped into one fresh class per group; classes emptied by
+    the removal are garbage collected from both structures.
+    """
+    graph = index.graph
+    regrouped: dict[tuple[frozenset[LabelSeq], bool], list[Pair]] = {}
+    for pair in pairs:
+        new_seqs = label_sequences_for_pair(graph, pair[0], pair[1], index.k)
+        old_class = index._class_of.get(pair)
+        old_seqs = (
+            index._class_sequences[old_class]
+            if old_class is not None
+            else frozenset()
+        )
+        if new_seqs == old_seqs:
+            continue
+        if old_class is not None:
+            _remove_pair_from_class(index, pair, old_class)
+        if new_seqs:
+            key = (new_seqs, pair[0] == pair[1])
+            regrouped.setdefault(key, []).append(pair)
+        elif pair in index._class_of:
+            del index._class_of[pair]
+    for (seqs, is_loop), members in regrouped.items():
+        _create_class(index, seqs, is_loop, members)
+
+
+def _remove_pair_from_class(index: CPQxIndex, pair: Pair, class_id: int) -> None:
+    members = index._ic2p[class_id]
+    members.remove(pair)
+    index._class_of.pop(pair, None)
+    if not members:
+        for seq in index._class_sequences[class_id]:
+            postings = index._il2c.get(seq)
+            if postings is not None:
+                postings.discard(class_id)
+                if not postings:
+                    del index._il2c[seq]
+        del index._ic2p[class_id]
+        del index._class_sequences[class_id]
+        index._loop_classes.discard(class_id)
+
+
+def _create_class(
+    index: CPQxIndex,
+    seqs: frozenset[LabelSeq],
+    is_loop: bool,
+    members: list[Pair],
+) -> int:
+    class_id = index._next_class
+    index._next_class += 1
+    index._ic2p[class_id] = sorted(members, key=repr)
+    index._class_sequences[class_id] = seqs
+    for pair in members:
+        index._class_of[pair] = class_id
+    if is_loop:
+        index._loop_classes.add(class_id)
+    for seq in seqs:
+        index._il2c.setdefault(seq, set()).add(class_id)
+    return class_id

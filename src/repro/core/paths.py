@@ -1,0 +1,128 @@
+"""Path and label-sequence enumeration: ``P≤k`` and ``L≤k(v, u)``.
+
+Sec. III-A defines ``P≤k`` as the s-t pairs connected by a path of length
+at most ``k`` and ``L≤k(v, u)`` as the set of label sequences (over the
+inverse-extended label set) along such paths.  This module materializes
+both, plus the per-pair variant used by incremental maintenance.
+
+Conventions:
+
+* only *non-empty* paths (length 1..k) are enumerated; the length-0
+  identity path is handled by the loop flag / IDENTITY operator, never
+  stored (the paper likewise does not store unconnected identity pairs);
+* sequences are tuples of signed label ids (:mod:`repro.graph.labels`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexBuildError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.labels import LabelSeq
+
+
+def enumerate_sequences(graph: LabeledDigraph, k: int) -> dict[LabelSeq, set[Pair]]:
+    """All label sequences of length 1..k with their s-t pair sets.
+
+    This is the content of the language-unaware path index of [14]
+    (Sec. III-C) and the per-pair feed of Algorithm 2.  Built level by
+    level: length-``i`` relations extend length-``i-1`` relations by one
+    extended edge.  Cost is ``O(d · Σ_seq |pairs(seq)|)``.
+    """
+    if k < 1:
+        raise IndexBuildError(f"k must be >= 1, got {k}")
+    sequences: dict[LabelSeq, set[Pair]] = {}
+    frontier: dict[LabelSeq, set[Pair]] = {}
+    for v, u, lab in graph.triples():
+        frontier.setdefault((lab,), set()).add((v, u))
+        frontier.setdefault((-lab,), set()).add((u, v))
+    sequences.update(frontier)
+    for _ in range(1, k):
+        extended: dict[LabelSeq, set[Pair]] = {}
+        for seq, pairs in frontier.items():
+            for v, m in pairs:
+                for lab, targets in graph.out_items(m):
+                    bucket = extended.setdefault(seq + (lab,), set())
+                    for u in targets:
+                        bucket.add((v, u))
+        for seq, pairs in extended.items():
+            sequences.setdefault(seq, set()).update(pairs)
+        frontier = extended
+        if not frontier:
+            break
+    return sequences
+
+
+def invert_sequences(sequences: dict[LabelSeq, set[Pair]]) -> dict[Pair, frozenset[LabelSeq]]:
+    """Transpose sequence→pairs into the per-pair ``L≤k(v, u)`` map."""
+    per_pair: dict[Pair, set[LabelSeq]] = {}
+    for seq, pairs in sequences.items():
+        for pair in pairs:
+            per_pair.setdefault(pair, set()).add(seq)
+    return {pair: frozenset(seqs) for pair, seqs in per_pair.items()}
+
+
+def reachable_pairs(graph: LabeledDigraph, k: int) -> set[Pair]:
+    """``P≤k`` restricted to non-empty paths (length 1..k)."""
+    if k < 1:
+        raise IndexBuildError(f"k must be >= 1, got {k}")
+    pairs: set[Pair] = set()
+    frontier: set[Pair] = set()
+    for v, u, _ in graph.triples():
+        frontier.add((v, u))
+        frontier.add((u, v))
+    pairs.update(frontier)
+    for _ in range(1, k):
+        new_frontier: set[Pair] = set()
+        for v, m in frontier:
+            for _, targets in graph.out_items(m):
+                for u in targets:
+                    pair = (v, u)
+                    if pair not in pairs:
+                        new_frontier.add(pair)
+        frontier = {
+            (v, u)
+            for v, m in frontier
+            for _, targets in graph.out_items(m)
+            for u in targets
+        }
+        pairs.update(frontier)
+        if not frontier:
+            break
+    return pairs
+
+
+def label_sequences_for_pair(
+    graph: LabeledDigraph, source: Vertex, target: Vertex, k: int
+) -> frozenset[LabelSeq]:
+    """``L≤k(source, target)`` for one pair, without global enumeration.
+
+    Used by lazy maintenance (Sec. IV-E), which must re-derive the label
+    sequences of the (few) pairs a graph update touches, and by the
+    representative-based construction of ``Il2c`` (one call per class).
+    Explores the ``(vertex, sequence)`` product space, ``O(d^k)``.
+    """
+    found: set[LabelSeq] = set()
+    frontier: dict[LabelSeq, set[Vertex]] = {(): {source}}
+    for _ in range(k):
+        next_frontier: dict[LabelSeq, set[Vertex]] = {}
+        for seq, vertices in frontier.items():
+            for m in vertices:
+                for lab, targets in graph.out_items(m):
+                    entry = next_frontier.setdefault(seq + (lab,), set())
+                    entry.update(targets)
+        for seq, vertices in next_frontier.items():
+            if target in vertices:
+                found.add(seq)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return frozenset(found)
+
+
+def gamma(graph: LabeledDigraph, k: int) -> float:
+    """The paper's ``γ``: average ``|L≤k(v, u)|`` over pairs in ``P≤k``."""
+    sequences = enumerate_sequences(graph, k)
+    per_pair = invert_sequences(sequences)
+    if not per_pair:
+        return 0.0
+    return sum(len(seqs) for seqs in per_pair.values()) / len(per_pair)

@@ -1,0 +1,169 @@
+"""Saving and loading built indexes (JSON, self-describing).
+
+A built CPQx/iaCPQx is a significant investment (Table IV's construction
+times); a downstream deployment wants to build once and reload.  The
+format stores the graph (edges, label names, vertex data) and the class
+structure (members, uniform sequence sets, loop flags); ``Il2c`` and the
+pair→class map are reconstructed on load, so the file stays minimal and
+can never disagree with itself.
+
+Vertices may be ints, strings, or (nested) tuples of those — everything
+the graph generators and dataset stand-ins produce — encoded with a small
+tagged codec so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.graph.digraph import LabeledDigraph, Vertex
+from repro.graph.labels import LabelRegistry
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+
+FORMAT_NAME = "repro-index"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised for malformed or incompatible index files."""
+
+
+def encode_vertex(vertex: Vertex) -> object:
+    """Encode a vertex for JSON: ints/strings raw, tuples tagged."""
+    if isinstance(vertex, bool):
+        raise PersistenceError(f"unsupported vertex type: {vertex!r}")
+    if isinstance(vertex, (int, str)):
+        return vertex
+    if isinstance(vertex, tuple):
+        return {"t": [encode_vertex(part) for part in vertex]}
+    raise PersistenceError(f"unsupported vertex type: {type(vertex).__name__}")
+
+
+def decode_vertex(encoded: object) -> Vertex:
+    """Inverse of :func:`encode_vertex`."""
+    if isinstance(encoded, (int, str)):
+        return encoded
+    if isinstance(encoded, dict) and set(encoded) == {"t"}:
+        return tuple(decode_vertex(part) for part in encoded["t"])
+    raise PersistenceError(f"malformed vertex encoding: {encoded!r}")
+
+
+def _graph_document(graph: LabeledDigraph) -> dict:
+    return {
+        "labels": list(graph.registry),
+        "vertices": [encode_vertex(v) for v in sorted(graph.vertices(), key=repr)],
+        "edges": sorted(
+            ([encode_vertex(v), encode_vertex(u), label] for v, u, label in graph.triples()),
+            key=repr,
+        ),
+        "vertex_data": sorted(
+            ([encode_vertex(v), graph.vertex_data(v)]
+             for v in graph.vertices() if graph.vertex_data(v)),
+            key=repr,
+        ),
+    }
+
+
+def _graph_from_document(document: dict) -> LabeledDigraph:
+    graph = LabeledDigraph(LabelRegistry(document["labels"]))
+    for encoded in document["vertices"]:
+        graph.add_vertex(decode_vertex(encoded))
+    for v, u, label in document["edges"]:
+        graph.add_edge(decode_vertex(v), decode_vertex(u), label)
+    for encoded, data in document.get("vertex_data", ()):
+        graph.set_vertex_data(decode_vertex(encoded), **data)
+    return graph
+
+
+def _classes_document(index) -> list[dict]:
+    documents = []
+    for class_id in sorted(index._ic2p):
+        documents.append({
+            "id": class_id,
+            "pairs": [
+                [encode_vertex(v), encode_vertex(u)]
+                for v, u in index._ic2p[class_id]
+            ],
+            "sequences": sorted(index._class_sequences[class_id]),
+            "loop": class_id in index._loop_classes,
+        })
+    return documents
+
+
+def save_index(index: CPQxIndex | InterestAwareIndex, path: str | Path) -> None:
+    """Serialize a built index (and its graph) to a JSON file."""
+    if isinstance(index, InterestAwareIndex):
+        index_type = "iaCPQx"
+    elif isinstance(index, CPQxIndex):
+        index_type = "CPQx"
+    else:
+        raise PersistenceError(f"cannot persist {type(index).__name__}")
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "type": index_type,
+        "k": index.k,
+        "graph": _graph_document(index.graph),
+        "classes": _classes_document(index),
+    }
+    if index_type == "iaCPQx":
+        document["interests"] = sorted(index.interests)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_index(path: str | Path) -> CPQxIndex | InterestAwareIndex:
+    """Load an index saved by :func:`save_index`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != FORMAT_NAME:
+        raise PersistenceError(f"{path}: not a {FORMAT_NAME} file")
+    if document.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path}: unsupported version {document.get('version')}"
+        )
+    graph = _graph_from_document(document["graph"])
+    # For iaCPQx, Il2c postings are only rebuilt for *live* interests:
+    # class sequence records may still carry interests deleted before the
+    # save, and resurrecting their postings would serve stale lookups.
+    interests: frozenset | None = None
+    if document["type"] == "iaCPQx":
+        interests = frozenset(tuple(seq) for seq in document["interests"])
+    il2c: dict[tuple[int, ...], set[int]] = {}
+    ic2p: dict[int, list] = {}
+    class_of: dict[tuple, int] = {}
+    class_sequences: dict[int, frozenset] = {}
+    loop_classes: set[int] = set()
+    for entry in document["classes"]:
+        class_id = entry["id"]
+        pairs = [
+            (decode_vertex(v), decode_vertex(u)) for v, u in entry["pairs"]
+        ]
+        sequences = frozenset(tuple(seq) for seq in entry["sequences"])
+        ic2p[class_id] = sorted(pairs, key=repr)
+        class_sequences[class_id] = sequences
+        for pair in pairs:
+            class_of[pair] = class_id
+        if entry["loop"]:
+            loop_classes.add(class_id)
+        for seq in sequences:
+            if interests is None or seq in interests:
+                il2c.setdefault(seq, set()).add(class_id)
+    common = dict(
+        graph=graph,
+        k=document["k"],
+        il2c=il2c,
+        ic2p=ic2p,
+        class_of=class_of,
+        class_sequences=class_sequences,
+        loop_classes=loop_classes,
+    )
+    if document["type"] == "iaCPQx":
+        assert interests is not None
+        return InterestAwareIndex(interests=interests, **common)
+    if document["type"] == "CPQx":
+        return CPQxIndex(**common)
+    raise PersistenceError(f"{path}: unknown index type {document['type']!r}")

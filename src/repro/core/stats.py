@@ -1,0 +1,104 @@
+"""Index statistics and the paper's size/pruning accounting.
+
+Collects the quantities the evaluation section reports:
+
+* Table III — class-id vs s-t-pair counts flowing through a query
+  (via :class:`repro.core.executor.ExecutionStats`);
+* Table IV / Fig. 12 / Fig. 15 — index sizes under the 32-bit-id size
+  model and construction times;
+* Table II — dataset overview rows.
+
+Works uniformly over every index type in this repository through duck
+typing (each exposes ``name``, ``k``, ``num_classes``/``num_pairs`` or
+entry counts, and ``size_bytes``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.digraph import LabeledDigraph
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """One Table IV row: identification, size, and build cost."""
+
+    name: str
+    k: int
+    num_classes: int | None
+    num_pairs: int
+    num_sequences: int
+    size_bytes: int
+    build_seconds: float
+
+    def describe(self) -> str:
+        """Human-readable single-line rendering."""
+        classes = "-" if self.num_classes is None else str(self.num_classes)
+        return (
+            f"{self.name}(k={self.k}): |C|={classes} |P|={self.num_pairs} "
+            f"|seqs|={self.num_sequences} size={format_bytes(self.size_bytes)} "
+            f"build={self.build_seconds:.3f}s"
+        )
+
+
+def build_with_stats(builder: Callable[[], object], name: str | None = None) -> tuple[object, IndexStats]:
+    """Run an index builder, timing it and collecting an IndexStats row."""
+    start = time.perf_counter()
+    index = builder()
+    elapsed = time.perf_counter() - start
+    return index, stats_of(index, build_seconds=elapsed, name=name)
+
+
+def stats_of(index: object, build_seconds: float = 0.0, name: str | None = None) -> IndexStats:
+    """Extract an :class:`IndexStats` row from any index object."""
+    return IndexStats(
+        name=name if name is not None else getattr(index, "name", type(index).__name__),
+        k=getattr(index, "k", 0),
+        num_classes=getattr(index, "num_classes", None),
+        num_pairs=getattr(index, "num_pairs", 0),
+        num_sequences=getattr(index, "num_sequences", 0),
+        size_bytes=index.size_bytes() if hasattr(index, "size_bytes") else 0,
+        build_seconds=build_seconds,
+    )
+
+
+def format_bytes(size: int) -> str:
+    """Render a byte count the way the paper's Table IV does (K/M/G)."""
+    value = float(size)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.2f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.2f}GB"  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One Table II row for a built graph."""
+
+    name: str
+    vertices: int
+    edges_extended: int
+    labels_extended: int
+    max_degree: int
+
+    def describe(self) -> str:
+        """Human-readable single-line rendering."""
+        return (
+            f"{self.name}: |V|={self.vertices} |E|={self.edges_extended} "
+            f"|L|={self.labels_extended} d={self.max_degree}"
+        )
+
+
+def dataset_stats(name: str, graph: LabeledDigraph) -> DatasetStats:
+    """Compute the Table II conventions: |E| and |L| include inverses."""
+    return DatasetStats(
+        name=name,
+        vertices=graph.num_vertices,
+        edges_extended=graph.num_extended_edges,
+        labels_extended=2 * len(graph.labels_used()),
+        max_degree=graph.max_degree(),
+    )

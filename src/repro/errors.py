@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (unknown vertex, duplicate edge...)."""
+
+
+class UnknownVertexError(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"unknown vertex: {vertex!r}")
+        self.vertex = vertex
+
+
+class UnknownLabelError(GraphError):
+    """Raised when a label name or id is not present in the label registry."""
+
+    def __init__(self, label: object) -> None:
+        super().__init__(f"unknown label: {label!r}")
+        self.label = label
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the CPQ parser on malformed query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        location = "" if position is None else f" at position {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class QueryDiameterError(ReproError):
+    """Raised when a query's diameter exceeds what an index supports.
+
+    CPQx built with parameter ``k`` can only answer queries whose label
+    sequences decompose into chunks of length at most ``k``; the planner
+    splits longer sequences automatically, so in practice this is raised
+    only for ``k < 1`` misconfiguration.
+    """
+
+
+class IndexBuildError(ReproError):
+    """Raised when index construction parameters are invalid."""
+
+
+class MaintenanceError(ReproError):
+    """Raised for invalid index update operations (e.g. deleting a missing edge)."""
+
+
+class DatasetError(ReproError):
+    """Raised by the dataset registry for unknown dataset names or bad scales."""

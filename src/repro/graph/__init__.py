@@ -1,0 +1,31 @@
+"""Graph substrate: labeled digraphs, IO, generators, schemas, datasets."""
+
+from repro.graph.digraph import LabeledDigraph, Pair, Triple, Vertex
+from repro.graph.metrics import degree_summary, density, label_skew, summarize
+from repro.graph.labels import (
+    Label,
+    LabelRegistry,
+    LabelSeq,
+    base_label,
+    inverse,
+    inverse_sequence,
+    is_inverse,
+)
+
+__all__ = [
+    "LabeledDigraph",
+    "Label",
+    "LabelRegistry",
+    "LabelSeq",
+    "Pair",
+    "Triple",
+    "Vertex",
+    "base_label",
+    "degree_summary",
+    "density",
+    "inverse",
+    "inverse_sequence",
+    "is_inverse",
+    "label_skew",
+    "summarize",
+]

@@ -1,0 +1,367 @@
+"""Dataset registry: synthetic stand-ins for the paper's 19 graphs.
+
+The paper (Table II) evaluates on 14 real graphs plus 5 gMark synthetics.
+The real graphs are not redistributable in this offline environment, so
+each is replaced by a seeded generator preserving the characteristics the
+evaluation depends on (see DESIGN.md §2): density, label-vocabulary size,
+label skew (λ=0.5 exponential where the paper assigns labels itself), and
+scenario structure.  Sizes are scaled down so pure Python completes; the
+paper's original statistics are retained in :attr:`DatasetSpec.paper_stats`
+for side-by-side reporting.
+
+Datasets on which the paper could *not* build the interest-unaware indexes
+(out-of-memory entries "-" in Table IV: WebGoogle, WikiTalk, YAGO,
+CitPatents, Wikidata, Freebase, g-Mark-*) are marked
+``full_index_feasible=False``; the benchmark harness builds only iaCPQx /
+iaPath on them, mirroring the paper's reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.generators import (
+    community_graph,
+    knowledge_graph,
+    preferential_attachment_graph,
+    random_graph,
+)
+from repro.graph.labels import LabelRegistry
+from repro.graph.schema import citation_schema, lubm_schema, watdiv_schema, yago_like_schema
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The original Table II statistics (|E| and |L| include inverses)."""
+
+    vertices: int
+    edges: int
+    labels: int
+    real_labels: bool
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: builder plus provenance metadata."""
+
+    name: str
+    description: str
+    builder: Callable[[float, int], LabeledDigraph] = field(repr=False)
+    paper_stats: PaperStats
+    full_index_feasible: bool = True
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> LabeledDigraph:
+        """Instantiate the dataset at the given size scale (1.0 = default)."""
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+        return self.builder(scale, seed)
+
+
+def _s(n: int, scale: float) -> int:
+    """Scale a size, keeping at least a workable minimum."""
+    return max(8, int(round(n * scale)))
+
+
+# ---------------------------------------------------------------------------
+# The running example graph Gex (Fig. 1)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_USERS = (
+    "ada", "tim", "sue", "joe", "jon", "zoe",
+    "liz", "tom", "flo", "jay", "aya", "ben",
+)
+EXAMPLE_BLOGS = ("123", "987")
+
+_EXAMPLE_FOLLOWS = (
+    ("sue", "joe"), ("joe", "zoe"), ("zoe", "sue"),        # the triad
+    ("ada", "tim"), ("ada", "tom"),
+    ("tim", "flo"), ("tim", "jay"), ("tom", "flo"),
+    ("flo", "aya"), ("jay", "aya"),
+    ("aya", "liz"), ("aya", "jon"),
+    ("liz", "ben"), ("ben", "ada"),
+)
+_EXAMPLE_VISITS = (
+    ("ada", "123"), ("tim", "123"), ("tom", "123"), ("jon", "123"),
+    ("joe", "123"), ("sue", "123"), ("zoe", "123"),
+    ("jay", "987"), ("aya", "987"), ("flo", "987"), ("ben", "987"),
+    ("liz", "987"),
+)
+
+
+def example_graph() -> LabeledDigraph:
+    """The paper's running example graph ``Gex`` (Fig. 1), reconstructed.
+
+    Twelve users and two blogs with ``f`` (follows) and ``v`` (visits)
+    edges.  The published figure is not machine-readable, so the edge set
+    is reconstructed to satisfy *every* fact stated in the text:
+
+    * the triad query ``(f ∘ f) ∩ f⁻¹`` answers exactly
+      ``{(sue, zoe), (joe, sue), (zoe, joe)}`` (Sec. I);
+    * ``L≤2(ada, ada) ⊇ {⟨f,f⁻¹⟩, ⟨v,v⁻¹⟩, ⟨f⁻¹,f⟩}`` and
+      ``L≤2(joe, sue) ⊇ {⟨f⁻¹⟩, ⟨f,f⟩, ⟨v,v⁻¹⟩}`` (Example 3.1);
+    * ``(ada,tim)`` and ``(ada,tom)`` are CPQ₂-equivalent with label set
+      ``{f, vv⁻¹}`` via blog 123 (Example 4.2);
+    * after deleting the ``(ada, tim, f)`` edge, ``(ada, 123)`` retains an
+      alternative ``⟨f, v⟩`` path through tom (Example 4.4);
+    * the three triad edges form one CPQ₂ class with label set
+      ``{f, vv⁻¹, f⁻¹f⁻¹}`` (Fig. 3's class c=7), which forces the triad
+      members to share blog 123;
+    * ``(ada, aya)`` has no path of length ≤ 2 (Fig. 3's empty class);
+    * 14 ``f`` edges and 12 ``v`` edges, as drawn in Fig. 1.
+    """
+    registry = LabelRegistry(["f", "v"])
+    graph = LabeledDigraph(registry)
+    for user in EXAMPLE_USERS:
+        graph.add_vertex(user)
+    for blog in EXAMPLE_BLOGS:
+        graph.add_vertex(blog)
+    for v, u in _EXAMPLE_FOLLOWS:
+        graph.add_edge(v, u, "f")
+    for v, u in _EXAMPLE_VISITS:
+        graph.add_edge(v, u, "v")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Stand-ins for the Table II datasets
+# ---------------------------------------------------------------------------
+
+def _robots(scale: float, seed: int) -> LabeledDigraph:
+    return random_graph(_s(371, scale), _s(740, scale), 4, seed=seed)
+
+
+def _ego_facebook(scale: float, seed: int) -> LabeledDigraph:
+    return preferential_attachment_graph(_s(404, scale), 4, 8, seed=seed)
+
+
+def _advogato(scale: float, seed: int) -> LabeledDigraph:
+    return random_graph(_s(542, scale), _s(2566, scale), 4, seed=seed)
+
+
+def _youtube(scale: float, seed: int) -> LabeledDigraph:
+    return community_graph(_s(755, scale), _s(24, scale), _s(3600, scale), _s(900, scale), 5, seed=seed)
+
+
+def _string_hs(scale: float, seed: int) -> LabeledDigraph:
+    return community_graph(_s(600, scale), _s(30, scale), _s(3500, scale), _s(900, scale), 7, seed=seed)
+
+
+def _string_fc(scale: float, seed: int) -> LabeledDigraph:
+    return community_graph(_s(550, scale), _s(22, scale), _s(4200, scale), _s(1000, scale), 7, seed=seed)
+
+
+def _biogrid(scale: float, seed: int) -> LabeledDigraph:
+    return community_graph(_s(1000, scale), _s(50, scale), _s(2700, scale), _s(700, scale), 7, seed=seed)
+
+
+def _epinions(scale: float, seed: int) -> LabeledDigraph:
+    return preferential_attachment_graph(_s(1300, scale), 3, 8, seed=seed)
+
+
+def _web_google(scale: float, seed: int) -> LabeledDigraph:
+    return preferential_attachment_graph(_s(2000, scale), 3, 8, seed=seed)
+
+
+def _wiki_talk(scale: float, seed: int) -> LabeledDigraph:
+    return preferential_attachment_graph(_s(2400, scale), 2, 8, seed=seed)
+
+
+def _yago(scale: float, seed: int) -> LabeledDigraph:
+    return knowledge_graph(_s(2100, scale), _s(6200, scale), 37, seed=seed)
+
+
+def _cit_patents(scale: float, seed: int) -> LabeledDigraph:
+    return random_graph(_s(1900, scale), _s(8300, scale), 8, seed=seed)
+
+
+def _wikidata(scale: float, seed: int) -> LabeledDigraph:
+    return knowledge_graph(_s(2300, scale), _s(13800, scale), 200, seed=seed)
+
+
+def _freebase(scale: float, seed: int) -> LabeledDigraph:
+    return knowledge_graph(_s(2800, scale), _s(21000, scale), 300, seed=seed)
+
+
+def _gmark(total_vertices: int) -> Callable[[float, int], LabeledDigraph]:
+    def build(scale: float, seed: int) -> LabeledDigraph:
+        return citation_schema().generate(_s(total_vertices, scale), seed=seed)
+
+    return build
+
+
+def _yago2_bench(scale: float, seed: int) -> LabeledDigraph:
+    return yago_like_schema().generate(_s(2400, scale), seed=seed)
+
+
+def _lubm_bench(scale: float, seed: int) -> LabeledDigraph:
+    return lubm_schema().generate(_s(1500, scale), seed=seed)
+
+
+def _watdiv_bench(scale: float, seed: int) -> LabeledDigraph:
+    return watdiv_schema().generate(_s(1500, scale), seed=seed)
+
+
+REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    REGISTRY[spec.name] = spec
+
+
+_register(DatasetSpec(
+    "robots", "small trust network with real labels",
+    _robots, PaperStats(1_484, 5_920, 8, True)))
+_register(DatasetSpec(
+    "ego-facebook", "scale-free social circles, λ=0.5 synthetic labels",
+    _ego_facebook, PaperStats(4_039, 176_468, 16, False)))
+_register(DatasetSpec(
+    "advogato", "trust network with real labels",
+    _advogato, PaperStats(5_417, 102_654, 8, True)))
+_register(DatasetSpec(
+    "youtube", "dense community video network with real labels",
+    _youtube, PaperStats(15_088, 21_452_214, 10, True)))
+_register(DatasetSpec(
+    "string-hs", "protein interactions (homo sapiens), real labels",
+    _string_hs, PaperStats(16_956, 2_483_530, 14, True)))
+_register(DatasetSpec(
+    "string-fc", "protein interactions (functional clusters), real labels",
+    _string_fc, PaperStats(15_515, 4_089_600, 14, True)))
+_register(DatasetSpec(
+    "biogrid", "protein/genetic interactions, real labels",
+    _biogrid, PaperStats(64_332, 1_724_554, 14, True)))
+_register(DatasetSpec(
+    "epinions", "who-trusts-whom network, λ=0.5 synthetic labels",
+    _epinions, PaperStats(131_828, 1_681_598, 16, False)))
+_register(DatasetSpec(
+    "web-google", "hyperlink web graph, λ=0.5 synthetic labels",
+    _web_google, PaperStats(875_713, 10_210_074, 16, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "wiki-talk", "talk-page interaction graph, λ=0.5 synthetic labels",
+    _wiki_talk, PaperStats(2_394_385, 10_042_820, 16, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "yago", "knowledge graph with many predicates",
+    _yago, PaperStats(4_295_825, 24_861_400, 74, True),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "cit-patents", "patent citation graph, λ=0.5 synthetic labels",
+    _cit_patents, PaperStats(3_774_768, 33_037_896, 16, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "wikidata", "knowledge graph with very large predicate vocabulary",
+    _wikidata, PaperStats(9_292_714, 110_851_582, 1_054, True),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "freebase", "largest knowledge graph in the study",
+    _freebase, PaperStats(14_420_276, 213_225_620, 1_556, True),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "g-mark-1m", "gMark citation schema, smallest scalability point",
+    _gmark(600), PaperStats(1_006_802, 15_925_506, 12, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "g-mark-5m", "gMark citation schema",
+    _gmark(3_000), PaperStats(5_005_992, 84_994_500, 12, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "g-mark-10m", "gMark citation schema",
+    _gmark(6_000), PaperStats(10_005_721, 183_748_319, 12, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "g-mark-15m", "gMark citation schema",
+    _gmark(9_000), PaperStats(15_003_647, 255_538_724, 12, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "g-mark-20m", "gMark citation schema, largest scalability point",
+    _gmark(12_000), PaperStats(20_004_856, 393_797_046, 12, False),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "yago2-bench", "YAGO2-like schema graph for the Fig. 9 benchmark queries",
+    _yago2_bench, PaperStats(80_000_000, 164_000_000, 38, True),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "lubm-bench", "LUBM-like schema graph for the Fig. 10 sweep",
+    _lubm_bench, PaperStats(0, 280_000_000, 16, True),
+    full_index_feasible=False))
+_register(DatasetSpec(
+    "watdiv-bench", "WatDiv-like schema graph for the Fig. 10 sweep",
+    _watdiv_bench, PaperStats(0, 220_000_000, 14, True),
+    full_index_feasible=False))
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, in registry (paper Table II) order."""
+    return list(REGISTRY)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(REGISTRY)}"
+        ) from None
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> LabeledDigraph:
+    """Build the named dataset stand-in at the given scale."""
+    return get_dataset(name).build(scale=scale, seed=seed)
+
+
+def gmark_interests(graph: LabeledDigraph) -> list[tuple[int, ...]]:
+    """The paper's five interest sequences for the synthetic datasets.
+
+    Sec. VI: "we specify five label sequences as interests; cites-cites,
+    cites-supervises, publishesIn-heldIn, worksIn-heldIn⁻¹, and
+    livesIn-worksIn⁻¹".
+    """
+    r = graph.registry
+    return [
+        (r.id_of("cites"), r.id_of("cites")),
+        (r.id_of("cites"), r.id_of("supervises")),
+        (r.id_of("publishesIn"), r.id_of("heldIn")),
+        (r.id_of("worksIn"), -r.id_of("heldIn")),
+        (r.id_of("livesIn"), -r.id_of("worksIn")),
+    ]
+
+
+def _check_example_counts() -> tuple[int, int]:  # pragma: no cover - debug aid
+    graph = example_graph()
+    return graph.num_vertices, graph.num_edges
+
+
+def gen_random(kind: str, scale: float = 1.0, seed: int = 0, **overrides) -> LabeledDigraph:
+    """Convenience front-end over the raw generators for scripting.
+
+    ``kind`` is one of ``random | preferential | community | knowledge``.
+    """
+    rng = random.Random(seed)
+    if kind == "random":
+        return random_graph(
+            overrides.get("num_vertices", _s(500, scale)),
+            overrides.get("num_edges", _s(2000, scale)),
+            overrides.get("num_labels", 8), seed=rng)
+    if kind == "preferential":
+        return preferential_attachment_graph(
+            overrides.get("num_vertices", _s(500, scale)),
+            overrides.get("edges_per_vertex", 3),
+            overrides.get("num_labels", 8), seed=rng)
+    if kind == "community":
+        return community_graph(
+            overrides.get("num_vertices", _s(500, scale)),
+            overrides.get("num_communities", 20),
+            overrides.get("intra_edges", _s(2000, scale)),
+            overrides.get("inter_edges", _s(500, scale)),
+            overrides.get("num_labels", 8), seed=rng)
+    if kind == "knowledge":
+        return knowledge_graph(
+            overrides.get("num_entities", _s(1000, scale)),
+            overrides.get("num_edges", _s(4000, scale)),
+            overrides.get("num_labels", 50), seed=rng)
+    raise DatasetError(f"unknown generator kind {kind!r}")

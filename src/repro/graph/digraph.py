@@ -1,0 +1,299 @@
+"""Edge-labeled directed multigraph with inverse-label traversal.
+
+This is the graph model of the paper (Sec. III-A): ``G = (V, E, L)`` with
+``E ⊆ V × V × L``, extended for traversal purposes with an inverse label
+``l⁻¹`` for each ``l ∈ L`` and an inverse edge ``(u, v, l⁻¹)`` for each
+``(v, u, l) ∈ E``.  The inverse extension is *virtual*: only forward edges
+are stored, and negative label ids (see :mod:`repro.graph.labels`) traverse
+the stored reverse-adjacency structure.
+
+Vertices may be any hashable object; the synthetic dataset generators use
+integers, while the running example graph uses strings (user names).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError, UnknownVertexError
+from repro.graph.labels import Label, LabelRegistry, LabelSeq
+
+#: Type alias for a vertex (any hashable).
+Vertex = Hashable
+
+#: Type alias for a source-target vertex pair ("s-t pair" in the paper).
+Pair = tuple[Vertex, Vertex]
+
+#: Type alias for a forward edge triple ``(v, u, l)``.
+Triple = tuple[Vertex, Vertex, Label]
+
+
+class LabeledDigraph:
+    """Directed edge-labeled multigraph with O(1) forward/inverse adjacency.
+
+    Storage: two nested maps ``_out[v][l] -> set(u)`` and
+    ``_in[u][l] -> set(v)`` over forward labels only.  A negative label
+    ``-l`` traverses ``_in`` instead of ``_out``, which realizes the paper's
+    inverse-extended edge set without materializing it.
+    """
+
+    def __init__(self, registry: LabelRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else LabelRegistry()
+        self._out: dict[Vertex, dict[Label, set[Vertex]]] = {}
+        self._in: dict[Vertex, dict[Label, set[Vertex]]] = {}
+        self._data: dict[Vertex, dict[str, object]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[tuple[Vertex, Vertex, object]],
+        registry: LabelRegistry | None = None,
+    ) -> "LabeledDigraph":
+        """Build a graph from ``(source, target, label)`` triples.
+
+        Labels may be names (strings, auto-registered) or integer ids.
+        """
+        graph = cls(registry)
+        for v, u, label in triples:
+            graph.add_edge(v, u, label)
+        return graph
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        if v not in self._out:
+            self._out[v] = {}
+            self._in[v] = {}
+
+    def add_edge(self, v: Vertex, u: Vertex, label: object) -> Label:
+        """Add the forward edge ``(v, u, label)``; returns the label id.
+
+        ``label`` may be a registered/unregistered name or a positive id.
+        Adding a duplicate edge is a silent no-op (edge sets, not bags),
+        matching the paper's set-based relational semantics.
+        """
+        lid = self._coerce_label(label)
+        self.add_vertex(v)
+        self.add_vertex(u)
+        targets = self._out[v].setdefault(lid, set())
+        if u not in targets:
+            targets.add(u)
+            self._in[u].setdefault(lid, set()).add(v)
+            self._num_edges += 1
+        return lid
+
+    def remove_edge(self, v: Vertex, u: Vertex, label: object) -> None:
+        """Remove the forward edge ``(v, u, label)``.
+
+        Raises :class:`GraphError` if the edge does not exist.
+        """
+        lid = self._coerce_label(label)
+        targets = self._out.get(v, {}).get(lid)
+        if targets is None or u not in targets:
+            raise GraphError(f"edge ({v!r}, {u!r}, {self.registry.name_of(lid)}) not in graph")
+        targets.discard(u)
+        if not targets:
+            del self._out[v][lid]
+        sources = self._in[u][lid]
+        sources.discard(v)
+        if not sources:
+            del self._in[u][lid]
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and every edge incident to it."""
+        if v not in self._out:
+            raise UnknownVertexError(v)
+        for label, targets in list(self._out[v].items()):
+            for u in list(targets):
+                self.remove_edge(v, u, label)
+        for label, sources in list(self._in[v].items()):
+            for w in list(sources):
+                self.remove_edge(w, v, label)
+        del self._out[v]
+        del self._in[v]
+        self._data.pop(v, None)
+
+    def _coerce_label(self, label: object) -> Label:
+        if isinstance(label, str):
+            return self.registry.register(label)
+        if isinstance(label, int) and label > 0:
+            return label
+        raise GraphError(f"forward edges require a name or positive label id, got {label!r}")
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *forward* edges (the paper's Table II counts both
+        directions; use :attr:`num_extended_edges` for that convention)."""
+        return self._num_edges
+
+    @property
+    def num_extended_edges(self) -> int:
+        """Edge count including virtual inverse edges (paper's ``|E|``)."""
+        return 2 * self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._out)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return True if ``v`` is a vertex of the graph."""
+        return v in self._out
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over forward edges as ``(v, u, label_id)`` triples."""
+        for v, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for u in targets:
+                    yield (v, u, label)
+
+    def extended_triples(self) -> Iterator[Triple]:
+        """Iterate forward and inverse edges (inverse label ids negative)."""
+        for v, u, label in self.triples():
+            yield (v, u, label)
+            yield (u, v, -label)
+
+    def has_edge(self, v: Vertex, u: Vertex, label: Label) -> bool:
+        """Extended-edge membership: negative labels check the inverse."""
+        if label < 0:
+            v, u, label = u, v, -label
+        return u in self._out.get(v, {}).get(label, ())
+
+    def successors(self, v: Vertex, label: Label) -> frozenset[Vertex]:
+        """Vertices reachable from ``v`` via one extended ``label`` edge."""
+        adjacency = self._in if label < 0 else self._out
+        return frozenset(adjacency.get(v, {}).get(abs(label), ()))
+
+    def out_items(self, v: Vertex) -> Iterator[tuple[Label, set[Vertex]]]:
+        """Iterate extended adjacency of ``v`` as ``(label, target-set)``.
+
+        Yields forward labels from stored out-edges and negative labels
+        from stored in-edges, i.e. the full extended out-neighborhood.
+        """
+        for label, targets in self._out.get(v, {}).items():
+            yield label, targets
+        for label, sources in self._in.get(v, {}).items():
+            yield -label, sources
+
+    def edge_labels(self, v: Vertex, u: Vertex) -> frozenset[Label]:
+        """All extended labels ``l`` with an edge ``v --l--> u``.
+
+        This is ``L≤1(v, u)`` minus the empty sequence; it contains negative
+        ids for edges stored in the opposite direction.
+        """
+        labels = [l for l, targets in self._out.get(v, {}).items() if u in targets]
+        labels += [-l for l, sources in self._in.get(v, {}).items() if u in sources]
+        return frozenset(labels)
+
+    def out_degree(self, v: Vertex) -> int:
+        """Extended out-degree (forward out-edges plus inverse traversals)."""
+        forward = sum(len(t) for t in self._out.get(v, {}).values())
+        backward = sum(len(s) for s in self._in.get(v, {}).values())
+        return forward + backward
+
+    def max_degree(self) -> int:
+        """Maximum extended degree ``d`` used in the complexity bounds."""
+        return max((self.out_degree(v) for v in self._out), default=0)
+
+    def labels_used(self) -> frozenset[Label]:
+        """Forward label ids appearing on at least one edge."""
+        used: set[Label] = set()
+        for by_label in self._out.values():
+            used.update(by_label)
+        return frozenset(used)
+
+    # ------------------------------------------------------------------
+    # vertex-local data (the Sec. VII extension: "edges and vertices can
+    # also carry local data, e.g. user vertices might have their names
+    # and dates of birth")
+    # ------------------------------------------------------------------
+    def set_vertex_data(self, v: Vertex, **attributes: object) -> None:
+        """Attach (merge) key/value attributes onto a vertex."""
+        if v not in self._out:
+            raise UnknownVertexError(v)
+        self._data.setdefault(v, {}).update(attributes)
+
+    def vertex_data(self, v: Vertex) -> dict[str, object]:
+        """The vertex's attribute dict (empty if none set; a copy)."""
+        if v not in self._out:
+            raise UnknownVertexError(v)
+        return dict(self._data.get(v, ()))
+
+    def vertices_where(self, predicate) -> Iterator[Vertex]:
+        """Vertices whose attribute dict satisfies ``predicate(data)``."""
+        for v in self._out:
+            if predicate(self._data.get(v, {})):
+                yield v
+
+    # ------------------------------------------------------------------
+    # relational helpers used by the index-free engines
+    # ------------------------------------------------------------------
+    def label_relation(self, label: Label) -> set[Pair]:
+        """The binary relation ``⟦l⟧G`` of an extended label (Sec. III-B)."""
+        if label < 0:
+            return {(u, v) for v, u in self._iter_label_pairs(-label)}
+        return set(self._iter_label_pairs(label))
+
+    def _iter_label_pairs(self, label: Label) -> Iterator[Pair]:
+        for v, by_label in self._out.items():
+            for u in by_label.get(label, ()):
+                yield (v, u)
+
+    def sequence_relation(self, seq: LabelSeq) -> set[Pair]:
+        """Pairs connected by a path matching the label sequence ``seq``.
+
+        Empty sequence yields the identity relation.  Used by the BFS
+        baseline and by maintenance for alternative-path checks.
+        """
+        if not seq:
+            return {(v, v) for v in self._out}
+        pairs = self.label_relation(seq[0])
+        for label in seq[1:]:
+            pairs = {
+                (v, w)
+                for v, u in pairs
+                for w in self.successors(u, label)
+            }
+        return pairs
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "LabeledDigraph":
+        """Deep-copy the graph structure (shares the label registry)."""
+        clone = LabeledDigraph(self.registry)
+        for v in self._out:
+            clone.add_vertex(v)
+        for v, u, label in self.triples():
+            clone.add_edge(v, u, label)
+        for v, data in self._data.items():
+            clone._data[v] = dict(data)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledDigraph):
+            return NotImplemented
+        return (
+            set(self._out) == set(other._out)
+            and set(self.triples()) == set(other.triples())
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("LabeledDigraph is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledDigraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|L|={len(self.registry)})"
+        )

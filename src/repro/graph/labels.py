@@ -1,0 +1,129 @@
+"""Label vocabulary with inverse-label support.
+
+The paper (Sec. III-A) works over a finite label set ``L`` extended with an
+inverse ``l⁻¹`` for every ``l ∈ L``: for each edge ``(v, u, l)`` the
+extended edge set also contains ``(u, v, l⁻¹)``.
+
+We encode labels as non-zero signed integers:
+
+* a forward label is a positive id ``l >= 1``;
+* its inverse is the negation ``-l``;
+* ``inverse(inverse(l)) == l`` holds by construction.
+
+:class:`LabelRegistry` maps human-readable names to ids.  The engines
+(`CPQx`, baselines, the executor) operate purely on integer ids, which keeps
+hot loops free of string handling; names only matter at the API boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import UnknownLabelError
+
+#: Type alias for a label id (non-zero signed int; negative means inverse).
+Label = int
+
+#: Type alias for a label sequence, e.g. ``(1, -2)`` for ``a ∘ b⁻¹``.
+LabelSeq = tuple[Label, ...]
+
+
+def inverse(label: Label) -> Label:
+    """Return the inverse of ``label`` (an involution: ``inverse(-l) == l``)."""
+    if label == 0:
+        raise UnknownLabelError(0)
+    return -label
+
+
+def is_inverse(label: Label) -> bool:
+    """Return True if ``label`` denotes an inverse (backward) traversal."""
+    return label < 0
+
+
+def base_label(label: Label) -> Label:
+    """Return the forward (positive) label underlying ``label``."""
+    return abs(label)
+
+
+def inverse_sequence(seq: LabelSeq) -> LabelSeq:
+    """Return the label sequence matching the reversed paths of ``seq``.
+
+    A path matches ``seq`` from ``v`` to ``u`` exactly when the reversed
+    path matches ``inverse_sequence(seq)`` from ``u`` to ``v``.
+    """
+    return tuple(-label for label in reversed(seq))
+
+
+class LabelRegistry:
+    """Bidirectional mapping between label names and signed integer ids.
+
+    Forward labels are assigned ids ``1, 2, 3, ...`` in registration order.
+    Inverse labels are referred to by negative ids and stringified with a
+    ``^-`` suffix (``"follows^-"``), which the CPQ parser also accepts.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        for name in names:
+            self.register(name)
+
+    def register(self, name: str) -> Label:
+        """Register ``name`` (idempotent) and return its forward id."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        if not name:
+            raise UnknownLabelError(name)
+        label = len(self._id_to_name) + 1
+        self._name_to_id[name] = label
+        self._id_to_name.append(name)
+        return label
+
+    def id_of(self, name: str) -> Label:
+        """Return the id for ``name``; accepts the ``^-`` inverse suffix."""
+        if name.endswith("^-"):
+            return -self.id_of(name[:-2])
+        label = self._name_to_id.get(name)
+        if label is None:
+            raise UnknownLabelError(name)
+        return label
+
+    def name_of(self, label: Label) -> str:
+        """Return the printable name of ``label`` (inverse ids get ``^-``)."""
+        index = abs(label) - 1
+        if label == 0 or index >= len(self._id_to_name):
+            raise UnknownLabelError(label)
+        name = self._id_to_name[index]
+        return f"{name}^-" if label < 0 else name
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        if name.endswith("^-"):
+            name = name[:-2]
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        """Number of registered forward labels (inverses are implicit)."""
+        return len(self._id_to_name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def forward_ids(self) -> range:
+        """All forward label ids, as a range ``1..len``."""
+        return range(1, len(self._id_to_name) + 1)
+
+    def all_ids(self) -> list[Label]:
+        """All label ids including inverses, forward ids first."""
+        forward = list(self.forward_ids())
+        return forward + [-label for label in forward]
+
+    def sequence_of(self, names: Iterable[str]) -> LabelSeq:
+        """Translate an iterable of label names into a label-id sequence."""
+        return tuple(self.id_of(name) for name in names)
+
+    def format_sequence(self, seq: LabelSeq) -> str:
+        """Render a label-id sequence as a human readable string."""
+        return "⟨" + ", ".join(self.name_of(label) for label in seq) + "⟩"

@@ -1,0 +1,319 @@
+"""Schema-driven graph generation (a miniature gMark).
+
+The paper's scalability experiments (Figs. 9–11) use graphs produced by
+schema-driven generators: gMark [4] with a citation-network schema, plus
+the LUBM and WatDiv benchmark generators and the YAGO2 knowledge graph.
+None of those tools/datasets are available offline, so this module
+implements the same *mechanism*: a schema declares typed vertex
+populations and typed edge predicates with per-predicate out-degree
+distributions, and :meth:`GraphSchema.generate` instantiates a graph.
+
+The :func:`citation_schema` reproduces the paper's synthetic dataset
+description verbatim (Sec. VI "Datasets"): vertex types researcher, venue,
+and city; edge labels ``cites``, ``supervises``, ``livesIn``, ``worksIn``,
+``publishesIn``, ``heldIn`` with the source/target types stated there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelRegistry
+
+#: A degree sampler takes an RNG and returns a non-negative out-degree.
+DegreeSampler = Callable[[random.Random], int]
+
+
+def constant(n: int) -> DegreeSampler:
+    """Every source vertex emits exactly ``n`` edges."""
+    return lambda rng: n
+
+
+def uniform(low: int, high: int) -> DegreeSampler:
+    """Out-degree uniform in ``[low, high]``."""
+    return lambda rng: rng.randint(low, high)
+
+
+def zipfian(max_degree: int, alpha: float = 2.0) -> DegreeSampler:
+    """Heavy-tailed out-degree: most sources small, a few huge (gMark's zipf)."""
+    def sample(rng: random.Random) -> int:
+        return min(int(rng.paretovariate(alpha)), max_degree)
+
+    return sample
+
+
+def geometric(p: float, max_degree: int = 1 << 20) -> DegreeSampler:
+    """Geometric out-degree with success probability ``p``."""
+    def sample(rng: random.Random) -> int:
+        count = 0
+        while rng.random() > p and count < max_degree:
+            count += 1
+        return count
+
+    return sample
+
+
+@dataclass(frozen=True)
+class VertexType:
+    """A typed vertex population.
+
+    ``proportion`` is the fraction of the requested graph size allocated to
+    this type (gMark's node-type proportions).
+    """
+
+    name: str
+    proportion: float
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A typed predicate: label plus source/target vertex types.
+
+    ``out_degree`` is sampled once per source vertex; targets are drawn
+    uniformly from the target population (with optional zipf-popular
+    targets via ``popular_targets``, modelling venue/city popularity).
+    """
+
+    label: str
+    source: str
+    target: str
+    out_degree: DegreeSampler
+    popular_targets: bool = False
+
+
+@dataclass
+class GraphSchema:
+    """A collection of vertex types and edge predicates.
+
+    ``generate(total_vertices, seed)`` splits the vertex budget by
+    proportion, then instantiates every edge type independently.
+    """
+
+    name: str
+    vertex_types: Sequence[VertexType]
+    edge_types: Sequence[EdgeType]
+    _type_index: dict[str, VertexType] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._type_index = {vt.name: vt for vt in self.vertex_types}
+        if len(self._type_index) != len(self.vertex_types):
+            raise DatasetError(f"duplicate vertex type in schema {self.name}")
+        total = sum(vt.proportion for vt in self.vertex_types)
+        if not 0.999 <= total <= 1.001:
+            raise DatasetError(f"vertex proportions of {self.name} must sum to 1, got {total}")
+        for et in self.edge_types:
+            for side in (et.source, et.target):
+                if side not in self._type_index:
+                    raise DatasetError(f"edge type {et.label} references unknown vertex type {side}")
+
+    def generate(self, total_vertices: int, seed: int | random.Random = 0) -> LabeledDigraph:
+        """Instantiate a graph with roughly ``total_vertices`` vertices."""
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        registry = LabelRegistry([et.label for et in self.edge_types])
+        graph = LabeledDigraph(registry)
+        populations: dict[str, list[tuple[str, int]]] = {}
+        for vt in self.vertex_types:
+            count = max(1, int(round(total_vertices * vt.proportion)))
+            vertices = [(vt.name, i) for i in range(count)]
+            populations[vt.name] = vertices
+            for v in vertices:
+                graph.add_vertex(v)
+        for et in self.edge_types:
+            sources = populations[et.source]
+            targets = populations[et.target]
+            for v in sources:
+                degree = et.out_degree(rng)
+                for _ in range(degree):
+                    if et.popular_targets:
+                        index = min(int(rng.paretovariate(1.1)) - 1, len(targets) - 1)
+                    else:
+                        index = rng.randrange(len(targets))
+                    u = targets[index]
+                    if u != v:
+                        graph.add_edge(v, u, et.label)
+        return graph
+
+
+def label_types(schema: GraphSchema) -> dict[str, tuple[str, str]]:
+    """Per-predicate (source type, target type) of a schema."""
+    return {et.label: (et.source, et.target) for et in schema.edge_types}
+
+
+def type_check(schema: GraphSchema, query, registry) -> bool:
+    """Does ``query`` admit a type-consistent embedding under ``schema``?
+
+    gMark [4] generates *schema-aware* query workloads: every variable of
+    the query pattern must receive a vertex type consistent with all its
+    incident predicate edges.  We compile the CPQ to its pattern graph and
+    propagate singleton type constraints — a query like
+    ``livesIn ∘ cites`` fails (cities don't cite), while
+    ``cites ∘ livesIn`` passes.
+    """
+    from repro.baselines.pattern import cpq_to_pattern
+    from repro.query.ast import resolve
+
+    types = label_types(schema)
+    pattern = cpq_to_pattern(resolve(query, registry))
+    assigned: dict[int, str] = {}
+    for a, b, label in pattern.edges:
+        source_type, target_type = types[registry.name_of(label)]
+        for variable, required in ((a, source_type), (b, target_type)):
+            known = assigned.setdefault(variable, required)
+            if known != required:
+                return False
+    return True
+
+
+def schema_workload(
+    schema: GraphSchema,
+    graph: LabeledDigraph,
+    template,
+    count: int = 10,
+    seed: int = 0,
+    max_attempts: int = 6000,
+):
+    """Generate type-checked random template queries (gMark-style).
+
+    Rejection-samples the plain random workload generator through
+    :func:`type_check`, so every emitted query can actually embed into a
+    schema-conforming graph — the paper's synthetic workloads have this
+    property by construction.
+    """
+    from repro.query.workloads import WorkloadQuery, random_template_queries
+
+    accepted: list[WorkloadQuery] = []
+    offset = 0
+    while len(accepted) < count and offset < max_attempts:
+        batch = random_template_queries(
+            graph, template, count=count * 4, seed=seed + offset,
+            max_attempts=max_attempts,
+        )
+        for workload_query in batch:
+            if type_check(schema, workload_query.query, graph.registry):
+                accepted.append(workload_query)
+                if len(accepted) == count:
+                    break
+        offset += 1 + count * 4
+        if not batch:
+            break
+    return accepted[:count]
+
+
+def citation_schema() -> GraphSchema:
+    """The paper's gMark citation schema (Sec. VI, "Datasets").
+
+    Three vertex types (researcher, venue, city) and six edge labels:
+    cites and supervises between researchers, livesIn / worksIn from
+    researcher to city, publishesIn from researcher to venue, heldIn from
+    venue to city.  Degree choices keep the |E| / |V| ratio near the
+    paper's ~8 for the g-Mark graphs.
+    """
+    return GraphSchema(
+        name="citation",
+        vertex_types=[
+            VertexType("researcher", 0.90),
+            VertexType("venue", 0.06),
+            VertexType("city", 0.04),
+        ],
+        edge_types=[
+            EdgeType("cites", "researcher", "researcher", zipfian(40, alpha=1.6)),
+            EdgeType("supervises", "researcher", "researcher", geometric(0.55, 6)),
+            EdgeType("livesIn", "researcher", "city", constant(1), popular_targets=True),
+            EdgeType("worksIn", "researcher", "city", constant(1), popular_targets=True),
+            EdgeType("publishesIn", "researcher", "venue", uniform(1, 4), popular_targets=True),
+            EdgeType("heldIn", "venue", "city", constant(1)),
+        ],
+    )
+
+
+def lubm_schema() -> GraphSchema:
+    """LUBM-like university schema for the Fig. 10 scalability sweep.
+
+    Mirrors the Lehigh University Benchmark's core predicates:
+    students/faculty/courses/departments/universities connected by
+    takesCourse, teacherOf, advisor, memberOf, subOrganizationOf,
+    worksFor, and publicationAuthor.
+    """
+    return GraphSchema(
+        name="lubm",
+        vertex_types=[
+            VertexType("student", 0.62),
+            VertexType("faculty", 0.10),
+            VertexType("course", 0.14),
+            VertexType("publication", 0.10),
+            VertexType("department", 0.03),
+            VertexType("university", 0.01),
+        ],
+        edge_types=[
+            EdgeType("takesCourse", "student", "course", uniform(2, 4)),
+            EdgeType("teacherOf", "faculty", "course", uniform(1, 2)),
+            EdgeType("advisor", "student", "faculty", geometric(0.5, 2)),
+            EdgeType("memberOf", "student", "department", constant(1), popular_targets=True),
+            EdgeType("worksFor", "faculty", "department", constant(1), popular_targets=True),
+            EdgeType("subOrganizationOf", "department", "university", constant(1)),
+            EdgeType("publicationAuthor", "publication", "faculty", uniform(1, 3)),
+            EdgeType("undergraduateDegreeFrom", "faculty", "university", constant(1)),
+        ],
+    )
+
+
+def watdiv_schema() -> GraphSchema:
+    """WatDiv-like e-commerce schema for the Fig. 10 scalability sweep.
+
+    WatDiv models users, products, retailers, and reviews with star- and
+    path-shaped correlations; the join-heavy structure (many edges per
+    product) is what makes WatDiv query times grow faster than LUBM's in
+    the paper — the schema keeps that property.
+    """
+    return GraphSchema(
+        name="watdiv",
+        vertex_types=[
+            VertexType("user", 0.45),
+            VertexType("product", 0.30),
+            VertexType("review", 0.18),
+            VertexType("retailer", 0.05),
+            VertexType("genre", 0.02),
+        ],
+        edge_types=[
+            EdgeType("follows", "user", "user", zipfian(30, alpha=1.5)),
+            EdgeType("purchases", "user", "product", uniform(1, 5), popular_targets=True),
+            EdgeType("likes", "user", "product", geometric(0.4, 8), popular_targets=True),
+            EdgeType("writesReview", "user", "review", geometric(0.5, 4)),
+            EdgeType("reviewOf", "review", "product", constant(1), popular_targets=True),
+            EdgeType("sells", "retailer", "product", zipfian(60, alpha=1.3)),
+            EdgeType("hasGenre", "product", "genre", uniform(1, 2), popular_targets=True),
+        ],
+    )
+
+
+def yago_like_schema() -> GraphSchema:
+    """YAGO2-like schema (people/places/organizations/works) for Fig. 9.
+
+    YAGO2's benchmark queries (Y1–Y4 from Harbi et al.) navigate person-
+    centric predicates; the schema exposes the same predicate names so the
+    translated query shapes run unchanged.
+    """
+    return GraphSchema(
+        name="yago",
+        vertex_types=[
+            VertexType("person", 0.55),
+            VertexType("place", 0.20),
+            VertexType("organization", 0.15),
+            VertexType("work", 0.10),
+        ],
+        edge_types=[
+            EdgeType("livesIn", "person", "place", constant(1), popular_targets=True),
+            EdgeType("wasBornIn", "person", "place", constant(1), popular_targets=True),
+            EdgeType("worksAt", "person", "organization", geometric(0.6, 3), popular_targets=True),
+            EdgeType("graduatedFrom", "person", "organization", geometric(0.5, 2), popular_targets=True),
+            EdgeType("isMarriedTo", "person", "person", geometric(0.6, 1)),
+            EdgeType("influences", "person", "person", geometric(0.45, 6)),
+            EdgeType("created", "person", "work", geometric(0.5, 5)),
+            EdgeType("isLocatedIn", "organization", "place", constant(1), popular_targets=True),
+            EdgeType("isCitizenOf", "person", "place", constant(1), popular_targets=True),
+        ],
+    )

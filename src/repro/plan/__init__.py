@@ -1,0 +1,29 @@
+"""Logical plans and the CPQ planner (Sec. IV-D)."""
+
+from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, PlanNode, plan_lookups
+from repro.plan.optimizer import (
+    disable_optimizer,
+    enable_optimizer,
+    index_estimator,
+    optimal_split,
+    optimizing_splitter,
+)
+from repro.plan.planner import Splitter, build_plan, greedy_splitter, interest_splitter
+
+__all__ = [
+    "ConjNode",
+    "IdentityAll",
+    "JoinNode",
+    "Lookup",
+    "PlanNode",
+    "Splitter",
+    "build_plan",
+    "disable_optimizer",
+    "enable_optimizer",
+    "greedy_splitter",
+    "index_estimator",
+    "interest_splitter",
+    "optimal_split",
+    "optimizing_splitter",
+    "plan_lookups",
+]

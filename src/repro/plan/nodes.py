@@ -1,0 +1,86 @@
+"""Logical query-plan nodes (the parse tree of Sec. IV-D, Fig. 4).
+
+A plan is a tree of four node kinds mirroring the paper's operations:
+
+* :class:`Lookup` — fetch the result of a label sequence of length ≤ k
+  from the index (leaf);
+* :class:`JoinNode` — relational composition of two sub-plans;
+* :class:`ConjNode` — intersection of two sub-plans;
+* :class:`IdentityAll` — the bare ``id`` query (all loops in the graph).
+
+Each non-leaf node carries a ``with_identity`` flag implementing the
+paper's fused operators (LOOK UP ID, JOIN ID, CONJUNCTION ID in
+Algorithm 4): a trailing ``∩ id`` is executed inside the operator instead
+of materializing non-loop pairs first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.labels import LabelSeq
+
+
+class PlanNode:
+    """Abstract base of plan nodes."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Single-line plan rendering for logs and tests."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Lookup(PlanNode):
+    """Index lookup of a label sequence (LOOK UP / LOOK UP ID)."""
+
+    seq: LabelSeq
+    with_identity: bool = False
+
+    def describe(self) -> str:
+        suffix = "∩id" if self.with_identity else ""
+        return f"Lookup({list(self.seq)}){suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinNode(PlanNode):
+    """Composition of two sub-plans (JOIN / JOIN ID)."""
+
+    left: PlanNode
+    right: PlanNode
+    with_identity: bool = False
+
+    def describe(self) -> str:
+        suffix = "∩id" if self.with_identity else ""
+        return f"Join({self.left.describe()}, {self.right.describe()}){suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConjNode(PlanNode):
+    """Intersection of two sub-plans (CONJUNCTION / CONJUNCTION ID)."""
+
+    left: PlanNode
+    right: PlanNode
+    with_identity: bool = False
+
+    def describe(self) -> str:
+        suffix = "∩id" if self.with_identity else ""
+        return f"Conj({self.left.describe()}, {self.right.describe()}){suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class IdentityAll(PlanNode):
+    """The bare ``id`` query: every vertex paired with itself."""
+
+    def describe(self) -> str:
+        return "IdentityAll"
+
+
+def plan_lookups(plan: PlanNode) -> list[Lookup]:
+    """All Lookup leaves of a plan, left to right (testing helper)."""
+    if isinstance(plan, Lookup):
+        return [plan]
+    if isinstance(plan, (JoinNode, ConjNode)):
+        return plan_lookups(plan.left) + plan_lookups(plan.right)
+    return []

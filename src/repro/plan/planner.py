@@ -1,0 +1,132 @@
+"""CPQ expression → logical plan translation (Sec. IV-D).
+
+The planner applies the paper's three optimizations:
+
+1. ``q ∘ id = q`` — literal identity factors in joins are removed;
+2. only ``q ∩ id`` is handled as IDENTITY — a conjunction with a literal
+   ``id`` is fused into the sibling operator's ``with_identity`` flag
+   (Algorithm 4's \\*ID variants);
+3. maximal label-sequence chains are recognized and split into LOOKUP
+   leaves of length at most ``k`` (Fig. 4: ``l1∘l2∘l3`` with ``k = 2``
+   becomes ``Lookup(⟨l1,l2⟩) ⋈ Lookup(⟨l3⟩)``).
+
+Splitting is pluggable: CPQx splits greedily at length ``k``; iaCPQx
+splits at the boundaries of its interest set (Sec. V-B: "we divide label
+sequences into sub-label sequences if the label sequences are not included
+in the given label sequences").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QueryDiameterError, QuerySyntaxError
+from repro.graph.labels import LabelSeq
+from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, PlanNode
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, Identity, Join, as_label_sequence
+
+#: A splitter maps a label sequence to LOOKUP-able chunks (len ≥ 1 each).
+Splitter = Callable[[LabelSeq], list[LabelSeq]]
+
+
+def greedy_splitter(k: int) -> Splitter:
+    """Split a sequence into prefix chunks of length ``k`` (the default)."""
+    if k < 1:
+        raise QueryDiameterError(f"index parameter k must be >= 1, got {k}")
+
+    def split(seq: LabelSeq) -> list[LabelSeq]:
+        return [seq[i:i + k] for i in range(0, len(seq), k)]
+
+    return split
+
+
+def interest_splitter(interests: frozenset[LabelSeq], k: int) -> Splitter:
+    """Split into the longest prefixes found in ``interests``.
+
+    Falls back to single labels, which are always interests by
+    construction (Sec. V-A: all length-1 sequences are in ``Lq``).
+    """
+    max_len = max((len(seq) for seq in interests), default=1)
+    limit = min(k, max_len)
+
+    def split(seq: LabelSeq) -> list[LabelSeq]:
+        chunks: list[LabelSeq] = []
+        position = 0
+        while position < len(seq):
+            take = 1
+            for width in range(min(limit, len(seq) - position), 1, -1):
+                if seq[position:position + width] in interests:
+                    take = width
+                    break
+            chunks.append(seq[position:position + take])
+            position += take
+        return chunks
+
+    return split
+
+
+def build_plan(query: CPQ, splitter: Splitter) -> PlanNode:
+    """Translate a resolved CPQ expression into a logical plan."""
+    stripped = _strip_identity_joins(query)
+    return _build(stripped, splitter, with_identity=False)
+
+
+def _strip_identity_joins(query: CPQ) -> CPQ:
+    """Apply ``q ∘ id = q`` bottom-up."""
+    if isinstance(query, Join):
+        left = _strip_identity_joins(query.left)
+        right = _strip_identity_joins(query.right)
+        if isinstance(left, Identity):
+            return right
+        if isinstance(right, Identity):
+            return left
+        return Join(left, right)
+    if isinstance(query, Conjunction):
+        return Conjunction(
+            _strip_identity_joins(query.left),
+            _strip_identity_joins(query.right),
+        )
+    return query
+
+
+def _build(query: CPQ, splitter: Splitter, with_identity: bool) -> PlanNode:
+    if isinstance(query, Identity):
+        return IdentityAll()
+    sequence = as_label_sequence(query)
+    if sequence is not None:
+        return _sequence_plan(sequence, splitter, with_identity)
+    if isinstance(query, Conjunction):
+        if isinstance(query.left, Identity) and isinstance(query.right, Identity):
+            return IdentityAll()
+        if isinstance(query.right, Identity):
+            return _build(query.left, splitter, with_identity=True)
+        if isinstance(query.left, Identity):
+            return _build(query.right, splitter, with_identity=True)
+        return ConjNode(
+            _build(query.left, splitter, with_identity=False),
+            _build(query.right, splitter, with_identity=False),
+            with_identity=with_identity,
+        )
+    if isinstance(query, Join):
+        return JoinNode(
+            _build(query.left, splitter, with_identity=False),
+            _build(query.right, splitter, with_identity=False),
+            with_identity=with_identity,
+        )
+    if isinstance(query, EdgeLabel):  # unreachable: handled by as_label_sequence
+        return Lookup((query.label_id(),), with_identity)
+    raise QuerySyntaxError(f"cannot plan CPQ node {query!r}")
+
+
+def _sequence_plan(seq: LabelSeq, splitter: Splitter, with_identity: bool) -> PlanNode:
+    chunks = splitter(seq)
+    if not chunks or any(not chunk for chunk in chunks):
+        raise QueryDiameterError(f"splitter produced invalid chunks for {seq}")
+    if tuple(chunk for chunk in chunks) and sum(len(c) for c in chunks) != len(seq):
+        raise QueryDiameterError(f"splitter lost labels for {seq}")
+    if len(chunks) == 1:
+        return Lookup(chunks[0], with_identity)
+    plan: PlanNode = Lookup(chunks[0])
+    for chunk in chunks[1:-1]:
+        plan = JoinNode(plan, Lookup(chunk))
+    return JoinNode(plan, Lookup(chunks[-1]), with_identity=with_identity)

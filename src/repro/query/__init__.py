@@ -1,0 +1,49 @@
+"""CPQ language: algebra, parser, semantics, templates, workloads."""
+
+from repro.query.ast import (
+    CPQ,
+    Conjunction,
+    EdgeLabel,
+    ID,
+    Identity,
+    Join,
+    as_label_sequence,
+    conjoin_all,
+    count_operations,
+    is_resolved,
+    join_all,
+    label,
+    label_sequences_in,
+    resolve,
+    sequence_query,
+)
+from repro.query.normalize import normalize
+from repro.query.parser import parse
+from repro.query.semantics import evaluate, is_empty
+from repro.query.templates import TEMPLATES, Template, get_template, template_names
+
+__all__ = [
+    "CPQ",
+    "Conjunction",
+    "EdgeLabel",
+    "ID",
+    "Identity",
+    "Join",
+    "TEMPLATES",
+    "Template",
+    "as_label_sequence",
+    "conjoin_all",
+    "count_operations",
+    "evaluate",
+    "get_template",
+    "is_empty",
+    "is_resolved",
+    "join_all",
+    "label",
+    "label_sequences_in",
+    "normalize",
+    "parse",
+    "resolve",
+    "sequence_query",
+    "template_names",
+]

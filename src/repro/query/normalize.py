@@ -1,0 +1,80 @@
+"""Algebraic normalization of CPQ expressions.
+
+Rewrites a query into a cheaper equivalent before planning, using only
+identities that hold under the paper's set semantics (each is
+property-tested against the reference evaluator):
+
+* ``q ∘ id = q`` and ``id ∘ q = q``  (the paper's own optimization 2);
+* ``q ∩ q = q``  (idempotence — templates like ``S = C2 ∩ C2`` with the
+  same sampled labels collapse to one branch);
+* conjunction reassociation into a canonical right-deep chain with
+  sorted, de-duplicated operands (commutativity + associativity), so
+  syntactically different but equal queries plan identically;
+* ``(q ∩ id) ∩ id = q ∩ id``  (identity absorption).
+
+Join operands are *not* reordered (composition is not commutative); join
+chains are left intact for the planner's sequence recognition.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, ID, Identity, Join, conjoin_all
+
+
+def normalize(query: CPQ) -> CPQ:
+    """Return the canonical equivalent of ``query``."""
+    return _normalize(query)
+
+
+def _normalize(query: CPQ) -> CPQ:
+    if isinstance(query, (Identity, EdgeLabel)):
+        return query
+    if isinstance(query, Join):
+        left = _normalize(query.left)
+        right = _normalize(query.right)
+        if isinstance(left, Identity):
+            return right
+        if isinstance(right, Identity):
+            return left
+        return Join(left, right)
+    if isinstance(query, Conjunction):
+        operands = _conjunction_operands(query)
+        normalized = [_normalize(operand) for operand in operands]
+        # flatten once more: normalization may expose nested conjunctions
+        flattened: list[CPQ] = []
+        for operand in normalized:
+            if isinstance(operand, Conjunction):
+                flattened.extend(_conjunction_operands(operand))
+            else:
+                flattened.append(operand)
+        unique = _dedupe(flattened)
+        has_identity = any(isinstance(op, Identity) for op in unique)
+        rest = [op for op in unique if not isinstance(op, Identity)]
+        rest.sort(key=_sort_key)
+        if not rest:
+            return ID
+        parts = rest + ([ID] if has_identity else [])
+        return conjoin_all(parts)
+    raise TypeError(f"unknown CPQ node {query!r}")
+
+
+def _conjunction_operands(query: CPQ) -> list[CPQ]:
+    """Flatten a conjunction tree into its operand list."""
+    if isinstance(query, Conjunction):
+        return _conjunction_operands(query.left) + _conjunction_operands(query.right)
+    return [query]
+
+
+def _dedupe(operands: list[CPQ]) -> list[CPQ]:
+    seen: set[CPQ] = set()
+    unique: list[CPQ] = []
+    for operand in operands:
+        if operand not in seen:
+            seen.add(operand)
+            unique.append(operand)
+    return unique
+
+
+def _sort_key(query: CPQ) -> tuple:
+    """Deterministic operand ordering: cheap-looking atoms first."""
+    return (query.diameter(), len(list(query.walk())), repr(query))

@@ -1,0 +1,127 @@
+"""A small recursive-descent parser for the CPQ concrete syntax.
+
+Grammar (conjunction binds looser than join, both left-associative)::
+
+    expr   := term  (('∩' | '&') term)*
+    term   := factor (('∘' | '.') factor)*
+    factor := 'id' | label | '(' expr ')'
+    label  := NAME ('^-' | '⁻¹' | '⁻')?
+
+Examples::
+
+    parse("(f . f) & f^-")        # the paper's triad query (f∘f) ∩ f⁻¹
+    parse("((a . b . c) & (d . e)) & id")   # Fig. 2 / Fig. 4 query
+
+Parsed atoms carry label *names*; pass a registry (or call
+:func:`repro.query.ast.resolve`) to obtain the engine's id form.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.graph.labels import LabelRegistry
+from repro.query.ast import CPQ, EdgeLabel, ID, conjoin_all, join_all, resolve
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<lparen>\()|"
+    r"(?P<rparen>\))|"
+    r"(?P<join>[∘.])|"
+    r"(?P<conj>[∩&])|"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\^-|⁻¹|⁻)?)"
+    r")"
+)
+
+
+class _TokenStream:
+    """Tokenizer with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        match = _TOKEN.match(self.text, self.pos)
+        if match is None:
+            if self.text[self.pos:].strip():
+                raise QuerySyntaxError(
+                    f"unexpected character {self.text[self.pos]!r}", self.pos
+                )
+            return None
+        kind = match.lastgroup
+        assert kind is not None
+        return kind, match.group(kind)
+
+    def next(self) -> tuple[str, str] | None:
+        token = self.peek()
+        if token is not None:
+            match = _TOKEN.match(self.text, self.pos)
+            assert match is not None
+            self.pos = match.end()
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token is None or token[0] != kind:
+            raise QuerySyntaxError(f"expected {kind}, got {token!r}", self.pos)
+        return token[1]
+
+
+def parse(text: str, registry: LabelRegistry | None = None) -> CPQ:
+    """Parse CPQ text; resolves label names if a registry is given."""
+    stream = _TokenStream(text)
+    query = _parse_expr(stream)
+    trailing = stream.next()
+    if trailing is not None:
+        raise QuerySyntaxError(f"unexpected trailing token {trailing[1]!r}", stream.pos)
+    if registry is not None:
+        query = resolve(query, registry)
+    return query
+
+
+def _parse_expr(stream: _TokenStream) -> CPQ:
+    parts = [_parse_term(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or token[0] != "conj":
+            break
+        stream.next()
+        parts.append(_parse_term(stream))
+    return conjoin_all(parts)
+
+
+def _parse_term(stream: _TokenStream) -> CPQ:
+    parts = [_parse_factor(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or token[0] != "join":
+            break
+        stream.next()
+        parts.append(_parse_factor(stream))
+    return join_all(parts)
+
+
+def _parse_factor(stream: _TokenStream) -> CPQ:
+    token = stream.next()
+    if token is None:
+        raise QuerySyntaxError("unexpected end of query", stream.pos)
+    kind, value = token
+    if kind == "lparen":
+        inner = _parse_expr(stream)
+        stream.expect("rparen")
+        return inner
+    if kind == "name":
+        inverted = False
+        for suffix in ("^-", "⁻¹", "⁻"):
+            if value.endswith(suffix):
+                value = value[: -len(suffix)]
+                inverted = True
+                break
+        if value == "id":
+            if inverted:
+                raise QuerySyntaxError("id has no inverse", stream.pos)
+            return ID
+        return EdgeLabel(value, inverted)
+    raise QuerySyntaxError(f"unexpected token {value!r}", stream.pos)

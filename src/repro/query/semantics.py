@@ -1,0 +1,70 @@
+"""Reference (naive) CPQ semantics.
+
+Implements ``⟦q⟧G`` exactly as defined in Sec. III-B, by structural
+recursion with no indexes and no plan rewrites.  Every other engine in
+this repository (CPQx, iaCPQx, Path, iaPath, BFS, TurboHom++-style,
+Tentris-style) is tested against this evaluator — it is the executable
+specification of the paper's query language.
+
+Sub-expression results are memoized per call, since CPQ templates reuse
+sub-queries heavily (e.g. ``S = C2 ∩ C2``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.graph.digraph import LabeledDigraph, Pair
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, Identity, Join
+
+
+def evaluate(query: CPQ, graph: LabeledDigraph) -> frozenset[Pair]:
+    """Evaluate ``query`` on ``graph`` under the paper's semantics.
+
+    Requires the id-form (resolved) query.  Returns the set of s-t pairs.
+    """
+    cache: dict[CPQ, frozenset[Pair]] = {}
+    return _eval(query, graph, cache)
+
+
+def _eval(
+    query: CPQ,
+    graph: LabeledDigraph,
+    cache: dict[CPQ, frozenset[Pair]],
+) -> frozenset[Pair]:
+    cached = cache.get(query)
+    if cached is not None:
+        return cached
+    if isinstance(query, Identity):
+        result = frozenset((v, v) for v in graph.vertices())
+    elif isinstance(query, EdgeLabel):
+        result = frozenset(graph.label_relation(query.label_id()))
+    elif isinstance(query, Join):
+        result = _compose(
+            _eval(query.left, graph, cache),
+            _eval(query.right, graph, cache),
+        )
+    elif isinstance(query, Conjunction):
+        left = _eval(query.left, graph, cache)
+        right = _eval(query.right, graph, cache)
+        result = left & right
+    else:
+        raise QuerySyntaxError(f"unknown CPQ node {query!r}")
+    cache[query] = result
+    return result
+
+
+def _compose(left: frozenset[Pair], right: frozenset[Pair]) -> frozenset[Pair]:
+    """Relational composition ``{(v, u) | ∃m: (v, m) ∈ L ∧ (m, u) ∈ R}``."""
+    by_source: dict[object, list[object]] = {}
+    for m, u in right:
+        by_source.setdefault(m, []).append(u)
+    return frozenset(
+        (v, u)
+        for v, m in left
+        for u in by_source.get(m, ())
+    )
+
+
+def is_empty(query: CPQ, graph: LabeledDigraph) -> bool:
+    """True if ``⟦q⟧G`` is empty (used to split Fig. 7 workloads)."""
+    return not evaluate(query, graph)

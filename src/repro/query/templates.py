@@ -1,0 +1,213 @@
+"""The paper's query templates (Fig. 5) and benchmark query shapes.
+
+Twelve templates drive the main experimental study::
+
+    C2  = l1 ∘ l2                          chain of length 2
+    C4  = C2 ∘ C2                          chain of length 4
+    T   = C2 ∩ l                           "triangle" (2-path and an edge)
+    S   = C2 ∩ C2                          "square" (two parallel 2-paths)
+    TT  = T ∩ C2                           triangle + extra 2-path
+    TC  = T ∘ l                            triangle then chain
+    SC  = S ∘ l                            square then chain
+    ST  = S ∘ T                            square then triangle ("flower")
+    C2i = C2 ∩ id                          2-cycle
+    Ti  = (C2 ∘ l) ∩ id                    3-cycle (triad)
+    Si  = C4 ∩ id                          4-cycle
+    St  = (l1∘l1⁻) ∩ (l2∘l2⁻) ∩ (l3∘l3⁻) ∩ id   star of 3 out-and-back spokes
+
+Each template is a function from label atoms to a CPQ expression; the
+registry in :data:`TEMPLATES` records the arity so workload generators can
+sample labels.  The Fig. 9 / Fig. 10 benchmark queries (YAGO2 Y1–Y4,
+LUBM L1–L7, WatDiv L1–L5 and S1–S7) are provided as *named queries over
+schema predicates*, following the paper's procedure: "we transform them
+into CPQs with keeping query shapes and their edge labels" (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import CPQ, EdgeLabel, ID, conjoin_all, label
+
+
+def c2(l1: EdgeLabel, l2: EdgeLabel) -> CPQ:
+    """C2 — chain of two labels."""
+    return l1 >> l2
+
+
+def c4(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel) -> CPQ:
+    """C4 — chain of four labels, built as C2 ∘ C2 as in Fig. 5."""
+    return (l1 >> l2) >> (l3 >> l4)
+
+
+def t(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel) -> CPQ:
+    """T — a 2-path and a parallel edge (open triangle)."""
+    return (l1 >> l2) & l3
+
+
+def s(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel) -> CPQ:
+    """S — two parallel 2-paths (a square pattern)."""
+    return (l1 >> l2) & (l3 >> l4)
+
+
+def tt(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel, l5: EdgeLabel) -> CPQ:
+    """TT — triangle conjoined with one more 2-path."""
+    return t(l1, l2, l3) & (l4 >> l5)
+
+
+def tc(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel) -> CPQ:
+    """TC — triangle followed by a chain edge."""
+    return t(l1, l2, l3) >> l4
+
+
+def sc(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel, l5: EdgeLabel) -> CPQ:
+    """SC — square followed by a chain edge."""
+    return s(l1, l2, l3, l4) >> l5
+
+
+def st(
+    l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel,
+    l5: EdgeLabel, l6: EdgeLabel, l7: EdgeLabel,
+) -> CPQ:
+    """ST — square joined to a triangle (the "flower" shape)."""
+    return s(l1, l2, l3, l4) >> t(l5, l6, l7)
+
+
+def c2i(l1: EdgeLabel, l2: EdgeLabel) -> CPQ:
+    """C2i — 2-cycle: a 2-path returning to its source."""
+    return (l1 >> l2) & ID
+
+
+def ti(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel) -> CPQ:
+    """Ti — 3-cycle (the triad pattern of the introduction)."""
+    return ((l1 >> l2) >> l3) & ID
+
+
+def si(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel, l4: EdgeLabel) -> CPQ:
+    """Si — 4-cycle."""
+    return c4(l1, l2, l3, l4) & ID
+
+
+def star(l1: EdgeLabel, l2: EdgeLabel, l3: EdgeLabel) -> CPQ:
+    """St — three out-and-back spokes around a single center."""
+    return conjoin_all([
+        l1 >> l1.inverse(),
+        l2 >> l2.inverse(),
+        l3 >> l3.inverse(),
+        ID,
+    ])
+
+
+@dataclass(frozen=True)
+class Template:
+    """A named query template: arity and builder."""
+
+    name: str
+    arity: int
+    builder: Callable[..., CPQ]
+    has_identity: bool
+
+    def instantiate(self, labels: Sequence[EdgeLabel]) -> CPQ:
+        """Build the template query from ``arity`` label atoms."""
+        if len(labels) != self.arity:
+            raise QuerySyntaxError(
+                f"template {self.name} needs {self.arity} labels, got {len(labels)}"
+            )
+        return self.builder(*labels)
+
+
+#: The twelve Fig. 5 templates, in the order the figures report them.
+TEMPLATES: dict[str, Template] = {
+    "T": Template("T", 3, t, False),
+    "S": Template("S", 4, s, False),
+    "TT": Template("TT", 5, tt, False),
+    "St": Template("St", 3, star, True),
+    "TC": Template("TC", 4, tc, False),
+    "SC": Template("SC", 5, sc, False),
+    "ST": Template("ST", 7, st, False),
+    "C2": Template("C2", 2, c2, False),
+    "C4": Template("C4", 4, c4, False),
+    "C2i": Template("C2i", 2, c2i, True),
+    "Ti": Template("Ti", 3, ti, True),
+    "Si": Template("Si", 4, si, True),
+}
+
+#: Templates whose top level contains a conjunction of multi-edge paths —
+#: the ones the paper highlights as CPQx's strength (Sec. VI-A).
+CONJUNCTIVE_TEMPLATES = ("T", "S", "TT", "St")
+#: Join-dominated templates where Path is competitive.
+JOIN_TEMPLATES = ("C2", "C4", "Ti", "Si")
+
+
+def template_names() -> list[str]:
+    """All template names in report order."""
+    return list(TEMPLATES)
+
+
+def get_template(name: str) -> Template:
+    """Look up a template by name."""
+    try:
+        return TEMPLATES[name]
+    except KeyError:
+        raise QuerySyntaxError(
+            f"unknown template {name!r}; known: {', '.join(TEMPLATES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Benchmark query shapes (Figs. 9 and 10), as CPQs over schema predicates
+# ---------------------------------------------------------------------------
+
+def _l(name: str) -> EdgeLabel:
+    return label(name)
+
+
+def yago2_queries() -> dict[str, CPQ]:
+    """Y1–Y4 over the YAGO2-like schema (star / triangle / chain shapes).
+
+    The originals are SPARQL BGPs from Harbi et al.; as in the paper we keep
+    the shapes (stars over person hubs, a location triangle, an influence
+    flower) and use the schema's own predicate names.
+    """
+    return {
+        "Y1": (_l("wasBornIn") >> _l("wasBornIn").inverse())
+        & (_l("graduatedFrom") >> _l("graduatedFrom").inverse()),
+        "Y2": (_l("livesIn") >> _l("isLocatedIn").inverse()) & _l("worksAt"),
+        "Y3": (_l("isMarriedTo") >> _l("livesIn")) & _l("livesIn"),
+        "Y4": ((_l("influences") >> _l("influences")) & _l("influences")) >> _l("created"),
+    }
+
+
+def lubm_queries() -> dict[str, CPQ]:
+    """L1–L7 over the LUBM-like schema (chains plus two cyclic shapes)."""
+    return {
+        "L1": _l("takesCourse") >> _l("teacherOf").inverse(),
+        "L2": _l("memberOf") >> _l("subOrganizationOf"),
+        "L3": _l("advisor") >> _l("worksFor"),
+        "L4": (_l("takesCourse") >> _l("teacherOf").inverse()) & _l("advisor"),
+        "L5": (_l("memberOf") >> _l("memberOf").inverse())
+        & (_l("takesCourse") >> _l("takesCourse").inverse()),
+        "L6": _l("publicationAuthor") >> _l("advisor").inverse(),
+        "L7": ((_l("advisor") >> _l("worksFor")) & _l("memberOf")) >> _l("subOrganizationOf"),
+    }
+
+
+def watdiv_queries() -> dict[str, CPQ]:
+    """WatDiv L1–L5 (linear) and S1–S7 (star/snowflake) shapes."""
+    return {
+        "L1": _l("purchases") >> _l("hasGenre"),
+        "L2": _l("writesReview") >> _l("reviewOf"),
+        "L3": _l("follows") >> _l("purchases"),
+        "L4": _l("sells") >> _l("hasGenre"),
+        "L5": (_l("follows") >> _l("follows")) >> _l("likes"),
+        "S1": (_l("purchases") >> _l("purchases").inverse())
+        & (_l("likes") >> _l("likes").inverse()),
+        "S2": (_l("writesReview") >> _l("reviewOf")) & _l("purchases"),
+        "S3": (_l("likes") >> _l("hasGenre")) & (_l("purchases") >> _l("hasGenre")),
+        "S4": (_l("follows") >> _l("purchases")) & _l("purchases"),
+        "S5": (_l("purchases") >> _l("reviewOf").inverse()) & _l("writesReview"),
+        "S6": ((_l("follows") >> _l("follows")) & _l("follows")) >> _l("purchases"),
+        "S7": (_l("sells").inverse() >> _l("sells")) & (_l("hasGenre") >> _l("hasGenre").inverse()),
+    }

@@ -1,0 +1,158 @@
+"""Random query workload generation (Sec. VI, "Queries").
+
+The paper's procedure, reproduced here:
+
+* "For each template and dataset, we generate ten queries with random
+  labels."  — :func:`random_template_queries` samples label atoms
+  (uniformly over the extended label set: forward and inverse) for each
+  template slot.
+* "We only use queries in which all (sub-)paths of length two are
+  non-empty" — :func:`subpaths_nonempty` checks every length-≤2 label
+  sequence occurring in the instantiated query against the graph.
+* For the empty/non-empty experiment (Fig. 7), :func:`split_by_emptiness`
+  classifies generated queries with the reference evaluator.
+
+All sampling is driven by an explicit seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+from repro.query.ast import CPQ, EdgeLabel, label_sequences_in, resolve
+from repro.query.semantics import evaluate
+from repro.query.templates import Template, get_template
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """A generated query together with its provenance."""
+
+    template: str
+    query: CPQ
+    labels: tuple[int, ...]
+
+
+def _extended_labels(graph: LabeledDigraph) -> list[int]:
+    """Extended label population actually used by at least one edge."""
+    forward = sorted(graph.labels_used())
+    return forward + [-l for l in forward]
+
+
+def subpaths_nonempty(query: CPQ, graph: LabeledDigraph) -> bool:
+    """The paper's filter: every length-≤2 sub-sequence matches some path.
+
+    For each maximal label sequence in the query, every window of length 2
+    (and every single label) must have a non-empty relation on ``graph``.
+    """
+    for seq in label_sequences_in(query):
+        for i in range(len(seq)):
+            if not graph.sequence_relation(seq[i:i + 1]):
+                return False
+        for i in range(len(seq) - 1):
+            if not graph.sequence_relation(seq[i:i + 2]):
+                return False
+    return True
+
+
+def random_template_queries(
+    graph: LabeledDigraph,
+    template: str | Template,
+    count: int = 10,
+    seed: int = 0,
+    max_attempts: int = 4000,
+    require_nonempty_subpaths: bool = True,
+) -> list[WorkloadQuery]:
+    """Generate ``count`` random-label instances of a template.
+
+    Falls back to returning fewer queries if the graph is too sparse to
+    satisfy the sub-path filter within ``max_attempts`` samples (mirrors
+    the paper's note that some answers may still be empty — only the
+    *sub-paths* are forced non-empty).
+    """
+    spec = get_template(template) if isinstance(template, str) else template
+    rng = random.Random(seed)
+    population = _extended_labels(graph)
+    if not population:
+        return []
+    queries: list[WorkloadQuery] = []
+    seen: set[tuple[int, ...]] = set()
+    attempts = 0
+    while len(queries) < count and attempts < max_attempts:
+        attempts += 1
+        chosen = tuple(rng.choice(population) for _ in range(spec.arity))
+        candidate = spec.instantiate([EdgeLabel(l) for l in chosen])
+        candidate = resolve(candidate, graph.registry)
+        if require_nonempty_subpaths and not subpaths_nonempty(candidate, graph):
+            continue
+        key = (spec.name, *chosen)
+        if key in seen:
+            continue
+        seen.add(key)
+        queries.append(WorkloadQuery(spec.name, candidate, chosen))
+    return queries
+
+
+def workload_interests(queries: list, k: int) -> set[LabelSeq]:
+    """Interest set induced by a workload (Sec. VI, interest-aware setup).
+
+    "We specify all label sequences in the set of queries as the interests.
+    We divide label sequences larger than k length into prefix label
+    sequences of length k and the rest."
+
+    Accepts :class:`WorkloadQuery` items or bare (resolved) CPQ expressions.
+    """
+    interests: set[LabelSeq] = set()
+    for item in queries:
+        query = item.query if isinstance(item, WorkloadQuery) else item
+        for seq in label_sequences_in(query):
+            while len(seq) > k:
+                interests.add(seq[:k])
+                seq = seq[k:]
+            if seq:
+                interests.add(seq)
+    return interests
+
+
+def split_by_emptiness(
+    queries: list[WorkloadQuery],
+    graph: LabeledDigraph,
+) -> tuple[list[WorkloadQuery], list[WorkloadQuery]]:
+    """Partition a workload into (non-empty, empty) answer sets (Fig. 7)."""
+    non_empty: list[WorkloadQuery] = []
+    empty: list[WorkloadQuery] = []
+    for item in queries:
+        if evaluate(item.query, graph):
+            non_empty.append(item)
+        else:
+            empty.append(item)
+    return non_empty, empty
+
+
+def mixed_emptiness_workload(
+    graph: LabeledDigraph,
+    template: str,
+    count: int = 10,
+    empty_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[WorkloadQuery]:
+    """A workload with a target share of empty-answer queries.
+
+    Reproduces the paper's setup on the knowledge graphs: "queries on Yago,
+    Wikidata, and Freebase have 50% non-empty and 50% empty queries except
+    for C2".  Falls back to whatever mix is achievable on sparse graphs.
+    """
+    pool = random_template_queries(graph, template, count * 6, seed=seed)
+    non_empty, empty = split_by_emptiness(pool, graph)
+    want_empty = int(round(count * empty_fraction))
+    want_non_empty = count - want_empty
+    chosen = non_empty[:want_non_empty] + empty[:want_empty]
+    # top up from whichever pool has leftovers
+    shortfall = count - len(chosen)
+    if shortfall > 0:
+        leftovers = non_empty[want_non_empty:] + empty[want_empty:]
+        chosen.extend(leftovers[:shortfall])
+    return chosen

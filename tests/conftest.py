@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import example_graph
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.semantics import evaluate as reference_evaluate
+
+
+@pytest.fixture()
+def gex() -> LabeledDigraph:
+    """The paper's running example graph (Fig. 1)."""
+    return example_graph()
+
+
+@pytest.fixture()
+def tiny_graph() -> LabeledDigraph:
+    """A 5-vertex graph with hand-checkable structure.
+
+    Two labels ``a``/``b``; contains a 2-cycle, a triangle-ish path, and
+    one vertex reachable only through a 2-hop path.
+    """
+    return edges_from_strings([
+        "0 1 a",
+        "1 2 a",
+        "2 0 b",
+        "0 2 a",
+        "2 3 b",
+        "3 3 a",   # self loop
+        "1 4 b",
+    ])
+
+
+@pytest.fixture()
+def medium_graph() -> LabeledDigraph:
+    """A seeded 30-vertex random graph for integration-level tests."""
+    return random_graph(num_vertices=30, num_edges=75, num_labels=3, seed=5)
+
+
+def assert_engine_matches_reference(engine, queries, graph) -> None:
+    """Every engine answer must equal the naive reference semantics."""
+    for query in queries:
+        expected = reference_evaluate(query, graph)
+        got = engine.evaluate(query)
+        assert got == expected, (
+            f"{getattr(engine, 'name', engine)} disagrees on {query}: "
+            f"missing={sorted(expected - got)[:5]} extra={sorted(got - expected)[:5]}"
+        )

@@ -1,0 +1,102 @@
+"""Unit tests for the workload-driven interest advisor (Sec. VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advisor import (
+    advise_k,
+    estimate_interest_bytes,
+    recommend_interests,
+    sequence_frequencies,
+)
+from repro.core.interest import InterestAwareIndex
+from repro.graph.generators import random_graph
+from repro.query.ast import EdgeLabel, ID, sequence_query
+from repro.query.semantics import evaluate as reference
+
+
+@pytest.fixture()
+def g():
+    return random_graph(25, 80, 3, seed=13)
+
+
+def _workload():
+    hot = sequence_query((1, 2))          # appears 3×
+    cold = sequence_query((2, 3))         # appears once
+    return [hot, hot & sequence_query((3,)), (hot & cold) & ID]
+
+
+class TestSequenceFrequencies:
+    def test_counts_weighted_by_usage(self):
+        counts = sequence_frequencies(_workload(), k=2)
+        assert counts[(1, 2)] == 3
+        assert counts[(2, 3)] == 1
+
+    def test_singles_excluded(self):
+        counts = sequence_frequencies(_workload(), k=2)
+        assert (3,) not in counts
+
+    def test_long_sequences_windowed(self):
+        counts = sequence_frequencies([sequence_query((1, 2, 3))], k=2)
+        assert counts[(1, 2)] == 1
+        assert counts[(2, 3)] == 1
+
+    def test_k3_keeps_whole(self):
+        counts = sequence_frequencies([sequence_query((1, 2, 3))], k=3)
+        assert counts[(1, 2, 3)] == 1
+
+
+class TestEstimateBytes:
+    def test_matches_relation_size(self, g):
+        size = estimate_interest_bytes(g, (1, 2))
+        assert size == 4 * 2 + 8 * len(g.sequence_relation((1, 2)))
+
+
+class TestRecommendation:
+    def test_unbudgeted_selects_everything(self, g):
+        rec = recommend_interests(g, _workload(), k=2)
+        assert rec.interests == {(1, 2), (2, 3)}
+        assert rec.coverage() == 1.0
+        assert not rec.skipped
+
+    def test_budget_prefers_hot_sequences(self, g):
+        hot_cost = estimate_interest_bytes(g, (1, 2))
+        rec = recommend_interests(g, _workload(), k=2, budget_bytes=hot_cost)
+        assert (1, 2) in rec.interests
+        assert (2, 3) in rec.skipped
+        assert rec.estimated_bytes <= hot_cost
+
+    def test_zero_budget_selects_nothing(self, g):
+        rec = recommend_interests(g, _workload(), k=2, budget_bytes=0)
+        assert rec.interests == frozenset()
+        assert rec.coverage() == 0.0
+
+    def test_empty_workload(self, g):
+        rec = recommend_interests(g, [], k=2)
+        assert rec.interests == frozenset()
+        assert rec.candidate_count == 0
+        assert rec.coverage() == 1.0
+
+    def test_recommended_interests_build_valid_index(self, g):
+        rec = recommend_interests(g, _workload(), k=2, budget_bytes=4096)
+        index = InterestAwareIndex.build(g, k=2, interests=rec.interests)
+        for query in _workload():
+            assert index.evaluate(query) == reference(query, g)
+
+    def test_deterministic(self, g):
+        a = recommend_interests(g, _workload(), k=2, budget_bytes=256)
+        b = recommend_interests(g, _workload(), k=2, budget_bytes=256)
+        assert a.interests == b.interests
+
+
+class TestAdviseK:
+    def test_matches_longest_chain(self):
+        assert advise_k(_workload()) == 2
+        assert advise_k([sequence_query((1, 2, 3))]) == 3
+
+    def test_clamped(self):
+        assert advise_k([sequence_query((1,) * 9)], max_k=4) == 4
+
+    def test_identity_workload(self):
+        assert advise_k([ID, EdgeLabel(1)]) == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the CPQ algebra (AST, diameter, helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.graph.labels import LabelRegistry
+from repro.query.ast import (
+    Conjunction,
+    EdgeLabel,
+    ID,
+    Identity,
+    Join,
+    as_label_sequence,
+    conjoin_all,
+    count_operations,
+    is_resolved,
+    join_all,
+    label,
+    label_sequences_in,
+    resolve,
+    sequence_query,
+)
+
+
+class TestAtoms:
+    def test_identity_diameter_zero(self):
+        assert ID.diameter() == 0
+        assert Identity() == ID
+
+    def test_label_diameter_one(self):
+        assert label("f").diameter() == 1
+
+    def test_label_inverse_involution(self):
+        f = label("f")
+        assert f.inverse().inverse() == f
+        assert f.inverse().inverted
+
+    def test_negative_id_normalized_to_inverted(self):
+        atom = EdgeLabel(-3)
+        assert atom.label == 3
+        assert atom.inverted
+        assert atom.label_id() == -3
+
+    def test_double_negation_via_flag(self):
+        atom = EdgeLabel(-3, inverted=True)
+        assert atom.label_id() == 3
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            EdgeLabel(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            EdgeLabel("")
+
+    def test_label_id_requires_resolution(self):
+        with pytest.raises(QuerySyntaxError):
+            label("f").label_id()
+
+
+class TestOperators:
+    def test_rshift_builds_join(self):
+        q = label("a") >> label("b")
+        assert isinstance(q, Join)
+        assert q.diameter() == 2
+
+    def test_and_builds_conjunction(self):
+        q = label("a") & label("b")
+        assert isinstance(q, Conjunction)
+        assert q.diameter() == 1
+
+    def test_diameter_rules(self):
+        """dia follows the paper: join adds, conjunction maxes, id is 0."""
+        a, b, c = label("a"), label("b"), label("c")
+        assert ((a >> b) >> c).diameter() == 3
+        assert ((a >> b) & c).diameter() == 2
+        assert ((a >> b) & (a >> b >> c)).diameter() == 3
+        assert ((a >> b) & ID).diameter() == 2
+        assert (ID >> ID).diameter() == 0
+
+    def test_operand_type_checked(self):
+        with pytest.raises(TypeError):
+            label("a") >> "b"  # type: ignore[operator]
+
+    def test_walk_preorder(self):
+        q = (label("a") >> label("b")) & ID
+        kinds = [type(node).__name__ for node in q.walk()]
+        assert kinds == ["Conjunction", "Join", "EdgeLabel", "EdgeLabel", "Identity"]
+
+    def test_hashable_and_equal(self):
+        q1 = (label("a") >> label("b")) & ID
+        q2 = (label("a") >> label("b")) & ID
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+
+class TestBuilders:
+    def test_join_all(self):
+        q = join_all([label("a"), label("b"), label("c")])
+        assert as_label_sequence(resolve(q, LabelRegistry(["a", "b", "c"]))) == (1, 2, 3)
+
+    def test_join_all_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            join_all([])
+
+    def test_conjoin_all_single(self):
+        assert conjoin_all([ID]) is ID
+
+    def test_sequence_query(self):
+        q = sequence_query((1, -2))
+        assert as_label_sequence(q) == (1, -2)
+
+
+class TestResolve:
+    def test_resolve_names(self):
+        registry = LabelRegistry(["f", "v"])
+        q = resolve((label("f") >> label("v").inverse()) & ID, registry)
+        assert as_label_sequence(q.left) == (1, -2)
+
+    def test_resolve_idempotent(self):
+        registry = LabelRegistry(["f"])
+        q = resolve(label("f"), registry)
+        assert resolve(q, registry) == q
+
+    def test_is_resolved(self):
+        registry = LabelRegistry(["f"])
+        assert not is_resolved(label("f"))
+        assert is_resolved(resolve(label("f"), registry))
+        assert is_resolved(ID)
+
+
+class TestSequenceExtraction:
+    def test_pure_chain(self):
+        q = sequence_query((1, 2, 3))
+        assert as_label_sequence(q) == (1, 2, 3)
+
+    def test_conjunction_is_not_a_sequence(self):
+        q = EdgeLabel(1) & EdgeLabel(2)
+        assert as_label_sequence(q) is None
+
+    def test_identity_is_not_a_sequence(self):
+        assert as_label_sequence(ID) is None
+        assert as_label_sequence(EdgeLabel(1) >> ID) is None
+
+    def test_label_sequences_in_collects_maximal_chains(self):
+        q = (sequence_query((1, 2)) & sequence_query((3,))) >> sequence_query((-1, 2))
+        assert label_sequences_in(q) == {(1, 2), (3,), (-1, 2)}
+
+    def test_label_sequences_in_identity_free(self):
+        assert label_sequences_in(ID) == set()
+
+
+class TestCounts:
+    def test_count_operations(self):
+        q = (sequence_query((1, 2)) & sequence_query((3, 4))) >> EdgeLabel(5)
+        joins, conjunctions = count_operations(q)
+        assert joins == 3
+        assert conjunctions == 1
+
+
+class TestRendering:
+    def test_to_text_roundtrips_through_parser(self):
+        from repro.query.parser import parse
+
+        q = (label("a") >> label("b").inverse()) & ID
+        assert parse(q.to_text()) == q
+
+    def test_to_text_with_registry(self):
+        registry = LabelRegistry(["f"])
+        q = resolve(label("f").inverse(), registry)
+        assert q.to_text(registry) == "f^-"

@@ -1,0 +1,132 @@
+"""Unit tests for the benchmark harness (timing, reporting, runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentResult, format_cell, format_table, speedup
+from repro.bench.runner import (
+    ALL_METHODS,
+    build_engine,
+    prepare_dataset,
+)
+from repro.bench.timing import Timing, time_call, time_queries
+from repro.errors import DatasetError
+from repro.graph.generators import random_graph
+
+
+@pytest.fixture()
+def g():
+    return random_graph(25, 70, 3, seed=9)
+
+
+class TestTiming:
+    def test_time_call_counts(self):
+        calls = []
+        timing = time_call(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+        assert timing.repeats == 3
+        assert timing.best <= timing.mean
+        assert timing.total >= timing.best * 3 * 0.5
+
+    def test_time_call_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_time_queries_averages(self):
+        seen = []
+        timing = time_queries(seen.append, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert timing.repeats == 3
+
+    def test_time_queries_empty(self):
+        timing = time_queries(lambda q: None, [])
+        assert timing == Timing(repeats=0, total=0.0, best=0.0, mean=0.0)
+
+    def test_format_mean(self):
+        assert "e" in Timing(1, 0.001, 0.001, 0.001).format_mean()
+
+
+class TestReporting:
+    def test_format_cell_floats(self):
+        assert format_cell(0.0001) == "1.000e-04"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(0.0) == "0"
+        assert format_cell("x") == "x"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("Fig. X", "demo", ["col"], [[1], [2]])
+        text = result.render()
+        assert "Fig. X" in text and "demo" in text
+
+    def test_column_and_rows_where(self):
+        result = ExperimentResult(
+            "T", "t", ["method", "time"], [["A", 1.0], ["B", 2.0], ["A", 3.0]]
+        )
+        assert result.column("time") == [1.0, 2.0, 3.0]
+        assert result.rows_where("method", "A") == [["A", 1.0], ["A", 3.0]]
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestBuildEngine:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_all_methods_constructible(self, g, method):
+        engine = build_engine(method, g, k=2, interests=frozenset({(1, 2)}))
+        from repro.query.ast import EdgeLabel
+
+        answer = engine.evaluate(EdgeLabel(1) >> EdgeLabel(2))
+        assert answer == g.sequence_relation((1, 2))
+
+    def test_unknown_method(self, g):
+        with pytest.raises(DatasetError):
+            build_engine("nope", g)
+
+
+class TestPrepareDataset:
+    def test_workload_and_interests(self, g):
+        prepared = prepare_dataset("toy", g, ("C2", "S"), 3, seed=1)
+        assert set(prepared.workload) == {"C2", "S"}
+        assert prepared.interests
+        for seq in prepared.interests:
+            assert 1 <= len(seq) <= 2
+        assert len(prepared.all_queries()) == len(prepared.workload["C2"]) + len(
+            prepared.workload["S"]
+        )
+
+    def test_engine_cache(self, g):
+        prepared = prepare_dataset("toy", g, ("C2",), 2, seed=1)
+        first = prepared.engine("BFS")
+        second = prepared.engine("BFS")
+        assert first is second
+        different_k = prepared.engine("CPQx", k=1)
+        assert different_k.k == 1
+
+    def test_deterministic_workload(self, g):
+        a = prepare_dataset("toy", g, ("S",), 3, seed=4)
+        b = prepare_dataset("toy", g, ("S",), 3, seed=4)
+        assert [wq.labels for wq in a.workload["S"]] == [
+            wq.labels for wq in b.workload["S"]
+        ]
+
+
+class TestEnvironmentKnobs:
+    def test_bench_scale_env(self, monkeypatch):
+        from repro.bench.runner import bench_datasets, bench_queries, bench_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "7")
+        assert bench_queries() == 7
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "robots, yago")
+        assert bench_datasets(("x",)) == ("robots", "yago")
+        monkeypatch.delenv("REPRO_BENCH_DATASETS")
+        assert bench_datasets(("x",)) == ("x",)

@@ -1,0 +1,56 @@
+"""Unit tests for the index-free BFS baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bfs import BFSEngine
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestLookups:
+    def test_lookup_is_relation(self, g):
+        engine = BFSEngine(g)
+        assert engine.lookup((1,)).pairs == g.label_relation(1)
+        assert engine.lookup((1, 2)).pairs == g.sequence_relation((1, 2))
+
+    def test_splitter_keeps_sequences_whole(self, g):
+        engine = BFSEngine(g)
+        assert engine.splitter()((1, 2, 1, 2, 1)) == [(1, 2, 1, 2, 1)]
+
+    def test_no_length_limit(self, g):
+        engine = BFSEngine(g)
+        query = parse("a . b . a . b . a", g.registry)
+        assert engine.evaluate(query) == reference(query, g)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("text", [
+        "a", "id", "a & id", "(a . b) & a", "(a . b . a) & id",
+    ])
+    def test_matches_reference(self, g, text):
+        engine = BFSEngine(g)
+        query = parse(text, g.registry)
+        assert engine.evaluate(query) == reference(query, g)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_workloads(self, seed):
+        g = random_graph(16, 40, 3, seed=seed)
+        engine = BFSEngine(g)
+        for template in ("C2", "S", "St", "SC", "Si"):
+            for wq in random_template_queries(g, template, count=2, seed=seed):
+                assert engine.evaluate(wq.query) == reference(wq.query, g)
+
+    def test_limit(self, g):
+        engine = BFSEngine(g)
+        answer = engine.evaluate(parse("a", g.registry), limit=1)
+        assert len(answer) == 1

@@ -1,0 +1,46 @@
+"""Tests for the CLI's figure-style series rendering."""
+
+from __future__ import annotations
+
+from repro.cli import EXPERIMENTS, SERIES_VIEWS, main
+
+
+class TestSeriesViews:
+    def test_views_reference_real_experiments(self):
+        for name in SERIES_VIEWS:
+            assert name in EXPERIMENTS
+
+    def test_view_columns_exist(self, monkeypatch):
+        """Each view's columns must exist in its experiment's headers."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.08")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "1")
+        from repro.bench import experiments as E
+
+        quick = {
+            "fig14": lambda: E.fig14_k_query_time(
+                datasets=("robots",), ks=(1, 2), templates=("C2",)
+            ),
+            "fig15": lambda: E.fig15_k_index_cost(datasets=("robots",), ks=(1, 2)),
+        }
+        for name, runner in quick.items():
+            result = runner()
+            x, y, group = SERIES_VIEWS[name]
+            assert x in result.headers
+            assert y in result.headers
+            assert group in result.headers
+
+    def test_cli_prints_chart_for_figures(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.08")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "1")
+        assert main(["experiment", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 15" in out
+        assert "log scale" in out
+        assert "#" in out
+
+    def test_cli_table_only_for_tables(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.08")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "1")
+        assert main(["experiment", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "log scale" not in out

@@ -1,0 +1,124 @@
+"""Tests for the Theorem 4.2-4.6 cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costmodel import (
+    construction_estimate,
+    explain_index,
+    index_size_estimate,
+    query_estimate,
+    update_estimate,
+)
+from repro.core.cpqx import CPQxIndex
+from repro.graph.generators import random_graph
+from repro.query.parser import parse
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = random_graph(30, 90, 3, seed=51)
+    return graph, CPQxIndex.build(graph, k=2)
+
+
+class TestSizeModel:
+    def test_cpqx_smaller_than_path_when_gamma_high(self):
+        estimate = index_size_estimate(gamma=4.0, num_classes=100, num_pairs=1000)
+        assert estimate.work < estimate.inputs["path_index_equivalent"]
+
+    def test_equal_when_no_compression(self):
+        # |C| == |P| and γ = 1: both models degenerate similarly
+        estimate = index_size_estimate(gamma=1.0, num_classes=500, num_pairs=500)
+        assert estimate.work == pytest.approx(2 * 500)
+        assert estimate.inputs["path_index_equivalent"] == pytest.approx(500)
+
+    def test_monotone_in_pairs(self):
+        small = index_size_estimate(2.0, 50, 100)
+        large = index_size_estimate(2.0, 50, 1000)
+        assert large.work > small.work
+
+
+class TestConstructionModel:
+    def test_monotone_in_k(self):
+        k2 = construction_estimate(2, 8, 1000, 2.0, 200)
+        k3 = construction_estimate(3, 8, 1000, 2.0, 200)
+        assert k3.work > k2.work
+
+    def test_components_reported(self):
+        estimate = construction_estimate(2, 8, 1000, 2.0, 200)
+        assert estimate.inputs["partition_work"] > 0
+        assert estimate.inputs["assembly_work"] > 0
+
+
+class TestQueryModel:
+    def test_conjunction_only_regime(self, setting):
+        graph, index = setting
+        query = parse("(l1 . l2) & (l2 . l3)", graph.registry)
+        estimate = query_estimate(query, index)
+        assert estimate.inputs["alpha1"] == 0
+        assert estimate.inputs["alpha2"] == 1
+        # class-count-scale work, far below pair-level work
+        assert estimate.work <= index.num_classes
+
+    def test_join_regime(self, setting):
+        graph, index = setting
+        query = parse("l1 . l2 . l3", graph.registry)
+        estimate = query_estimate(query, index)
+        assert estimate.inputs["alpha1"] == 1  # one split-induced join
+        assert estimate.work > 0
+
+    def test_conjunction_estimated_cheaper_than_join(self, setting):
+        """The Fig. 6 story in the model: S queries ≪ C4 queries."""
+        graph, index = setting
+        s_query = parse("(l1 . l2) & (l2 . l1)", graph.registry)
+        c4_query = parse("l1 . l2 . l2 . l1", graph.registry)
+        assert query_estimate(s_query, index).work < query_estimate(
+            c4_query, index
+        ).work
+
+    def test_deep_joins_cost_more(self, setting):
+        graph, index = setting
+        shallow = parse("l1 . l2 . l3", graph.registry)
+        deep = parse("l1 . l2 . l3 . l1 . l2 . l3", graph.registry)
+        assert query_estimate(deep, index).work > query_estimate(
+            shallow, index
+        ).work
+
+    def test_blowup_capped_by_vertex_square(self, setting):
+        graph, index = setting
+        query = parse(" . ".join(["l1"] * 12), graph.registry)
+        estimate = query_estimate(query, index)
+        cap = graph.num_vertices ** 2
+        alpha = estimate.inputs["alpha1"] + estimate.inputs["alpha2"]
+        from math import log2
+
+        assert estimate.work <= alpha * cap * max(1.0, log2(cap)) * 1.01
+
+
+class TestUpdateModel:
+    def test_monotone_in_affected(self):
+        small = update_estimate(8, 10, 1000, 200)
+        large = update_estimate(8, 100, 1000, 200)
+        assert large.work > small.work
+
+    def test_far_below_reconstruction(self, setting):
+        graph, index = setting
+        rebuild = construction_estimate(
+            index.k, graph.max_degree(), index.num_pairs, index.gamma(),
+            index.num_classes,
+        )
+        update = update_estimate(
+            graph.max_degree(), 20, index.num_pairs, index.num_classes
+        )
+        assert update.work < rebuild.work / 2
+
+
+class TestExplain:
+    def test_explain_index(self, setting):
+        _, index = setting
+        info = explain_index(index)
+        assert info["classes"] == index.num_classes
+        assert info["pairs"] == index.num_pairs
+        assert info["size_score"] <= info["path_size_score"] + info["pairs"]
+        assert info["construction_score"] > 0

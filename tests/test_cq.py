@@ -1,0 +1,189 @@
+"""Tests for conjunctive-query evaluation over CPQ indexes (Sec. VII #3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.bfs import BFSEngine
+from repro.core.cpqx import CPQxIndex
+from repro.core.cq import (
+    ConjunctiveQuery,
+    TriplePattern,
+    collapse_chains,
+    evaluate_cq,
+    is_variable,
+    parse_bgp,
+)
+from repro.errors import QuerySyntaxError
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+
+
+def brute_force_cq(cq: ConjunctiveQuery, graph) -> frozenset:
+    """Specification evaluator: try every variable assignment."""
+    variables = sorted(cq.variables())
+    vertices = list(graph.vertices())
+    results = set()
+    for assignment in itertools.product(vertices, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+
+        def term_value(term):
+            return binding[term] if is_variable(term) else term
+
+        if all(
+            graph.has_edge(term_value(p.subject), term_value(p.object), p.predicate)
+            for p in cq.patterns
+        ):
+            results.add(tuple(binding[name] for name in cq.projection))
+    return frozenset(results)
+
+
+@pytest.fixture()
+def g():
+    graph = edges_from_strings([
+        "ann bob follows", "bob cat follows", "cat ann follows",
+        "ann blog1 visits", "bob blog1 visits", "cat blog2 visits",
+        "dan ann follows", "dan blog2 visits",
+    ])
+    return graph
+
+
+@pytest.fixture()
+def engine(g):
+    return CPQxIndex.build(g, k=2)
+
+
+class TestParseBgp:
+    def test_parses_variables_and_predicates(self, g):
+        cq = parse_bgp("?x follows ?y . ?y visits ?b", ("?x", "?b"), g.registry)
+        assert len(cq.patterns) == 2
+        assert cq.patterns[0].subject == "?x"
+        assert cq.variables() == {"?x", "?y", "?b"}
+
+    def test_parses_constants(self, g):
+        cq = parse_bgp("?x visits blog1", ("?x",), g.registry)
+        assert cq.patterns[0].object == "blog1"
+
+    def test_parses_inverse_predicate(self, g):
+        cq = parse_bgp("?x follows^- ?y", ("?x", "?y"), g.registry)
+        assert cq.patterns[0].predicate < 0
+
+    def test_rejects_malformed(self, g):
+        with pytest.raises(QuerySyntaxError):
+            parse_bgp("?x follows", ("?x",), g.registry)
+
+    def test_rejects_unknown_projection(self, g):
+        with pytest.raises(QuerySyntaxError):
+            parse_bgp("?x follows ?y", ("?z",), g.registry)
+
+    def test_rejects_empty(self, g):
+        with pytest.raises(QuerySyntaxError):
+            parse_bgp("", ("?x",), g.registry)
+
+
+class TestCollapseChains:
+    def test_interior_variable_eliminated(self, g):
+        cq = parse_bgp("?x follows ?m . ?m follows ?y", ("?x", "?y"), g.registry)
+        relations = collapse_chains(cq)
+        assert len(relations) == 1
+        assert relations[0].sequence == (1, 1)
+
+    def test_projected_variable_kept(self, g):
+        cq = parse_bgp("?x follows ?m . ?m follows ?y", ("?x", "?m", "?y"), g.registry)
+        assert len(collapse_chains(cq)) == 2
+
+    def test_branching_variable_kept(self, g):
+        cq = parse_bgp(
+            "?x follows ?m . ?m follows ?y . ?m visits ?b",
+            ("?x", "?y", "?b"),
+            g.registry,
+        )
+        assert len(collapse_chains(cq)) == 3
+
+    def test_direction_normalization(self, g):
+        # ?m is entered forward and left backward: x -f-> m <-f- y
+        cq = parse_bgp("?x follows ?m . ?y follows ?m", ("?x", "?y"), g.registry)
+        relations = collapse_chains(cq)
+        assert len(relations) == 1
+        assert relations[0].sequence in [(1, -1), (1, -1)]
+
+    def test_long_chain_fully_collapsed(self, g):
+        cq = parse_bgp(
+            "?a follows ?b . ?b follows ?c . ?c follows ?d . ?d visits ?e",
+            ("?a", "?e"),
+            g.registry,
+        )
+        relations = collapse_chains(cq)
+        assert len(relations) == 1
+        assert relations[0].sequence == (1, 1, 1, 2)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("text,projection", [
+        ("?x follows ?y", ("?x", "?y")),
+        ("?x follows ?m . ?m follows ?y", ("?x", "?y")),
+        ("?x follows ?y . ?y follows ?x", ("?x",)),
+        ("?x follows ?y . ?x visits ?b . ?y visits ?b", ("?x", "?y", "?b")),
+        ("?x visits blog2", ("?x",)),
+        ("?x follows ?m . ?m visits ?b", ("?x", "?b")),
+        ("?x follows^- ?y . ?y visits ?b", ("?x", "?b")),
+    ])
+    def test_matches_brute_force(self, g, engine, text, projection):
+        cq = parse_bgp(text, projection, g.registry)
+        assert evaluate_cq(cq, engine) == brute_force_cq(cq, g)
+
+    def test_triangle_projection(self, g, engine):
+        cq = parse_bgp(
+            "?x follows ?y . ?y follows ?z . ?z follows ?x",
+            ("?x",),
+            g.registry,
+        )
+        assert evaluate_cq(cq, engine) == {("ann",), ("bob",), ("cat",)}
+
+    def test_engine_agnostic(self, g, engine):
+        cq = parse_bgp(
+            "?x follows ?m . ?m visits ?b", ("?x", "?b"), g.registry
+        )
+        assert evaluate_cq(cq, engine) == evaluate_cq(cq, BFSEngine(g))
+
+    def test_constants_both_sides(self, g, engine):
+        cq = ConjunctiveQuery(
+            (TriplePattern("ann", 1, "bob"),), projection=()
+        )
+        # boolean query: non-empty iff the edge exists
+        assert evaluate_cq(cq, engine) == {()}
+
+    def test_false_boolean_query(self, g, engine):
+        cq = ConjunctiveQuery(
+            (TriplePattern("bob", 1, "ann"),), projection=()
+        )
+        assert evaluate_cq(cq, engine) == frozenset()
+
+
+class TestRandomAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_bgps(self, seed):
+        import random as random_module
+
+        graph = random_graph(8, 20, 2, seed=seed)
+        engine = CPQxIndex.build(graph, k=2)
+        rng = random_module.Random(seed)
+        variables = ["?a", "?b", "?c", "?d"]
+        for _ in range(6):
+            num_patterns = rng.randint(1, 3)
+            patterns = tuple(
+                TriplePattern(
+                    rng.choice(variables),
+                    rng.choice([1, 2, -1, -2]),
+                    rng.choice(variables),
+                )
+                for _ in range(num_patterns)
+            )
+            used = sorted({
+                t for p in patterns for t in (p.subject, p.object)
+            })
+            projection = tuple(rng.sample(used, k=min(2, len(used))))
+            cq = ConjunctiveQuery(patterns, projection)
+            assert evaluate_cq(cq, engine) == brute_force_cq(cq, graph), cq

@@ -1,0 +1,135 @@
+"""Statistical fidelity of the dataset stand-ins (DESIGN.md §2's claim).
+
+Each stand-in promises to preserve specific shape characteristics of the
+real dataset it replaces; these tests measure them with
+:mod:`repro.graph.metrics` so a generator regression is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.relational import RelationalEngine
+from repro.graph.datasets import load_dataset
+from repro.graph.metrics import (
+    degree_summary,
+    density,
+    label_histogram,
+    label_skew,
+    reciprocity,
+    summarize,
+)
+from repro.graph.io import edges_from_strings
+
+
+class TestMetricsUnit:
+    @pytest.fixture()
+    def g(self):
+        return edges_from_strings(["0 1 a", "1 0 a", "1 2 b", "2 3 a", "3 3 a"])
+
+    def test_density(self, g):
+        assert density(g) == pytest.approx(5 / 4)
+
+    def test_degree_summary(self, g):
+        summary = degree_summary(g)
+        assert summary.maximum >= summary.p90 >= summary.median
+        assert 0 <= summary.gini <= 1
+
+    def test_label_histogram(self, g):
+        assert label_histogram(g) == {1: 4, 2: 1}
+
+    def test_label_skew_bounds(self, g):
+        assert 0 < label_skew(g) < 1
+
+    def test_label_skew_uniform_is_one(self):
+        g = edges_from_strings(["0 1 a", "2 3 b"])
+        assert label_skew(g) == pytest.approx(1.0)
+
+    def test_label_skew_single_label_zero(self):
+        g = edges_from_strings(["0 1 a", "1 2 a"])
+        assert label_skew(g) == 0.0
+
+    def test_reciprocity(self, g):
+        # 0->1/1->0 reciprocated (2 edges), self loop 3->3 counts too
+        assert reciprocity(g) == pytest.approx(3 / 5)
+
+    def test_summarize_keys(self, g):
+        info = summarize(g)
+        assert {"vertices", "edges", "density", "label_skew",
+                "heavy_tailed"} <= set(info)
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import LabeledDigraph
+
+        g = LabeledDigraph()
+        assert density(g) == 0.0
+        assert reciprocity(g) == 0.0
+        assert degree_summary(g).maximum == 0
+
+
+class TestStandInFidelity:
+    """Shape characteristics of the Table II stand-ins."""
+
+    def test_exponential_skew_on_snap_standins(self):
+        """λ=0.5 label assignment → strongly non-uniform distribution."""
+        for name in ("ego-facebook", "epinions", "cit-patents"):
+            graph = load_dataset(name, scale=0.5, seed=1)
+            assert label_skew(graph) < 0.85, name
+            histogram = label_histogram(graph)
+            top = max(histogram.values())
+            assert top > 2 * (sum(histogram.values()) / len(histogram)), name
+
+    def test_social_graphs_are_heavy_tailed(self):
+        for name in ("ego-facebook", "epinions", "wiki-talk"):
+            graph = load_dataset(name, scale=0.5, seed=1)
+            assert degree_summary(graph).heavy_tailed, name
+
+    def test_knowledge_graphs_have_large_vocabularies(self):
+        yago = load_dataset("yago", scale=0.4, seed=1)
+        wikidata = load_dataset("wikidata", scale=0.4, seed=1)
+        assert len(wikidata.registry) > 2 * len(yago.registry)
+
+    def test_density_ordering_tracks_paper(self):
+        """youtube is the densest of the small stand-ins, as in Table II."""
+        densities = {
+            name: density(load_dataset(name, scale=0.4, seed=1))
+            for name in ("robots", "advogato", "youtube")
+        }
+        assert densities["youtube"] > densities["advogato"] > densities["robots"]
+
+    def test_gmark_sizes_scale(self):
+        small = load_dataset("g-mark-1m", scale=0.4, seed=1)
+        large = load_dataset("g-mark-5m", scale=0.4, seed=1)
+        assert large.num_vertices > 3 * small.num_vertices
+        # same schema → same label vocabulary
+        assert set(small.registry) == set(large.registry)
+
+
+class TestRelationalBaseline:
+    """The paper's dismissal claim, measured."""
+
+    def test_relational_is_path_k1(self):
+        graph = load_dataset("robots", scale=0.3, seed=2)
+        engine = RelationalEngine.build(graph)
+        assert engine.k == 1
+        from repro.baselines.path_index import PathIndex
+
+        path1 = PathIndex.build(graph, k=1)
+        assert engine.size_bytes() == path1.size_bytes()
+
+    def test_relational_correct_but_joins_more(self):
+        from repro.baselines.path_index import PathIndex
+        from repro.core.executor import ExecutionStats
+        from repro.query.parser import parse
+
+        graph = load_dataset("advogato", scale=0.3, seed=2)
+        relational = RelationalEngine.build(graph)
+        path2 = PathIndex.build(graph, k=2)
+        query = parse("l1 . l2", graph.registry)
+        assert relational.evaluate(query) == path2.evaluate(query)
+        rel_stats, path_stats = ExecutionStats(), ExecutionStats()
+        relational.evaluate(query, stats=rel_stats)
+        path2.evaluate(query, stats=path_stats)
+        # the relational plan joins where Path(k=2) answers with one lookup
+        assert rel_stats.joins == 1
+        assert path_stats.joins == 0

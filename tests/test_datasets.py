@@ -1,0 +1,91 @@
+"""Unit tests for the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    dataset_names,
+    gen_random,
+    get_dataset,
+    gmark_interests,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = set(dataset_names())
+        for expected in (
+            "robots", "ego-facebook", "advogato", "youtube", "string-hs",
+            "string-fc", "biogrid", "epinions", "web-google", "wiki-talk",
+            "yago", "cit-patents", "wikidata", "freebase",
+            "g-mark-1m", "g-mark-5m", "g-mark-10m", "g-mark-15m", "g-mark-20m",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            get_dataset("nope")
+
+    def test_paper_stats_recorded(self):
+        spec = get_dataset("freebase")
+        assert spec.paper_stats.vertices == 14_420_276
+        assert spec.paper_stats.labels == 1_556
+
+    def test_oom_datasets_marked_infeasible(self):
+        """The Table IV '-' rows must be flagged."""
+        for name in ("web-google", "wiki-talk", "yago", "cit-patents",
+                     "wikidata", "freebase", "g-mark-1m"):
+            assert not get_dataset(name).full_index_feasible, name
+        for name in ("robots", "advogato", "youtube"):
+            assert get_dataset(name).full_index_feasible, name
+
+
+class TestBuilding:
+    @pytest.mark.parametrize("name", ["robots", "yago", "g-mark-1m", "lubm-bench"])
+    def test_builds_at_small_scale(self, name):
+        graph = load_dataset(name, scale=0.1, seed=1)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_deterministic(self):
+        assert load_dataset("robots", scale=0.2, seed=3) == load_dataset(
+            "robots", scale=0.2, seed=3
+        )
+
+    def test_scale_changes_size(self):
+        small = load_dataset("advogato", scale=0.1, seed=1)
+        large = load_dataset("advogato", scale=0.4, seed=1)
+        assert large.num_vertices > small.num_vertices
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("robots", scale=0)
+
+    def test_knowledge_graph_label_vocabularies(self):
+        wikidata = load_dataset("wikidata", scale=0.1, seed=1)
+        robots = load_dataset("robots", scale=0.1, seed=1)
+        assert len(wikidata.registry) > 10 * len(robots.registry)
+
+
+class TestGmarkInterests:
+    def test_five_paper_interests(self):
+        graph = load_dataset("g-mark-1m", scale=0.2, seed=1)
+        interests = gmark_interests(graph)
+        assert len(interests) == 5
+        registry = graph.registry
+        assert (registry.id_of("cites"), registry.id_of("cites")) in interests
+        assert (registry.id_of("worksIn"), -registry.id_of("heldIn")) in interests
+
+
+class TestGenRandom:
+    @pytest.mark.parametrize("kind", ["random", "preferential", "community", "knowledge"])
+    def test_kinds(self, kind):
+        graph = gen_random(kind, scale=0.1, seed=2)
+        assert graph.num_edges > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            gen_random("nope")

@@ -1,0 +1,168 @@
+"""Unit tests for the labeled digraph and its inverse-extended adjacency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, UnknownVertexError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.io import edges_from_strings
+
+
+@pytest.fixture()
+def g() -> LabeledDigraph:
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestConstruction:
+    def test_from_triples_registers_labels(self):
+        graph = LabeledDigraph.from_triples([("x", "y", "rel")])
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.registry.id_of("rel") == 1
+
+    def test_add_vertex_idempotent(self, g):
+        before = g.num_vertices
+        g.add_vertex(0)
+        assert g.num_vertices == before
+
+    def test_duplicate_edge_is_noop(self, g):
+        before = g.num_edges
+        g.add_edge(0, 1, "a")
+        assert g.num_edges == before
+
+    def test_add_edge_with_id(self, g):
+        g.add_edge(1, 0, 1)
+        assert g.has_edge(1, 0, 1)
+
+    def test_add_edge_rejects_bad_label(self, g):
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 3.5)
+
+    def test_edge_counts_include_inverses(self, g):
+        assert g.num_edges == 4
+        assert g.num_extended_edges == 8
+
+
+class TestRemoval:
+    def test_remove_edge(self, g):
+        g.remove_edge(0, 1, "a")
+        assert not g.has_edge(0, 1, 1)
+        assert g.num_edges == 3
+
+    def test_remove_missing_edge_raises(self, g):
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 2, "a")
+
+    def test_remove_edge_cleans_empty_buckets(self, g):
+        g.remove_edge(0, 1, "a")
+        # re-adding works and adjacency stays consistent
+        g.add_edge(0, 1, "a")
+        assert g.has_edge(0, 1, 1)
+
+    def test_remove_vertex_removes_incident_edges(self, g):
+        g.remove_vertex(0)
+        assert not g.has_vertex(0)
+        assert g.num_edges == 1  # only 1->2 b remains
+        assert set(g.triples()) == {(1, 2, 2)}
+
+    def test_remove_unknown_vertex_raises(self, g):
+        with pytest.raises(UnknownVertexError):
+            g.remove_vertex(99)
+
+
+class TestExtendedAdjacency:
+    def test_has_edge_inverse(self, g):
+        assert g.has_edge(1, 0, -1)   # inverse of 0->1 a
+        assert not g.has_edge(0, 1, -1)
+
+    def test_successors_forward(self, g):
+        assert g.successors(0, 1) == {1}
+        assert g.successors(0, 2) == {0}
+
+    def test_successors_inverse(self, g):
+        assert g.successors(1, -1) == {0}
+        assert g.successors(0, -1) == {2}
+
+    def test_successors_missing(self, g):
+        assert g.successors(99, 1) == frozenset()
+        assert g.successors(1, 2) == {2}
+
+    def test_out_items_covers_both_directions(self, g):
+        items = {(label, frozenset(targets)) for label, targets in g.out_items(0)}
+        assert (1, frozenset({1})) in items     # 0 -a-> 1
+        assert (2, frozenset({0})) in items     # 0 -b-> 0 self loop
+        assert (-1, frozenset({2})) in items    # 2 -a-> 0 inverted
+        assert (-2, frozenset({0})) in items    # self loop inverse
+
+    def test_edge_labels_extended(self, g):
+        assert g.edge_labels(0, 1) == {1}
+        assert g.edge_labels(1, 0) == {-1}
+        assert g.edge_labels(0, 0) == {2, -2}
+        assert g.edge_labels(0, 2) == {-1}  # only via inverse of 2->0 a
+
+    def test_extended_triples_doubles(self, g):
+        triples = list(g.extended_triples())
+        assert len(triples) == 8
+        assert (1, 0, -1) in triples
+
+    def test_degrees(self, g):
+        # vertex 0: out a->1, self b (fwd+inv), inverse of 2->0
+        assert g.out_degree(0) == 4
+        assert g.max_degree() >= 4
+
+    def test_labels_used(self, g):
+        assert g.labels_used() == {1, 2}
+
+
+class TestRelations:
+    def test_label_relation_forward(self, g):
+        assert g.label_relation(1) == {(0, 1), (2, 0)}
+
+    def test_label_relation_inverse_is_converse(self, g):
+        forward = g.label_relation(1)
+        backward = g.label_relation(-1)
+        assert backward == {(u, v) for v, u in forward}
+
+    def test_sequence_relation_empty_is_identity(self, g):
+        assert g.sequence_relation(()) == {(v, v) for v in g.vertices()}
+
+    def test_sequence_relation_single(self, g):
+        assert g.sequence_relation((2,)) == {(1, 2), (0, 0)}
+
+    def test_sequence_relation_composes(self, g):
+        # a then b: 0-a->1-b->2 and 2-a->0-b->0
+        assert g.sequence_relation((1, 2)) == {(0, 2), (2, 0)}
+
+    def test_sequence_relation_with_inverse(self, g):
+        # a then a^-: x -a-> m <-a- y; a-edges are 0->1 and 2->0,
+        # which share no target, so only the trivial out-and-backs match
+        assert g.sequence_relation((1, -1)) == {(0, 0), (2, 2)}
+
+
+class TestMisc:
+    def test_copy_is_deep_for_structure(self, g):
+        clone = g.copy()
+        clone.remove_edge(0, 1, "a")
+        assert g.has_edge(0, 1, 1)
+        assert not clone.has_edge(0, 1, 1)
+
+    def test_copy_equal(self, g):
+        assert g.copy() == g
+
+    def test_equality_differs_on_edges(self, g):
+        other = g.copy()
+        other.add_edge(1, 1, "a")
+        assert g != other
+
+    def test_unhashable(self, g):
+        with pytest.raises(TypeError):
+            hash(g)
+
+    def test_repr(self, g):
+        assert "LabeledDigraph" in repr(g)
+        assert "|V|=3" in repr(g)

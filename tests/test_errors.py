@@ -1,0 +1,90 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GraphError,
+        errors.UnknownVertexError,
+        errors.UnknownLabelError,
+        errors.QuerySyntaxError,
+        errors.QueryDiameterError,
+        errors.IndexBuildError,
+        errors.MaintenanceError,
+        errors.DatasetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_persistence_error_in_hierarchy(self):
+        from repro.core.persistence import PersistenceError
+
+        assert issubclass(PersistenceError, errors.ReproError)
+
+    def test_unknown_vertex_payload(self):
+        exc = errors.UnknownVertexError(("u", 3))
+        assert exc.vertex == ("u", 3)
+        assert "('u', 3)" in str(exc)
+
+    def test_unknown_label_payload(self):
+        exc = errors.UnknownLabelError("miss")
+        assert exc.label == "miss"
+
+    def test_syntax_error_position(self):
+        exc = errors.QuerySyntaxError("bad", position=4)
+        assert "position 4" in str(exc)
+        assert errors.QuerySyntaxError("bad").position is None
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_exports_resolve(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None, name
+
+    def test_query_exports_resolve(self):
+        from repro import query
+
+        for name in query.__all__:
+            assert getattr(query, name) is not None, name
+
+    def test_plan_exports_resolve(self):
+        from repro import plan
+
+        for name in plan.__all__:
+            assert getattr(plan, name) is not None, name
+
+    def test_baselines_exports_resolve(self):
+        from repro import baselines
+
+        for name in baselines.__all__:
+            assert getattr(baselines, name) is not None, name
+
+    def test_graph_exports_resolve(self):
+        from repro import graph
+
+        for name in graph.__all__:
+            assert getattr(graph, name) is not None, name
+
+    def test_readme_quickstart_api_works(self):
+        """The README's four-line quickstart must keep working."""
+        g = repro.LabeledDigraph.from_triples([
+            ("a", "b", "f"), ("b", "c", "f"), ("c", "a", "f"),
+        ])
+        index = repro.CPQxIndex.build(g, k=2)
+        answers = index.evaluate(repro.parse("(f . f . f) & id", g.registry))
+        assert answers == {("a", "a"), ("b", "b"), ("c", "c")}

@@ -1,0 +1,54 @@
+"""The example scripts must stay runnable (they are living documentation)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestQuickstart:
+    def test_runs_and_finds_triad(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "('sue', 'zoe')" in result.stdout
+        assert "CPQx built" in result.stdout
+
+
+class TestEngineComparison:
+    def test_runs_on_small_robots(self):
+        result = run_example("engine_comparison.py", "robots", "0.15")
+        assert result.returncode == 0, result.stderr
+        assert "all engines agreed" in result.stdout
+
+
+@pytest.mark.parametrize(
+    "script", ["social_motifs.py", "knowledge_graph.py", "dynamic_graph.py"]
+)
+class TestOtherExamplesCompile:
+    def test_compiles(self, script):
+        """Full runs are exercised manually / in benches; compiling the
+        module catches import and syntax rot cheaply."""
+        source = (EXAMPLES / script).read_text(encoding="utf-8")
+        compile(source, script, "exec")
+
+
+class TestExamplesHaveMains:
+    def test_every_example_is_executable_script(self):
+        for script in EXAMPLES.glob("*.py"):
+            source = script.read_text(encoding="utf-8")
+            assert "__main__" in source, script.name
+            assert source.lstrip().startswith('"""'), f"{script.name} missing docstring"

@@ -1,0 +1,141 @@
+"""Unit tests for the plan executor (Algorithms 3 & 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.core.cpqx import CPQxIndex
+from repro.core.executor import ExecutionStats, Result, execute_plan
+from repro.graph.io import edges_from_strings
+from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b", "1 0 a"])
+
+
+@pytest.fixture()
+def index(g):
+    return CPQxIndex.build(g, k=2)
+
+
+class TestResult:
+    def test_exactly_one_side(self):
+        with pytest.raises(QuerySyntaxError):
+            Result()
+        with pytest.raises(QuerySyntaxError):
+            Result(pairs=frozenset(), classes=frozenset())
+
+    def test_constructors(self):
+        assert Result.of_pairs([(1, 2)]).pairs == {(1, 2)}
+        assert Result.of_classes([3]).classes == {3}
+
+
+class TestLookupExecution:
+    def test_lookup(self, index):
+        answer = execute_plan(Lookup((1,)), index)
+        assert answer == {(0, 1), (2, 0), (1, 0)}
+
+    def test_lookup_with_identity(self, index):
+        # a a^-: out-and-back loops plus (0,1)/(1,0) two-way pairs
+        unfiltered = execute_plan(Lookup((1, -1)), index)
+        filtered = execute_plan(Lookup((1, -1), with_identity=True), index)
+        assert filtered == {(v, u) for v, u in unfiltered if v == u}
+        assert filtered < unfiltered
+
+    def test_missing_sequence(self, index):
+        assert execute_plan(Lookup((99,)), index) == frozenset()
+
+
+class TestJoinExecution:
+    def test_join(self, index):
+        plan = JoinNode(Lookup((1,)), Lookup((2,)))
+        assert execute_plan(plan, index) == {(0, 2), (2, 0), (1, 0)}
+
+    def test_join_with_identity(self, index):
+        plan = JoinNode(Lookup((1,)), Lookup((1,)), with_identity=True)
+        direct = execute_plan(JoinNode(Lookup((1,)), Lookup((1,))), index)
+        fused = execute_plan(plan, index)
+        assert fused == {(v, u) for v, u in direct if v == u}
+
+    def test_join_stats(self, index):
+        stats = ExecutionStats()
+        execute_plan(JoinNode(Lookup((1,)), Lookup((2,))), index, stats=stats)
+        assert stats.joins == 1
+        assert stats.lookups == 2
+        assert stats.pairs_touched > 0
+
+
+class TestConjunctionExecution:
+    def test_class_level_conjunction(self, index):
+        stats = ExecutionStats()
+        plan = ConjNode(Lookup((1,)), Lookup((1, -1)))
+        answer = execute_plan(plan, index, stats=stats)
+        assert stats.class_conjunctions == 1
+        assert stats.pair_conjunctions == 0
+        # pairs with an a-edge AND an a-out-and-back
+        expected = index.expand_classes(index.lookup((1,)).classes) & \
+            index.expand_classes(index.lookup((1, -1)).classes)
+        assert answer == expected
+
+    def test_mixed_conjunction_materializes(self, index):
+        stats = ExecutionStats()
+        # join result (pairs) ∩ lookup result (classes)
+        plan = ConjNode(JoinNode(Lookup((1,)), Lookup((2,))), Lookup((1,)))
+        execute_plan(plan, index, stats=stats)
+        assert stats.pair_conjunctions == 1
+
+    def test_conjunction_with_identity_on_classes(self, index):
+        plan = ConjNode(Lookup((1, 2)), Lookup((2, -2)), with_identity=True)
+        answer = execute_plan(plan, index)
+        assert all(v == u for v, u in answer)
+
+    def test_empty_class_intersection(self, index):
+        plan = ConjNode(Lookup((1,)), Lookup((99,)))
+        assert execute_plan(plan, index) == frozenset()
+
+
+class TestIdentityAll:
+    def test_returns_all_loops(self, g, index):
+        answer = execute_plan(IdentityAll(), index)
+        assert answer == {(v, v) for v in g.vertices()}
+
+
+class TestLimit:
+    def test_limit_truncates(self, index):
+        full = execute_plan(Lookup((1,)), index)
+        limited = execute_plan(Lookup((1,)), index, limit=2)
+        assert len(limited) == 2
+        assert limited <= full
+
+    def test_limit_on_class_expansion_is_partial(self, index):
+        limited = execute_plan(Lookup((1,)), index, limit=1)
+        assert len(limited) == 1
+
+    def test_limit_larger_than_answer(self, index):
+        full = execute_plan(Lookup((2,)), index)
+        assert execute_plan(Lookup((2,)), index, limit=99) == full
+
+
+class TestStatsMerge:
+    def test_merge_accumulates(self):
+        a = ExecutionStats(lookups=1, classes_touched=2, pairs_touched=3,
+                           class_conjunctions=1, pair_conjunctions=0, joins=2)
+        b = ExecutionStats(lookups=2, classes_touched=1, pairs_touched=1,
+                           class_conjunctions=0, pair_conjunctions=2, joins=1)
+        a.merge(b)
+        assert (a.lookups, a.classes_touched, a.pairs_touched) == (3, 3, 4)
+        assert (a.class_conjunctions, a.pair_conjunctions, a.joins) == (1, 2, 3)
+
+
+class TestEngineBaseErrors:
+    def test_pair_engine_rejects_class_calls(self, g):
+        from repro.baselines.bfs import BFSEngine
+
+        engine = BFSEngine(g)
+        with pytest.raises(QuerySyntaxError):
+            engine.expand_classes(frozenset({1}))
+        with pytest.raises(QuerySyntaxError):
+            engine.loop_classes_of(frozenset({1}))

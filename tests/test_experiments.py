@@ -1,0 +1,130 @@
+"""Smoke tests for every experiment function (tiny scale).
+
+Each paper table/figure's generator must run end to end and produce
+plausibly-shaped rows; the full-size runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments as E
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.12")
+    monkeypatch.setenv("REPRO_BENCH_QUERIES", "2")
+
+
+class TestDatasetTable:
+    def test_table2(self):
+        result = E.table2_datasets(names=("robots", "yago"))
+        assert len(result.rows) == 2
+        assert result.headers[0] == "dataset"
+        assert "robots" in result.render()
+
+
+class TestQueryTimeExperiments:
+    def test_fig6(self):
+        result = E.fig6_query_time(
+            datasets=("robots",), templates=("C2", "T"),
+            methods=("CPQx", "iaCPQx", "BFS"),
+        )
+        methods = set(result.column("method"))
+        assert methods == {"CPQx", "iaCPQx", "BFS"}
+        for time_value in result.column("mean_time_s"):
+            assert time_value >= 0
+
+    def test_fig6_skips_full_methods_on_infeasible(self):
+        result = E.fig6_query_time(
+            datasets=("wikidata",), templates=("C2",),
+            methods=("CPQx", "iaCPQx"),
+        )
+        assert set(result.column("method")) == {"iaCPQx"}
+
+    def test_table3(self):
+        result = E.table3_pruning_power(datasets=("robots",))
+        assert len(result.rows) == 1
+        _, cpqx, ia, iapath = result.rows[0]
+        assert ia <= iapath
+
+    def test_fig7(self):
+        result = E.fig7_empty_nonempty(
+            datasets=("yago",), templates=("C2", "T"),
+            methods=("iaCPQx", "Tentris"),
+        )
+        assert {"non-empty", "first"} <= set(result.column("kind"))
+
+    def test_fig8(self):
+        result = E.fig8_interest_size(
+            dataset="yago", fractions=(1.0, 0.0), templates=("C2",)
+        )
+        pcts = set(result.column("interest_pct"))
+        assert pcts == {100, 0}
+
+    def test_fig9(self):
+        result = E.fig9_yago_benchmark(methods=("iaCPQx", "BFS"))
+        assert {row[0] for row in result.rows} == {"Y1", "Y2", "Y3", "Y4"}
+
+    def test_fig10(self):
+        result = E.fig10_lubm_watdiv(sizes=(120, 240))
+        suites = {row[0] for row in result.rows}
+        assert suites == {"LUBM", "WatDiv"}
+
+    def test_fig11(self):
+        result = E.fig11_scalability(sizes=(120, 240), templates=("C2",))
+        assert len(result.rows) == 2
+        assert result.rows[0][0] <= result.rows[1][0]
+
+
+class TestIndexCostExperiments:
+    def test_fig12(self):
+        result = E.fig12_label_count(label_counts=(16, 64))
+        assert [row[0] for row in result.rows] == [16, 64]
+        for _, path, cpqx, iapath, iacpqx in result.rows:
+            assert min(path, cpqx, iapath, iacpqx) > 0
+
+    def test_table4_feasibility_dashes(self):
+        result = E.table4_index_size(datasets=("robots", "wikidata"))
+        by_key = {(row[0], row[1]): row for row in result.rows}
+        assert by_key[("wikidata", "CPQx")][2] == "-"
+        assert by_key[("robots", "CPQx")][2] != "-"
+
+    def test_fig15(self):
+        result = E.fig15_k_index_cost(datasets=("robots",), ks=(1, 2))
+        assert [row[1] for row in result.rows] == [1, 2]
+
+
+class TestMaintenanceExperiments:
+    def test_table5(self):
+        result = E.table5_cpqx_updates(datasets=("robots",), updates=4)
+        assert len(result.rows) == 1
+        _, deletion, insertion = result.rows[0]
+        assert deletion >= 0 and insertion >= 0
+
+    def test_table6(self):
+        result = E.table6_iacpqx_updates(datasets=("robots",), updates=4)
+        _, edge_del, edge_ins, seq_del, seq_ins = result.rows[0]
+        assert min(edge_del, edge_ins, seq_del, seq_ins) >= 0
+
+    def test_table7(self):
+        result = E.table7_size_growth(
+            dataset="robots", edge_ratios=(0.05,), seq_counts=(2,)
+        )
+        kinds = {row[1] for row in result.rows}
+        assert kinds == {"edges", "sequences"}
+        for row in result.rows:
+            assert row[3] > 0.5
+
+    def test_fig13(self):
+        result = E.fig13_maintenance_impact(
+            dataset="robots", edge_ratios=(0.0, 0.1), templates=("C2",)
+        )
+        assert {row[1] for row in result.rows} == {0, 10}
+
+    def test_fig14(self):
+        result = E.fig14_k_query_time(
+            datasets=("robots",), ks=(1, 2), templates=("C2",)
+        )
+        assert {row[1] for row in result.rows} == {1, 2}

@@ -1,0 +1,55 @@
+"""Tests for the explain() diagnostics entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.path_index import PathIndex
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestExplain:
+    def test_cpqx_explain_has_all_sections(self, g):
+        index = CPQxIndex.build(g, k=2)
+        report = index.explain(parse("(a . b) & (b . a)", g.registry))
+        assert "engine: CPQx" in report
+        assert "Conj(Lookup" in report
+        assert "class-conj=1" in report
+        assert "thm-4.5 estimate" in report
+        assert "α1=0" in report
+
+    def test_join_query_counts_alpha1(self, g):
+        index = CPQxIndex.build(g, k=2)
+        report = index.explain(parse("a . b . a", g.registry))
+        assert "joins=1" in report
+        assert "α1=1" in report
+
+    def test_pair_engine_explain_omits_estimate(self, g):
+        report = BFSEngine(g).explain(parse("a . b", g.registry))
+        assert "engine: BFS" in report
+        assert "thm-4.5" not in report
+
+    def test_path_index_explain(self, g):
+        report = PathIndex.build(g, k=2).explain(parse("a & a", g.registry))
+        assert "engine: Path" in report
+        assert "pair-conj=1" in report
+
+    def test_iacpqx_explain(self, g):
+        index = InterestAwareIndex.build(g, k=2, interests={(1, 2)})
+        report = index.explain(parse("a . b", g.registry))
+        assert "engine: iaCPQx" in report
+        assert "Lookup([1, 2])" in report
+
+    def test_answer_count_reported(self, g):
+        index = CPQxIndex.build(g, k=2)
+        report = index.explain(parse("a", g.registry))
+        assert "answers: 2" in report

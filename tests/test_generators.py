@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.generators import (
+    bipartite_visit_graph,
+    community_graph,
+    cycle_graph,
+    expected_label_counts,
+    exponential_label,
+    grid_graph,
+    knowledge_graph,
+    preferential_attachment_graph,
+    random_graph,
+    relabel_graph,
+    uniform_label,
+)
+
+
+class TestLabelDistributions:
+    def test_exponential_label_in_range(self):
+        rng = random.Random(0)
+        labels = [exponential_label(rng, 8) for _ in range(2000)]
+        assert all(1 <= l <= 8 for l in labels)
+
+    def test_exponential_label_is_skewed(self):
+        rng = random.Random(0)
+        labels = [exponential_label(rng, 8) for _ in range(4000)]
+        counts = [labels.count(i) for i in range(1, 9)]
+        # label 1 dominates and the tail decays (paper's λ=0.5 skew)
+        assert counts[0] > counts[1] > counts[3]
+
+    def test_exponential_label_matches_analytic_masses(self):
+        rng = random.Random(1)
+        n = 20000
+        labels = [exponential_label(rng, 6) for _ in range(n)]
+        expected = expected_label_counts(n, 6)
+        for i, expect in enumerate(expected, start=1):
+            observed = labels.count(i)
+            assert abs(observed - expect) < 0.15 * n
+
+    def test_exponential_label_rejects_bad_count(self):
+        with pytest.raises(DatasetError):
+            exponential_label(random.Random(0), 0)
+
+    def test_uniform_label(self):
+        rng = random.Random(0)
+        labels = {uniform_label(rng, 4) for _ in range(200)}
+        assert labels == {1, 2, 3, 4}
+
+
+class TestRandomGraph:
+    def test_sizes(self):
+        graph = random_graph(50, 120, 4, seed=1)
+        assert graph.num_vertices == 50
+        assert 0 < graph.num_edges <= 120
+        assert graph.labels_used() <= {1, 2, 3, 4}
+
+    def test_deterministic_by_seed(self):
+        assert random_graph(30, 60, 3, seed=5) == random_graph(30, 60, 3, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_graph(30, 60, 3, seed=5) != random_graph(30, 60, 3, seed=6)
+
+    def test_accepts_rng_instance(self):
+        graph = random_graph(10, 20, 2, seed=random.Random(3))
+        assert graph.num_vertices == 10
+
+
+class TestPreferentialAttachment:
+    def test_grows_hubs(self):
+        graph = preferential_attachment_graph(200, 3, 4, seed=2)
+        degrees = sorted(graph.out_degree(v) for v in graph.vertices())
+        # heavy tail: max degree far above the median
+        assert degrees[-1] > 4 * degrees[len(degrees) // 2]
+
+    def test_edge_budget(self):
+        graph = preferential_attachment_graph(100, 2, 4, seed=2)
+        assert graph.num_edges <= 2 * 100
+
+
+class TestDomainGenerators:
+    def test_bipartite_visit_layers(self):
+        graph = bipartite_visit_graph(30, 5, 60, 40, seed=3)
+        visits = graph.registry.id_of("visits")
+        for v, u, label in graph.triples():
+            if label == visits:
+                assert v[0] == "u" and u[0] == "b"
+            else:
+                assert v[0] == "u" and u[0] == "u"
+
+    def test_community_graph_builds(self):
+        graph = community_graph(60, 6, 150, 30, 4, seed=4)
+        assert graph.num_vertices == 60
+        assert graph.num_edges > 50
+
+    def test_community_graph_needs_viable_community(self):
+        with pytest.raises(DatasetError):
+            community_graph(1, 1, 5, 0, 2, seed=0)
+
+    def test_knowledge_graph_hubs_and_labels(self):
+        graph = knowledge_graph(200, 800, 50, seed=5)
+        assert len(graph.labels_used()) > 10
+        in_degrees = sorted(
+            sum(len(s) for s in graph._in.get(v, {}).values())
+            for v in graph.vertices()
+        )
+        assert in_degrees[-1] > 5 * max(1, in_degrees[len(in_degrees) // 2])
+
+
+class TestDeterministicShapes:
+    def test_grid(self):
+        graph = grid_graph(3, 2)
+        assert graph.num_vertices == 6
+        assert graph.num_edges == (2 * 2) + 3  # rights per row + downs per col
+        assert graph.has_edge((0, 0), (1, 0), 1)
+        assert graph.has_edge((0, 0), (0, 1), 2)
+
+    def test_cycle(self):
+        graph = cycle_graph(4)
+        assert graph.num_edges == 4
+        assert graph.sequence_relation((1, 1, 1, 1)) == {(v, v) for v in range(4)}
+
+    def test_cycle_rejects_zero(self):
+        with pytest.raises(DatasetError):
+            cycle_graph(0)
+
+
+class TestRelabel:
+    def test_preserves_topology(self):
+        base = random_graph(20, 50, 3, seed=6)
+        relabeled = relabel_graph(base, 16, seed=7)
+        base_pairs = {(v, u) for v, u, _ in base.triples()}
+        new_pairs = {(v, u) for v, u, _ in relabeled.triples()}
+        assert new_pairs == base_pairs
+
+    def test_uses_requested_vocabulary(self):
+        base = random_graph(20, 60, 3, seed=6)
+        relabeled = relabel_graph(base, 16, seed=7)
+        assert max(relabeled.labels_used()) <= 16
+        assert len(relabeled.registry) == 16
+
+    def test_deterministic(self):
+        base = random_graph(20, 50, 3, seed=6)
+        assert relabel_graph(base, 8, seed=1) == relabel_graph(base, 8, seed=1)

@@ -1,0 +1,160 @@
+"""Cross-engine integration tests: all seven methods, one truth.
+
+The paper's protocol runs every method on the same query plans over the
+same workloads; here every engine must return byte-identical answer sets
+on shared workloads over shared graphs — including after maintenance and
+on the benchmark query suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+from repro.baselines.relational import RelationalEngine
+from repro.baselines.tentris import TentrisEngine
+from repro.baselines.turbohom import TurboHomEngine
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import community_graph, random_graph
+from repro.graph.schema import citation_schema, lubm_schema, watdiv_schema, yago_like_schema
+from repro.query.ast import resolve
+from repro.query.semantics import evaluate as reference
+from repro.query.templates import (
+    lubm_queries,
+    template_names,
+    watdiv_queries,
+    yago2_queries,
+)
+from repro.query.workloads import random_template_queries, workload_interests
+
+
+def all_engines(graph, interests):
+    return [
+        CPQxIndex.build(graph, k=2),
+        InterestAwareIndex.build(graph, k=2, interests=interests),
+        PathIndex.build(graph, k=2),
+        InterestAwarePathIndex.build(graph, k=2, interests=interests),
+        RelationalEngine.build(graph),
+        BFSEngine(graph),
+        TurboHomEngine(graph),
+        TentrisEngine(graph),
+    ]
+
+
+class TestAllTemplatesAllEngines:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_full_matrix(self, seed):
+        graph = random_graph(22, 60, 3, seed=seed)
+        workload = []
+        for template in template_names():
+            workload.extend(
+                random_template_queries(graph, template, count=2, seed=seed)
+            )
+        interests = frozenset(workload_interests(workload, 2))
+        engines = all_engines(graph, interests)
+        for wq in workload:
+            expected = reference(wq.query, graph)
+            for engine in engines:
+                assert engine.evaluate(wq.query) == expected, (
+                    engine.name, wq.template, wq.labels
+                )
+
+
+class TestCommunityGraph:
+    def test_dense_clusters(self):
+        graph = community_graph(40, 4, 150, 20, 3, seed=2)
+        workload = []
+        for template in ("S", "TT", "St", "Si"):
+            workload.extend(random_template_queries(graph, template, count=2, seed=3))
+        interests = frozenset(workload_interests(workload, 2))
+        engines = all_engines(graph, interests)
+        for wq in workload:
+            expected = reference(wq.query, graph)
+            for engine in engines:
+                assert engine.evaluate(wq.query) == expected
+
+
+class TestBenchmarkSuites:
+    @pytest.mark.parametrize(
+        "schema_factory,suite",
+        [
+            (yago_like_schema, yago2_queries),
+            (lubm_schema, lubm_queries),
+            (watdiv_schema, watdiv_queries),
+        ],
+        ids=["yago2", "lubm", "watdiv"],
+    )
+    def test_suite_agreement(self, schema_factory, suite):
+        graph = schema_factory().generate(150, seed=4)
+        queries = [resolve(q, graph.registry) for q in suite().values()]
+        interests = frozenset(workload_interests(queries, 2))
+        engines = [
+            InterestAwareIndex.build(graph, k=2, interests=interests),
+            InterestAwarePathIndex.build(graph, k=2, interests=interests),
+            BFSEngine(graph),
+            TentrisEngine(graph),
+        ]
+        for query in queries:
+            expected = reference(query, graph)
+            for engine in engines:
+                assert engine.evaluate(query) == expected, engine.name
+
+
+class TestDatasetStandIns:
+    @pytest.mark.parametrize("name", ["robots", "g-mark-1m", "yago"])
+    def test_engines_agree_on_dataset(self, name):
+        graph = load_dataset(name, scale=0.08, seed=5)
+        workload = []
+        for template in ("C2", "T", "S"):
+            workload.extend(random_template_queries(graph, template, count=2, seed=6))
+        interests = frozenset(workload_interests(workload, 2))
+        engines = [
+            InterestAwareIndex.build(graph, k=2, interests=interests),
+            BFSEngine(graph),
+            TentrisEngine(graph),
+        ]
+        for wq in workload:
+            expected = reference(wq.query, graph)
+            for engine in engines:
+                assert engine.evaluate(wq.query) == expected
+
+
+class TestMaintenanceKeepsEnginesAligned:
+    def test_cpqx_after_updates_equals_fresh_engines(self):
+        graph = random_graph(20, 55, 3, seed=7)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        # churn
+        triples = sorted(index.graph.triples(), key=repr)
+        for edge in triples[:5]:
+            index.delete_edge(*edge)
+        index.insert_edge(0, 1, 1)
+        final_graph = index.graph
+        fresh = [
+            PathIndex.build(final_graph, k=2),
+            BFSEngine(final_graph),
+            TurboHomEngine(final_graph),
+        ]
+        for template in ("C2", "T", "S", "Ti"):
+            for wq in random_template_queries(final_graph, template, count=2, seed=8):
+                expected = reference(wq.query, final_graph)
+                assert index.evaluate(wq.query) == expected
+                for engine in fresh:
+                    assert engine.evaluate(wq.query) == expected
+
+
+class TestGmarkCitationWorkload:
+    def test_paper_interest_queries(self):
+        """The five gMark interests evaluate identically across engines."""
+        from repro.graph.datasets import gmark_interests
+        from repro.query.ast import sequence_query
+
+        graph = citation_schema().generate(200, seed=9)
+        interests = frozenset(gmark_interests(graph))
+        ia = InterestAwareIndex.build(graph, k=2, interests=interests)
+        bfs = BFSEngine(graph)
+        for seq in interests:
+            query = sequence_query(seq)
+            assert ia.evaluate(query) == bfs.evaluate(query)

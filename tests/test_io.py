@@ -1,0 +1,90 @@
+"""Unit tests for graph IO (TSV, JSON, string fixtures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.io import (
+    edges_from_strings,
+    graph_from_document,
+    graph_to_document,
+    load_json,
+    load_tsv,
+    save_json,
+    save_tsv,
+)
+
+
+@pytest.fixture()
+def sample():
+    return edges_from_strings(["alice bob knows", "bob carol knows", "carol alice likes"])
+
+
+class TestTsv:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_tsv(sample, path)
+        loaded = load_tsv(path)
+        assert loaded == sample
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# header\n\na\tb\tf\n", encoding="utf-8")
+        graph = load_tsv(path)
+        assert graph.num_edges == 1
+
+    def test_integer_vertices_parsed(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("1\t2\tf\n", encoding="utf-8")
+        graph = load_tsv(path)
+        assert graph.has_vertex(1)
+        assert not graph.has_vertex("1")
+
+    def test_bad_field_count_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            load_tsv(path)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        from repro.graph.digraph import LabeledDigraph
+
+        path = tmp_path / "empty.tsv"
+        save_tsv(LabeledDigraph(), path)
+        assert load_tsv(path).num_edges == 0
+
+
+class TestJson:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert loaded == sample
+        # label names survive the round trip
+        assert set(loaded.registry) == set(sample.registry)
+
+    def test_document_roundtrip_preserves_isolated_vertices(self):
+        from repro.graph.digraph import LabeledDigraph
+
+        graph = LabeledDigraph()
+        graph.add_vertex("lonely")
+        graph.add_edge("a", "b", "f")
+        doc = graph_to_document(graph)
+        restored = graph_from_document(doc)
+        assert restored.has_vertex("lonely")
+        assert restored == graph
+
+    def test_bad_edge_entry_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_document({"labels": ["f"], "edges": [["a", "b"]]})
+
+
+class TestStringFixture:
+    def test_parses_whitespace_fields(self):
+        graph = edges_from_strings(["x   y   f"])
+        assert graph.has_edge("x", "y", 1)
+
+    def test_bad_line_raises(self):
+        with pytest.raises(GraphError):
+            edges_from_strings(["only two"])

@@ -1,0 +1,109 @@
+"""Unit tests for the label registry and inverse-label encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownLabelError
+from repro.graph.labels import (
+    LabelRegistry,
+    base_label,
+    inverse,
+    inverse_sequence,
+    is_inverse,
+)
+
+
+class TestInverseEncoding:
+    def test_inverse_negates(self):
+        assert inverse(3) == -3
+        assert inverse(-3) == 3
+
+    def test_inverse_is_involution(self):
+        for label in (1, -1, 7, -42):
+            assert inverse(inverse(label)) == label
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            inverse(0)
+
+    def test_is_inverse(self):
+        assert is_inverse(-1)
+        assert not is_inverse(1)
+
+    def test_base_label(self):
+        assert base_label(-5) == 5
+        assert base_label(5) == 5
+
+    def test_inverse_sequence_reverses_and_negates(self):
+        assert inverse_sequence((1, -2, 3)) == (-3, 2, -1)
+
+    def test_inverse_sequence_is_involution(self):
+        seq = (1, -2, 3, 3, -1)
+        assert inverse_sequence(inverse_sequence(seq)) == seq
+
+    def test_inverse_sequence_empty(self):
+        assert inverse_sequence(()) == ()
+
+
+class TestLabelRegistry:
+    def test_registration_order_gives_ids(self):
+        registry = LabelRegistry(["f", "v"])
+        assert registry.id_of("f") == 1
+        assert registry.id_of("v") == 2
+
+    def test_register_is_idempotent(self):
+        registry = LabelRegistry()
+        first = registry.register("x")
+        second = registry.register("x")
+        assert first == second == 1
+        assert len(registry) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            LabelRegistry().register("")
+
+    def test_inverse_suffix_in_id_of(self):
+        registry = LabelRegistry(["f"])
+        assert registry.id_of("f^-") == -1
+
+    def test_name_of_inverse(self):
+        registry = LabelRegistry(["f"])
+        assert registry.name_of(-1) == "f^-"
+        assert registry.name_of(1) == "f"
+
+    def test_name_of_unknown_raises(self):
+        registry = LabelRegistry(["f"])
+        with pytest.raises(UnknownLabelError):
+            registry.name_of(2)
+        with pytest.raises(UnknownLabelError):
+            registry.name_of(0)
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(UnknownLabelError):
+            LabelRegistry().id_of("missing")
+
+    def test_contains(self):
+        registry = LabelRegistry(["f"])
+        assert "f" in registry
+        assert "f^-" in registry
+        assert "g" not in registry
+        assert 1 not in registry  # non-strings are never contained
+
+    def test_iteration_and_len(self):
+        registry = LabelRegistry(["a", "b", "c"])
+        assert list(registry) == ["a", "b", "c"]
+        assert len(registry) == 3
+
+    def test_forward_and_all_ids(self):
+        registry = LabelRegistry(["a", "b"])
+        assert list(registry.forward_ids()) == [1, 2]
+        assert registry.all_ids() == [1, 2, -1, -2]
+
+    def test_sequence_of(self):
+        registry = LabelRegistry(["a", "b"])
+        assert registry.sequence_of(["a", "b^-", "a"]) == (1, -2, 1)
+
+    def test_format_sequence(self):
+        registry = LabelRegistry(["f", "v"])
+        assert registry.format_sequence((1, -2)) == "⟨f, v^-⟩"

@@ -1,0 +1,115 @@
+"""End-to-end life-cycle integration: the full loop a deployment runs.
+
+build → save → load → maintain (edges, vertices, labels, interests) →
+verify → query, with answers checked against the reference semantics at
+every stage.  This is the composition surface where subsystem bugs hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.validate import verify_index
+from repro.graph.generators import random_graph
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+def _workload(graph, seed):
+    queries = []
+    for template in ("C2", "T", "S", "Ti", "C4"):
+        queries.extend(
+            wq.query
+            for wq in random_template_queries(graph, template, count=2, seed=seed)
+        )
+    return queries
+
+
+class TestCpqxLifecycle:
+    def test_full_cycle(self, tmp_path):
+        graph = random_graph(22, 60, 3, seed=61)
+        index = CPQxIndex.build(graph.copy(), k=2)
+
+        # stage 1: persist and reload
+        path = tmp_path / "stage1.json"
+        save_index(index, path)
+        index = load_index(path)
+        assert verify_index(index).ok
+
+        # stage 2: graph maintenance of all kinds
+        triples = sorted(index.graph.triples(), key=repr)
+        index.delete_edge(*triples[0])
+        index.insert_edge(21, 2, 1)
+        index.change_edge_label(*triples[5], triples[5][2] % 3 + 1)
+        index.delete_vertex(7)
+        index.insert_vertex("fresh", edges=[(0, "fresh", 2), ("fresh", 3, 1)])
+        assert verify_index(index).ok
+
+        # stage 3: answers still exact after the whole journey
+        for query in _workload(index.graph, seed=61):
+            assert index.evaluate(query) == reference(query, index.graph)
+
+        # stage 4: persist the maintained index and reload again
+        path2 = tmp_path / "stage2.json"
+        save_index(index, path2)
+        reloaded = load_index(path2)
+        assert verify_index(reloaded).ok
+        for query in _workload(reloaded.graph, seed=61):
+            assert reloaded.evaluate(query) == reference(query, reloaded.graph)
+
+
+class TestIaCpqxLifecycle:
+    def test_full_cycle(self, tmp_path):
+        graph = random_graph(20, 55, 3, seed=62)
+        index = InterestAwareIndex.build(
+            graph.copy(), k=2, interests={(1, 2), (2, -1)}
+        )
+
+        path = tmp_path / "ia.json"
+        save_index(index, path)
+        index = load_index(path)
+        assert verify_index(index).ok
+
+        # interest churn + graph churn interleaved
+        index.delete_interest((1, 2))
+        index.insert_edge(19, 3, 2)
+        index.insert_interest((2, 2))
+        triples = sorted(index.graph.triples(), key=repr)
+        index.delete_edge(*triples[2])
+        index.insert_interest((1, 2))
+        assert verify_index(index).ok
+
+        for query in _workload(index.graph, seed=62):
+            assert index.evaluate(query) == reference(query, index.graph)
+
+    def test_optimizer_survives_lifecycle(self, tmp_path):
+        from repro.plan.optimizer import enable_optimizer
+
+        graph = random_graph(18, 50, 3, seed=63)
+        index = InterestAwareIndex.build(graph.copy(), k=2, interests={(1, 2)})
+        enable_optimizer(index)
+        index.insert_edge(17, 4, 1)
+        for query in _workload(index.graph, seed=63):
+            assert index.evaluate(query) == reference(query, index.graph)
+
+
+class TestSeriesRendering:
+    def test_render_series(self):
+        from repro.bench.reporting import ExperimentResult, render_series
+
+        result = ExperimentResult(
+            "Fig. X", "demo", ["k", "template", "time"],
+            [[1, "S", 1e-5], [2, "S", 1e-6], [1, "C4", 1e-4], [2, "C4", 2e-4]],
+        )
+        chart = render_series(result, x="k", y="time", group_by="template")
+        assert "S:" in chart and "C4:" in chart
+        assert "#" in chart
+
+    def test_render_series_empty(self):
+        from repro.bench.reporting import ExperimentResult, render_series
+
+        result = ExperimentResult("Fig. X", "demo", ["k", "t", "time"], [])
+        assert render_series(result, "k", "time", "t") == "(no data)"

@@ -1,0 +1,176 @@
+"""Unit tests for lazy CPQx maintenance (Sec. IV-E)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.core.cpqx import CPQxIndex
+from repro.core.maintenance import affected_pairs, reclassify
+from repro.core.paths import enumerate_sequences, invert_sequences
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+def build(lines, k=2):
+    graph = edges_from_strings(lines)
+    return CPQxIndex.build(graph, k=k)
+
+
+def assert_index_consistent(index):
+    """Structural invariants that must survive any update sequence."""
+    per_pair = invert_sequences(enumerate_sequences(index.graph, index.k))
+    # 1. the index covers exactly the reachable pairs
+    assert set(index._class_of) == set(per_pair)
+    # 2. classes are L≤k-uniform and loop-uniform, and Il2c is exact
+    for class_id, members in index._ic2p.items():
+        assert members, f"empty class {class_id} not collected"
+        seqs = index._class_sequences[class_id]
+        for pair in members:
+            assert per_pair[pair] == seqs
+            assert index._class_of[pair] == class_id
+        flags = {p[0] == p[1] for p in members}
+        assert len(flags) == 1
+        assert (class_id in index._loop_classes) == flags.pop()
+        for seq in seqs:
+            assert class_id in index._il2c[seq]
+    # 3. no dangling postings
+    for seq, classes in index._il2c.items():
+        for class_id in classes:
+            assert seq in index._class_sequences[class_id]
+
+
+class TestAffectedPairs:
+    def test_covers_paths_through_edge(self):
+        graph = edges_from_strings(["0 1 a", "1 2 a", "2 3 a"])
+        affected = affected_pairs(graph, 1, 2, 2)
+        # the 2-paths through (1,2): (0,2), (1,3) and the edge pair itself
+        assert {(1, 2), (0, 2), (1, 3), (2, 1), (2, 0), (3, 1)} <= affected
+
+    def test_radius_bounded(self):
+        graph = edges_from_strings([f"{i} {i+1} a" for i in range(8)])
+        affected = affected_pairs(graph, 3, 4, 2)
+        # (2,4) rides the 2-path 2→3→4 through the edge; (2,5) would need
+        # a 3-path, out of reach at k=2; (0,8) is far away entirely
+        assert (2, 4) in affected
+        assert (2, 5) not in affected
+        assert (0, 8) not in affected
+        affected3 = affected_pairs(graph, 3, 4, 3)
+        assert (2, 5) in affected3
+
+
+class TestEdgeDeletion:
+    def test_delete_removes_answers(self):
+        index = build(["0 1 a", "1 2 a"])
+        assert (0, 2) in index.evaluate(parse("a . a", index.graph.registry))
+        index.delete_edge(1, 2, "a")
+        assert index.evaluate(parse("a . a", index.graph.registry)) == frozenset()
+        assert_index_consistent(index)
+
+    def test_delete_keeps_alternative_paths(self):
+        index = build(["0 1 a", "1 2 b", "0 3 a", "3 2 b"])
+        query = parse("a . b", index.graph.registry)
+        index.delete_edge(0, 1, "a")
+        assert (0, 2) in index.evaluate(query)
+        assert_index_consistent(index)
+
+    def test_delete_missing_edge_raises(self):
+        index = build(["0 1 a"])
+        with pytest.raises(MaintenanceError):
+            index.delete_edge(0, 1, "b")
+
+    def test_pairs_dropped_when_disconnected(self):
+        index = build(["0 1 a"])
+        index.delete_edge(0, 1, "a")
+        assert index.num_pairs == 0
+        assert index.num_classes == 0
+        assert_index_consistent(index)
+
+
+class TestEdgeInsertion:
+    def test_insert_adds_answers(self):
+        index = build(["0 1 a"])
+        index.insert_edge(1, 2, "a")
+        assert (0, 2) in index.evaluate(parse("a . a", index.graph.registry))
+        assert_index_consistent(index)
+
+    def test_insert_new_label(self):
+        index = build(["0 1 a"])
+        index.insert_edge(0, 1, "brand_new")
+        lid = index.graph.registry.id_of("brand_new")
+        assert index.evaluate(parse("brand_new", index.graph.registry)) == {(0, 1)}
+        assert index.lookup((lid,)).classes
+        assert_index_consistent(index)
+
+    def test_insert_refines_not_merges(self):
+        """Lazy maintenance never merges into existing classes."""
+        index = build(["0 1 a", "5 6 a"])
+        before_classes = set(index.classes())
+        index.insert_edge(2, 3, "a")
+        # (2,3) is bisimilar to (0,1)/(5,6) but must land in a NEW class
+        new_class = index.class_of((2, 3))
+        assert new_class not in before_classes
+        assert_index_consistent(index)
+
+    def test_roundtrip_delete_insert_preserves_answers(self):
+        lines = ["0 1 a", "1 2 b", "2 0 a", "0 0 b", "2 3 b"]
+        index = build(lines)
+        fresh = build(lines)
+        queries = [
+            parse(text, index.graph.registry)
+            for text in ("a", "a . b", "(a . b) & id", "(a . a^-) & (b . b^-)")
+        ]
+        index.delete_edge(1, 2, "b")
+        index.insert_edge(1, 2, "b")
+        for query in queries:
+            assert index.evaluate(query) == fresh.evaluate(query)
+        assert_index_consistent(index)
+
+
+class TestChurn:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_churn_stays_correct(self, seed):
+        graph = random_graph(20, 50, 3, seed=seed)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        rng = random.Random(seed)
+        for _ in range(12):
+            triples = sorted(index.graph.triples(), key=repr)
+            if triples and rng.random() < 0.5:
+                index.delete_edge(*rng.choice(triples))
+            else:
+                v, u = rng.randrange(20), rng.randrange(20)
+                lab = rng.randint(1, 3)
+                if not index.graph.has_edge(v, u, lab):
+                    index.insert_edge(v, u, lab)
+        assert_index_consistent(index)
+        for template in ("C2", "T", "S", "Ti"):
+            for wq in random_template_queries(index.graph, template, count=2, seed=seed):
+                assert index.evaluate(wq.query) == reference(wq.query, index.graph)
+
+    def test_churned_index_may_be_finer_but_never_coarser(self):
+        """After churn, class count ≥ fresh build's (Table VII's cause)."""
+        graph = random_graph(18, 45, 3, seed=3)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        rng = random.Random(3)
+        triples = sorted(index.graph.triples(), key=repr)
+        for edge in rng.sample(triples, 6):
+            index.delete_edge(*edge)
+        for edge in rng.sample(triples, 6):
+            if not index.graph.has_edge(*edge):
+                index.insert_edge(*edge)
+        fresh = CPQxIndex.build(index.graph.copy(), k=2)
+        assert index.num_pairs == fresh.num_pairs
+        assert index.num_classes >= fresh.num_classes
+
+
+class TestReclassifyDirect:
+    def test_noop_on_unchanged_pairs(self):
+        index = build(["0 1 a", "1 2 b"])
+        before = dict(index._class_of)
+        reclassify(index, {(0, 1), (1, 2)})
+        assert index._class_of == before

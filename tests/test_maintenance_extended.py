@@ -1,0 +1,167 @@
+"""Tests for the remaining Sec. IV-E update kinds: vertex ops and relabeling.
+
+"We can handle the following additional updates by combinations of edge
+deletion and insertion" — label change, vertex deletion, vertex insertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+from tests.test_maintenance import assert_index_consistent
+
+
+def _queries(graph, seed=0):
+    queries = []
+    for template in ("C2", "T", "S", "Ti"):
+        queries.extend(
+            wq.query
+            for wq in random_template_queries(graph, template, count=2, seed=seed)
+        )
+    return queries
+
+
+class TestChangeEdgeLabel:
+    def test_relabel_moves_answers(self):
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = CPQxIndex.build(graph, k=2)
+        index.change_edge_label(0, 1, "a", "b")
+        registry = index.graph.registry
+        assert index.evaluate(parse("a", registry)) == frozenset()
+        assert index.evaluate(parse("b . b", registry)) == {(0, 2)}
+        assert_index_consistent(index)
+
+    def test_relabel_missing_edge_raises(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        with pytest.raises(MaintenanceError):
+            index.change_edge_label(0, 1, "b", "a")
+
+    def test_relabel_on_random_graph_stays_exact(self):
+        graph = random_graph(15, 40, 3, seed=31)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        edge = sorted(index.graph.triples(), key=repr)[0]
+        index.change_edge_label(edge[0], edge[1], edge[2], edge[2] % 3 + 1)
+        for query in _queries(index.graph, seed=31):
+            assert index.evaluate(query) == reference(query, index.graph)
+        assert_index_consistent(index)
+
+    def test_iacpqx_relabel(self):
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2)})
+        index.change_edge_label(1, 2, "b", "a")
+        registry = index.graph.registry
+        assert index.evaluate(parse("a . a", registry)) == {(0, 2)}
+
+
+class TestDeleteVertex:
+    def test_delete_center_of_paths(self):
+        graph = edges_from_strings(["0 1 a", "1 2 a", "3 1 b"])
+        index = CPQxIndex.build(graph, k=2)
+        index.delete_vertex(1)
+        assert not index.graph.has_vertex(1)
+        registry = index.graph.registry
+        assert index.evaluate(parse("a", registry)) == frozenset()
+        assert index.evaluate(parse("a . a", registry)) == frozenset()
+        assert index.num_pairs == 0
+        assert_index_consistent(index)
+
+    def test_delete_leaf_keeps_rest(self):
+        graph = edges_from_strings(["0 1 a", "1 2 a", "2 3 b"])
+        index = CPQxIndex.build(graph, k=2)
+        index.delete_vertex(3)
+        registry = index.graph.registry
+        assert index.evaluate(parse("a . a", registry)) == {(0, 2)}
+        assert_index_consistent(index)
+
+    def test_delete_unknown_vertex_raises(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        with pytest.raises(MaintenanceError):
+            index.delete_vertex(99)
+
+    def test_random_graph_vertex_deletion_exact(self):
+        graph = random_graph(14, 35, 3, seed=33)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        index.delete_vertex(0)
+        index.delete_vertex(7)
+        for query in _queries(index.graph, seed=33):
+            assert index.evaluate(query) == reference(query, index.graph)
+        assert_index_consistent(index)
+
+    def test_iacpqx_vertex_deletion(self):
+        graph = random_graph(12, 30, 2, seed=34)
+        index = InterestAwareIndex.build(graph.copy(), k=2, interests={(1, 2)})
+        index.delete_vertex(3)
+        for query in _queries(index.graph, seed=34):
+            assert index.evaluate(query) == reference(query, index.graph)
+
+
+class TestInsertVertex:
+    def test_insert_with_edges(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        index.insert_vertex(2, edges=[(1, 2, 1), (2, 0, 1)])
+        registry = index.graph.registry
+        assert index.evaluate(parse("(a . a . a) & id", registry)) == {
+            (0, 0), (1, 1), (2, 2),
+        }
+        assert_index_consistent(index)
+
+    def test_insert_isolated(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        index.insert_vertex("new")
+        assert index.graph.has_vertex("new")
+        assert index.num_pairs == 4  # unchanged: (0,1),(1,0),(0,0),(1,1)
+        assert_index_consistent(index)
+
+    def test_edges_must_touch_vertex(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        with pytest.raises(MaintenanceError):
+            index.insert_vertex(2, edges=[(0, 1, 1)])
+
+    def test_delete_then_reinsert_roundtrip(self):
+        lines = ["0 1 a", "1 2 a", "2 0 b"]
+        index = CPQxIndex.build(edges_from_strings(lines), k=2)
+        fresh = CPQxIndex.build(edges_from_strings(lines), k=2)
+        index.delete_vertex(2)
+        index.insert_vertex(2, edges=[(1, 2, 1), (2, 0, 2)])
+        for query in _queries(index.graph, seed=35):
+            assert index.evaluate(query) == fresh.evaluate(query)
+        assert_index_consistent(index)
+
+
+class TestDescribeClasses:
+    def test_figure3_shape_on_example(self):
+        """The triad-edge class of Fig. 3 appears with its label set."""
+        from repro.graph.datasets import example_graph
+
+        index = CPQxIndex.build(example_graph(), k=2)
+        rendered = index.describe_classes()
+        # the Fig. 3 class c=7: {(joe,zoe),(sue,joe),(zoe,sue)} with
+        # label set {f, vv⁻¹, f⁻¹f⁻¹}
+        triad_class = index.class_of(("sue", "joe"))
+        assert index.class_of(("joe", "zoe")) == triad_class
+        assert index.class_of(("zoe", "sue")) == triad_class
+        f, v = 1, 2
+        assert index.sequences_of_class(triad_class) == frozenset({
+            (f,), (v, -v), (-f, -f),
+        })
+        assert f"c={triad_class}:" in rendered
+        assert "(sue,joe)" in rendered
+
+    def test_truncation(self):
+        graph = random_graph(15, 45, 2, seed=36)
+        index = CPQxIndex.build(graph, k=2)
+        rendered = index.describe_classes(max_pairs=1)
+        assert "..." in rendered

@@ -1,0 +1,147 @@
+"""Tests for CPQ normalization and materialization-free counting."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.executor import ExecutionStats
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.io import edges_from_strings
+from repro.graph.labels import LabelRegistry
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, ID, Identity, Join
+from repro.query.normalize import normalize
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+
+_SETTINGS = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def graphs(draw) -> LabeledDigraph:
+    graph = LabeledDigraph(LabelRegistry(["a", "b"]))
+    for v in range(6):
+        graph.add_vertex(v)
+    for _ in range(draw(st.integers(1, 14))):
+        graph.add_edge(
+            draw(st.integers(0, 5)), draw(st.integers(0, 5)), draw(st.integers(1, 2))
+        )
+    return graph
+
+
+@st.composite
+def queries(draw, max_depth: int = 3) -> CPQ:
+    if max_depth == 0:
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return ID
+        return EdgeLabel(draw(st.integers(1, 2)) * (1 if choice < 3 else -1))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(queries(max_depth=0))
+    left = draw(queries(max_depth=max_depth - 1))
+    right = draw(queries(max_depth=max_depth - 1))
+    return Join(left, right) if kind == 1 else Conjunction(left, right)
+
+
+class TestNormalizeRules:
+    def test_join_identity_elimination(self):
+        q = parse("a . id . b")
+        assert normalize(q) == parse("a . b")
+
+    def test_conjunction_idempotence(self):
+        q = parse("(a . b) & (a . b)")
+        assert normalize(q) == parse("a . b")
+
+    def test_identity_absorption(self):
+        q = parse("((a & id) & id)")
+        normalized = normalize(q)
+        assert normalized == Conjunction(EdgeLabel("a"), ID)
+
+    def test_commutative_canonical_order(self):
+        left = normalize(parse("(a . b) & c"))
+        right = normalize(parse("c & (a . b)"))
+        assert left == right
+
+    def test_pure_identity_conjunction(self):
+        assert normalize(parse("id & id")) is ID
+        assert normalize(parse("id . id")) is ID
+
+    def test_join_operands_not_reordered(self):
+        q = parse("a . b")
+        assert normalize(q) == q
+        assert normalize(parse("b . a")) == parse("b . a")
+
+    def test_nested_flattening(self):
+        q = parse("(a & (b & a)) & b")
+        normalized = normalize(q)
+        operands = set()
+
+        def collect(node):
+            if isinstance(node, Conjunction):
+                collect(node.left)
+                collect(node.right)
+            else:
+                operands.add(node)
+
+        collect(normalized)
+        assert operands == {EdgeLabel("a"), EdgeLabel("b")}
+
+
+class TestNormalizePreservesSemantics:
+    @_SETTINGS
+    @given(graphs(), queries())
+    def test_equivalence(self, graph, query):
+        assert reference(normalize(query), graph) == reference(query, graph)
+
+    @_SETTINGS
+    @given(queries())
+    def test_idempotent(self, query):
+        once = normalize(query)
+        assert normalize(once) == once
+
+    @_SETTINGS
+    @given(queries())
+    def test_diameter_never_grows(self, query):
+        assert normalize(query).diameter() <= query.diameter()
+
+
+class TestCount:
+    def test_count_matches_len_for_conjunctions(self):
+        g = edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b", "1 0 a"])
+        index = CPQxIndex.build(g, k=2)
+        for text in ("a", "(a . b) & (a . a)", "(a . a^-) & (b . b^-)", "b & id"):
+            query = parse(text, g.registry)
+            assert index.count(query) == len(reference(query, g)), text
+
+    def test_conjunction_count_touches_no_pairs(self):
+        g = edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+        index = CPQxIndex.build(g, k=2)
+        stats = ExecutionStats()
+        count = index.count(parse("(a . b) & (b . a)", g.registry), stats=stats)
+        assert count == len(reference(parse("(a . b) & (b . a)", g.registry), g))
+        # the class fast path: conjunction on ids, zero pairs materialized
+        assert stats.class_conjunctions == 1
+        assert stats.pairs_touched == 0
+
+    def test_join_count_falls_back(self):
+        g = edges_from_strings(["0 1 a", "1 2 b", "2 0 a"])
+        index = CPQxIndex.build(g, k=2)
+        query = parse("a . b . a", g.registry)
+        assert index.count(query) == len(reference(query, g))
+
+    def test_pair_engine_count(self):
+        from repro.baselines.bfs import BFSEngine
+
+        g = edges_from_strings(["0 1 a", "1 2 b"])
+        engine = BFSEngine(g)
+        query = parse("a . b", g.registry)
+        assert engine.count(query) == 1
+
+    @_SETTINGS
+    @given(graphs(), queries(max_depth=2))
+    def test_count_always_matches_reference(self, graph, query):
+        index = CPQxIndex.build(graph, k=2)
+        assert index.count(query) == len(reference(query, graph))

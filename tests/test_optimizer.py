@@ -1,0 +1,173 @@
+"""Unit tests for the cardinality-aware split optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.plan.optimizer import (
+    disable_optimizer,
+    enable_optimizer,
+    greedy_split_cost,
+    index_estimator,
+    optimal_split,
+    optimizing_splitter,
+    split_cost,
+)
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+
+
+@pytest.fixture()
+def skewed_graph():
+    """Label 'h' (heavy) is everywhere; 'r' (rare) appears once.
+
+    A sequence like r·h·h should be split as [r·h, h] or [r, h·h] — the
+    optimizer must prefer boundaries keeping the rare chunk lookups small.
+    """
+    lines = []
+    for i in range(12):
+        lines.append(f"a{i} b{i} h")
+        lines.append(f"b{i} c{i} h")
+        lines.append(f"c{i} d{i} h")
+    lines.append("a0 b0 r")
+    return edges_from_strings(lines)
+
+
+class TestOptimalSplit:
+    def test_respects_k(self):
+        chunks = optimal_split((1, 2, 3, 4, 5), 2, lambda chunk: 1)
+        assert all(1 <= len(c) <= 2 for c in chunks)
+        assert tuple(x for c in chunks for x in c) == (1, 2, 3, 4, 5)
+
+    def test_minimizes_simple_cost(self):
+        # chunk (1,2) costs 1, everything else costs 100
+        def estimate(chunk):
+            return 1 if chunk == (1, 2) else 100
+
+        chunks = optimal_split((3, 1, 2), 2, estimate)
+        assert chunks == [(3,), (1, 2)]
+
+    def test_allowed_restriction(self):
+        chunks = optimal_split(
+            (1, 2, 3), 2, lambda chunk: 1, allowed=lambda chunk: chunk == (2, 3)
+        )
+        assert chunks == [(1,), (2, 3)]
+
+    def test_all_disallowed_falls_back_to_singles(self):
+        chunks = optimal_split(
+            (1, 2, 3), 2, lambda chunk: 1, allowed=lambda chunk: False
+        )
+        assert chunks == [(1,), (2,), (3,)]
+
+    def test_never_worse_than_greedy(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        estimate = index_estimator(index)
+        registry = skewed_graph.registry
+        h, r = registry.id_of("h"), registry.id_of("r")
+        for seq in [(h, h, h), (r, h, h), (h, h, r), (h, r, h, h)]:
+            optimal = split_cost(optimal_split(seq, 2, estimate), estimate)
+            greedy = greedy_split_cost(seq, 2, estimate)
+            assert optimal <= greedy
+
+    def test_strictly_better_on_skew(self, skewed_graph):
+        """r·h·h greedily splits [rh, h] (paying the full h relation, 36);
+        the optimal split [r, hh] pays |r| + |hh| = 1 + 24 instead."""
+        index = CPQxIndex.build(skewed_graph, k=2)
+        estimate = index_estimator(index)
+        registry = skewed_graph.registry
+        h, r = registry.id_of("h"), registry.id_of("r")
+        seq = (r, h, h)
+        chunks = optimal_split(seq, 2, estimate)
+        optimal = split_cost(chunks, estimate)
+        greedy = greedy_split_cost(seq, 2, estimate)
+        assert chunks == [(r,), (h, h)]
+        assert optimal < greedy
+
+
+class TestOptimizingSplitter:
+    def test_short_sequences_pass_through(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        splitter = optimizing_splitter(index, 2)
+        assert splitter((1, 2)) == [(1, 2)]
+
+    def test_respects_interest_restriction(self, skewed_graph):
+        registry = skewed_graph.registry
+        h = registry.id_of("h")
+        index = InterestAwareIndex.build(skewed_graph, k=2, interests={(h, h)})
+        splitter = optimizing_splitter(
+            index, 2, allowed=lambda chunk: chunk in index.interests
+        )
+        r = registry.id_of("r")
+        for chunk in splitter((h, r, h)):
+            assert len(chunk) == 1 or chunk in index.interests
+
+
+class TestEnableDisable:
+    def test_results_unchanged(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        query = parse("h . h . h", skewed_graph.registry)
+        expected = reference(query, skewed_graph)
+        assert index.evaluate(query) == expected
+        enable_optimizer(index)
+        assert index.evaluate(query) == expected
+        disable_optimizer(index)
+        assert index.evaluate(query) == expected
+
+    def test_disable_restores_class_splitter(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        stock = index.splitter()((1, 2, 3))
+        enable_optimizer(index)
+        disable_optimizer(index)
+        assert index.splitter()((1, 2, 3)) == stock
+
+    def test_disable_without_enable_is_noop(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        disable_optimizer(index)  # must not raise
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_graph_agreement_under_optimizer(self, seed):
+        from repro.query.workloads import random_template_queries
+
+        graph = random_graph(18, 50, 3, seed=seed)
+        index = CPQxIndex.build(graph, k=2)
+        enable_optimizer(index)
+        for template in ("C4", "SC", "ST", "Si"):
+            for wq in random_template_queries(graph, template, count=2, seed=seed):
+                assert index.evaluate(wq.query) == reference(wq.query, graph)
+
+    def test_iacpqx_optimizer_agreement(self, skewed_graph):
+        registry = skewed_graph.registry
+        h = registry.id_of("h")
+        index = InterestAwareIndex.build(skewed_graph, k=2, interests={(h, h)})
+        enable_optimizer(index)
+        for text in ("h . h . h", "h . r . h", "(h . h . h) & id"):
+            query = parse(text, registry)
+            assert index.evaluate(query) == reference(query, skewed_graph), text
+
+
+class TestIndexEstimator:
+    def test_estimates_match_lookup_sizes(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        estimate = index_estimator(index)
+        registry = skewed_graph.registry
+        h, r = registry.id_of("h"), registry.id_of("r")
+        assert estimate((h,)) == 36
+        assert estimate((r,)) == 1
+        assert estimate((99,)) == 0
+
+    def test_overlong_chunk_is_penalized(self, skewed_graph):
+        index = CPQxIndex.build(skewed_graph, k=2)
+        estimate = index_estimator(index)
+        assert estimate((1, 1, 1)) >= 1 << 30
+
+    def test_pair_index_estimator(self, skewed_graph):
+        from repro.baselines.path_index import PathIndex
+
+        index = PathIndex.build(skewed_graph, k=2)
+        estimate = index_estimator(index)
+        registry = skewed_graph.registry
+        assert estimate((registry.id_of("h"),)) == 36

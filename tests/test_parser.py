@@ -1,0 +1,110 @@
+"""Unit tests for the CPQ text parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.graph.labels import LabelRegistry
+from repro.query.ast import Conjunction, EdgeLabel, ID, Join, label
+from repro.query.parser import parse
+
+
+class TestAtoms:
+    def test_plain_label(self):
+        assert parse("f") == label("f")
+
+    def test_identity(self):
+        assert parse("id") is ID
+
+    def test_inverse_ascii(self):
+        assert parse("f^-") == label("f").inverse()
+
+    def test_inverse_unicode(self):
+        assert parse("f⁻¹") == label("f").inverse()
+        assert parse("f⁻") == label("f").inverse()
+
+    def test_identity_has_no_inverse(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("id^-")
+
+
+class TestOperators:
+    def test_join_ascii_dot(self):
+        q = parse("a . b")
+        assert q == label("a") >> label("b")
+
+    def test_join_unicode(self):
+        assert parse("a ∘ b") == label("a") >> label("b")
+
+    def test_conjunction_ascii(self):
+        assert parse("a & b") == label("a") & label("b")
+
+    def test_conjunction_unicode(self):
+        assert parse("a ∩ b") == label("a") & label("b")
+
+    def test_join_binds_tighter_than_conjunction(self):
+        q = parse("a . b & c")
+        assert isinstance(q, Conjunction)
+        assert isinstance(q.left, Join)
+
+    def test_left_associativity(self):
+        q = parse("a . b . c")
+        assert q == (label("a") >> label("b")) >> label("c")
+        q = parse("a & b & c")
+        assert q == (label("a") & label("b")) & label("c")
+
+    def test_parentheses_override(self):
+        q = parse("a . (b & c)")
+        assert isinstance(q, Join)
+        assert isinstance(q.right, Conjunction)
+
+
+class TestPaperQueries:
+    def test_triad(self):
+        q = parse("(f . f) & f^-")
+        assert q == (label("f") >> label("f")) & label("f").inverse()
+
+    def test_figure2_query(self):
+        """[(l1∘l2∘l3) ∩ (l4∘l5)] ∩ id from Fig. 2."""
+        q = parse("((l1 . l2 . l3) & (l4 . l5)) & id")
+        assert isinstance(q, Conjunction)
+        assert q.right is ID
+        inner = q.left
+        assert isinstance(inner, Conjunction)
+        assert inner.left.diameter() == 3
+        assert inner.right.diameter() == 2
+
+
+class TestResolution:
+    def test_parse_with_registry_resolves(self):
+        registry = LabelRegistry(["f"])
+        q = parse("f . f^-", registry)
+        assert q == EdgeLabel(1) >> EdgeLabel(-1)
+
+    def test_parse_with_registry_unknown_label(self):
+        from repro.errors import UnknownLabelError
+
+        with pytest.raises(UnknownLabelError):
+            parse("nope", LabelRegistry(["f"]))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "(", ")", "a .", ". a", "a &", "(a", "a)", "a b", "a . . b", "&",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("a @ b")
+
+    def test_error_carries_position(self):
+        try:
+            parse("a . !")
+        except QuerySyntaxError as exc:
+            assert exc.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected QuerySyntaxError")

@@ -1,0 +1,165 @@
+"""Unit tests for the k-path-bisimulation partition (Algorithm 1).
+
+The correctness contract (DESIGN.md §4.2): every class is uniform in its
+``L≤k`` label-sequence set and in its loop flag; the partition refines
+level by level; and pairs provably distinguishable by a CPQ land in
+different classes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexBuildError
+from repro.core.partition import compute_partition, level1_classes, refines
+from repro.core.paths import enumerate_sequences, invert_sequences, reachable_pairs
+from repro.graph.generators import cycle_graph, random_graph
+from repro.graph.io import edges_from_strings
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestLevel1:
+    def test_groups_by_edge_labels(self, g):
+        classes = level1_classes(g)
+        # (0,1) and (2,0) both have exactly {a}
+        assert classes[(0, 1)] == classes[(2, 0)]
+        assert classes[(0, 1)] != classes[(1, 2)]
+
+    def test_loop_flag_separates(self):
+        g = edges_from_strings(["0 0 a", "1 2 a"])
+        classes = level1_classes(g)
+        assert classes[(0, 0)] != classes[(1, 2)]
+
+    def test_both_directions_in_signature(self):
+        # (0,1) has a forward a; (2,3) has forward a AND backward b
+        g = edges_from_strings(["0 1 a", "2 3 a", "3 2 b"])
+        classes = level1_classes(g)
+        assert classes[(0, 1)] != classes[(2, 3)]
+
+    def test_domain_is_p1(self, g):
+        classes = level1_classes(g)
+        assert set(classes) == reachable_pairs(g, 1)
+
+
+class TestComputePartition:
+    def test_k_zero_rejected(self, g):
+        with pytest.raises(IndexBuildError):
+            compute_partition(g, 0)
+
+    def test_domain_is_pk(self, g):
+        for k in (1, 2, 3):
+            partition = compute_partition(g, k)
+            assert set(partition.class_of) == reachable_pairs(g, k)
+
+    def test_blocks_partition_the_domain(self, g):
+        partition = compute_partition(g, 2)
+        seen = set()
+        for class_id, members in partition.blocks.items():
+            for pair in members:
+                assert pair not in seen
+                seen.add(pair)
+                assert partition.class_of[pair] == class_id
+        assert seen == set(partition.class_of)
+
+    def test_label_sequence_uniformity(self, g):
+        """Def. 4.2's key invariant: classes are L≤k-uniform."""
+        for k in (1, 2, 3):
+            partition = compute_partition(g, k)
+            per_pair = invert_sequences(enumerate_sequences(g, k))
+            for members in partition.blocks.values():
+                sequence_sets = {per_pair[pair] for pair in members}
+                assert len(sequence_sets) == 1
+
+    def test_loop_uniformity(self, g):
+        partition = compute_partition(g, 2)
+        for class_id, members in partition.blocks.items():
+            flags = {pair[0] == pair[1] for pair in members}
+            assert len(flags) == 1
+            assert (class_id in partition.loop_classes) == flags.pop()
+
+    def test_refinement_chain(self, g):
+        """C_i refines C_{i-1} (Sec. IV-C)."""
+        p1 = compute_partition(g, 1)
+        p2 = compute_partition(g, 2)
+        p3 = compute_partition(g, 3)
+        assert refines(p2.class_of, p1.class_of)
+        assert refines(p3.class_of, p2.class_of)
+
+    def test_level_counts_recorded(self, g):
+        partition = compute_partition(g, 3)
+        assert len(partition.level_class_counts) == 3
+        assert partition.level_class_counts[-1] == partition.num_classes
+
+    def test_deterministic(self, g):
+        a = compute_partition(g, 2)
+        b = compute_partition(g, 2)
+        assert a.class_of == b.class_of
+
+
+class TestDistinguishability:
+    def test_midpoint_sharing_distinguished(self):
+        """Pairs equal in L≤2 but different in decomposition structure.
+
+        (s1,t1) reaches t1 via a-then-c through ONE midpoint that also has
+        a b-edge to t1; (s2,t2) has the same label sequences but the b-edge
+        is on a different midpoint.  The CPQ a∘(b ∩ c)... is out of CPQ2's
+        lookup shapes, but bisimulation still separates them because the
+        midpoints' level-1 classes differ.
+        """
+        g = edges_from_strings([
+            # pair 1: shared midpoint m1 with both b and c to t1
+            "s1 m1 a", "m1 t1 b", "m1 t1 c",
+            # pair 2: two midpoints, each with only one of b/c
+            "s2 m2 a", "m2 t2 b", "s2 m3 a", "m3 t2 c",
+        ])
+        partition = compute_partition(g, 2)
+        assert partition.class_of[("s1", "t1")] != partition.class_of[("s2", "t2")]
+
+    def test_cycle_vs_chain(self):
+        g = edges_from_strings(["0 1 a", "1 0 a", "2 3 a", "3 4 a"])
+        partition = compute_partition(g, 2)
+        # (0,0) is a loop via aa; (2,4) is a chain via aa — must differ
+        assert partition.class_of[(0, 0)] != partition.class_of[(2, 4)]
+
+    def test_symmetric_vertices_merge(self):
+        """A uniform cycle has one class per 'travel distance'."""
+        g = cycle_graph(6)
+        partition = compute_partition(g, 2)
+        # all 1-step pairs equivalent, all 2-step pairs equivalent, etc.
+        one_step = {partition.class_of[(v, (v + 1) % 6)] for v in range(6)}
+        two_step = {partition.class_of[(v, (v + 2) % 6)] for v in range(6)}
+        loops = {partition.class_of[(v, v)] for v in range(6)}
+        assert len(one_step) == 1
+        assert len(two_step) == 1
+        assert len(loops) == 1
+        assert len({*one_step, *two_step, *loops}) == 3
+
+
+class TestRefinesHelper:
+    def test_refines_true(self):
+        finer = {(0, 1): 0, (1, 2): 1, (2, 3): 2}
+        coarser = {(0, 1): 10, (1, 2): 10, (2, 3): 11}
+        assert refines(finer, coarser)
+
+    def test_refines_false(self):
+        finer = {(0, 1): 0, (1, 2): 0}
+        coarser = {(0, 1): 10, (1, 2): 11}
+        assert not refines(finer, coarser)
+
+    def test_extra_domain_ignored(self):
+        finer = {(0, 1): 0, (5, 5): 3}
+        coarser = {(0, 1): 10}
+        assert refines(finer, coarser)
+
+
+class TestScalingSanity:
+    def test_random_graph_partition_count_bounds(self):
+        g = random_graph(25, 70, 3, seed=4)
+        partition = compute_partition(g, 2)
+        assert 1 <= partition.num_classes <= partition.num_pairs
+        # γ-style sanity: classes compress pairs at least somewhat
+        assert partition.num_classes < partition.num_pairs

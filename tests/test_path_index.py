@@ -1,0 +1,118 @@
+"""Unit tests for the language-unaware Path / iaPath baselines [14]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexBuildError, QueryDiameterError
+from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+from repro.core.paths import enumerate_sequences
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b", "1 0 a"])
+
+
+class TestBuild:
+    def test_k_zero_rejected(self, g):
+        with pytest.raises(IndexBuildError):
+            PathIndex.build(g, 0)
+
+    def test_entries_match_enumeration(self, g):
+        index = PathIndex.build(g, 2)
+        sequences = enumerate_sequences(g, 2)
+        assert index.num_sequences == len(sequences)
+        for seq, pairs in sequences.items():
+            assert set(index.pairs_of_sequence(seq)) == pairs
+
+    def test_entries_sorted(self, g):
+        index = PathIndex.build(g, 2)
+        for seq in enumerate_sequences(g, 2):
+            stored = index.pairs_of_sequence(seq)
+            assert stored == sorted(stored, key=repr)
+
+
+class TestLookup:
+    def test_returns_pairs_result(self, g):
+        index = PathIndex.build(g, 2)
+        result = index.lookup((1,))
+        assert result.pairs is not None
+        assert result.classes is None
+
+    def test_too_long_raises(self, g):
+        index = PathIndex.build(g, 2)
+        with pytest.raises(QueryDiameterError):
+            index.lookup((1, 1, 1))
+
+    def test_missing_sequence_empty(self, g):
+        index = PathIndex.build(g, 2)
+        assert index.lookup((99,)).pairs == frozenset()
+
+
+class TestSizeModel:
+    def test_postings_count_gamma_times_pairs(self, g):
+        index = PathIndex.build(g, 2)
+        assert index.num_postings >= index.num_pairs
+        assert index.size_bytes() > 0
+
+    def test_size_grows_with_k(self, g):
+        assert PathIndex.build(g, 3).size_bytes() >= PathIndex.build(g, 2).size_bytes()
+
+    def test_repr(self, g):
+        assert "PathIndex" in repr(PathIndex.build(g, 2))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("text", [
+        "a", "a . b", "(a . b) & a", "(a . b . a) & id", "b & id",
+        "(a . a^-) & (b . b^-) & id",
+    ])
+    def test_matches_reference(self, g, text):
+        index = PathIndex.build(g, 2)
+        query = parse(text, g.registry)
+        assert index.evaluate(query) == reference(query, g)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_workloads(self, seed):
+        g = random_graph(18, 45, 3, seed=seed)
+        index = PathIndex.build(g, 2)
+        for template in ("C2", "T", "S", "TT", "Ti", "C4", "ST"):
+            for wq in random_template_queries(g, template, count=2, seed=seed):
+                assert index.evaluate(wq.query) == reference(wq.query, g)
+
+
+class TestInterestAwarePath:
+    def test_only_interests_and_singles_indexed(self, g):
+        index = InterestAwarePathIndex.build(g, 2, interests={(1, 2)})
+        assert set(index.pairs_of_sequence((1, 2))) == g.sequence_relation((1, 2))
+        assert index.pairs_of_sequence((2, 2)) == []
+        assert index.lookup((1,)).pairs  # single labels always present
+
+    def test_smaller_than_full_path(self, g):
+        full = PathIndex.build(g, 2)
+        ia = InterestAwarePathIndex.build(g, 2, interests={(1, 2)})
+        assert ia.size_bytes() < full.size_bytes()
+
+    def test_bad_interest_rejected(self, g):
+        with pytest.raises(IndexBuildError):
+            InterestAwarePathIndex.build(g, 2, interests={(1, 2, 3)})
+
+    def test_queries_match_reference(self, g):
+        index = InterestAwarePathIndex.build(g, 2, interests={(1, 2)})
+        for text in ("a . b", "(b . a) & (a . b)", "(a . a . a) & id"):
+            query = parse(text, g.registry)
+            assert index.evaluate(query) == reference(query, g), text
+
+    def test_same_lookup_contents_as_path(self, g):
+        """iaPath stores the same pair lists per indexed sequence as Path
+        (the paper: iaPath is not faster, only smaller)."""
+        full = PathIndex.build(g, 2)
+        ia = InterestAwarePathIndex.build(g, 2, interests={(1, 2)})
+        assert ia.pairs_of_sequence((1, 2)) == full.pairs_of_sequence((1, 2))
+        assert ia.pairs_of_sequence((1,)) == full.pairs_of_sequence((1,))

@@ -1,0 +1,124 @@
+"""Unit tests for P≤k / L≤k enumeration (Sec. III-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexBuildError
+from repro.core.paths import (
+    enumerate_sequences,
+    gamma,
+    invert_sequences,
+    label_sequences_for_pair,
+    reachable_pairs,
+)
+from repro.graph.generators import cycle_graph, random_graph
+from repro.graph.io import edges_from_strings
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestEnumerateSequences:
+    def test_k1_is_extended_edge_relations(self, g):
+        sequences = enumerate_sequences(g, 1)
+        assert sequences[(1,)] == {(0, 1), (2, 0)}
+        assert sequences[(-1,)] == {(1, 0), (0, 2)}
+        assert sequences[(2,)] == {(1, 2), (0, 0)}
+
+    def test_k2_contains_compositions(self, g):
+        sequences = enumerate_sequences(g, 2)
+        assert sequences[(1, 2)] == {(0, 2), (2, 0)}
+        # shorter sequences are retained at higher k
+        assert sequences[(1,)] == {(0, 1), (2, 0)}
+
+    def test_no_empty_entries(self, g):
+        for pairs in enumerate_sequences(g, 3).values():
+            assert pairs
+
+    def test_matches_direct_relation_computation(self, g):
+        sequences = enumerate_sequences(g, 3)
+        for seq, pairs in sequences.items():
+            assert pairs == g.sequence_relation(seq), seq
+
+    def test_k_zero_rejected(self, g):
+        with pytest.raises(IndexBuildError):
+            enumerate_sequences(g, 0)
+
+    def test_sequence_lengths_bounded(self, g):
+        for seq in enumerate_sequences(g, 2):
+            assert 1 <= len(seq) <= 2
+
+
+class TestInvertSequences:
+    def test_transposition(self, g):
+        sequences = enumerate_sequences(g, 2)
+        per_pair = invert_sequences(sequences)
+        for seq, pairs in sequences.items():
+            for pair in pairs:
+                assert seq in per_pair[pair]
+
+    def test_per_pair_matches_targeted_computation(self, g):
+        per_pair = invert_sequences(enumerate_sequences(g, 2))
+        for pair, seqs in per_pair.items():
+            assert seqs == label_sequences_for_pair(g, pair[0], pair[1], 2)
+
+
+class TestReachablePairs:
+    def test_matches_enumeration_domain(self, g):
+        for k in (1, 2, 3):
+            expected = set()
+            for pairs in enumerate_sequences(g, k).values():
+                expected.update(pairs)
+            assert reachable_pairs(g, k) == expected
+
+    def test_monotone_in_k(self, g):
+        assert reachable_pairs(g, 1) <= reachable_pairs(g, 2) <= reachable_pairs(g, 3)
+
+    def test_excludes_identity_only_pairs(self):
+        g = edges_from_strings(["0 1 a"])
+        pairs = reachable_pairs(g, 2)
+        # (0,0) reachable via a then a^-, but an isolated vertex is not
+        g.add_vertex(9)
+        assert (9, 9) not in reachable_pairs(g, 2)
+        assert (0, 0) in pairs
+
+
+class TestPerPairSequences:
+    def test_empty_for_unconnected(self, g):
+        g.add_vertex(9)
+        assert label_sequences_for_pair(g, 0, 9, 3) == frozenset()
+
+    def test_cycle_lengths(self):
+        g = cycle_graph(3)
+        seqs = label_sequences_for_pair(g, 0, 0, 3)
+        assert (1, 1, 1) in seqs          # all the way around
+        assert (1, -1) in seqs            # out and back
+        assert (1,) not in seqs
+
+    def test_agreement_with_enumeration_on_random_graph(self):
+        g = random_graph(15, 40, 3, seed=2)
+        per_pair = invert_sequences(enumerate_sequences(g, 2))
+        for pair in list(per_pair)[:40]:
+            assert per_pair[pair] == label_sequences_for_pair(g, pair[0], pair[1], 2)
+
+
+class TestGamma:
+    def test_empty_graph(self):
+        from repro.graph.digraph import LabeledDigraph
+
+        g = LabeledDigraph()
+        g.add_vertex(0)
+        assert gamma(g, 2) == 0.0
+
+    def test_single_edge(self):
+        g = edges_from_strings(["0 1 a"])
+        # pairs: (0,1):{a}, (1,0):{a^-}, (0,0):{aa^-}, (1,1):{a^- a}
+        assert gamma(g, 2) == 1.0
+
+    def test_gamma_grows_with_redundancy(self):
+        sparse = edges_from_strings(["0 1 a"])
+        dense = edges_from_strings(["0 1 a", "0 1 b", "0 1 c"])
+        assert gamma(dense, 2) > gamma(sparse, 2)

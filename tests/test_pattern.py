@@ -1,0 +1,93 @@
+"""Unit tests for CPQ → pattern-graph compilation (Fig. 2)."""
+
+from __future__ import annotations
+
+from repro.baselines.pattern import cpq_to_pattern
+from repro.query.ast import EdgeLabel, ID, sequence_query
+
+
+class TestAtoms:
+    def test_single_label(self):
+        pattern = cpq_to_pattern(EdgeLabel(1))
+        assert pattern.num_vars == 2
+        assert pattern.edges == ((pattern.source, pattern.target, 1),)
+
+    def test_inverse_label_normalized(self):
+        pattern = cpq_to_pattern(EdgeLabel(-1))
+        assert pattern.edges == ((pattern.target, pattern.source, 1),)
+
+    def test_bare_identity(self):
+        pattern = cpq_to_pattern(ID)
+        assert pattern.source == pattern.target
+        assert pattern.edges == ()
+
+
+class TestJoin:
+    def test_chain_introduces_midpoints(self):
+        pattern = cpq_to_pattern(sequence_query((1, 2, 3)))
+        assert pattern.num_vars == 4
+        assert len(pattern.edges) == 3
+        labels = sorted(label for _, _, label in pattern.edges)
+        assert labels == [1, 2, 3]
+
+    def test_chain_is_connected_path(self):
+        pattern = cpq_to_pattern(sequence_query((1, 1)))
+        adjacency = pattern.adjacency()
+        # source and target have degree 1, the midpoint degree 2
+        degrees = sorted(len(adjacency[v]) for v in range(pattern.num_vars))
+        assert degrees == [1, 1, 2]
+
+
+class TestConjunction:
+    def test_shares_endpoints(self):
+        q = sequence_query((1, 2)) & EdgeLabel(3)
+        pattern = cpq_to_pattern(q)
+        # 2-path plus a parallel edge: 3 variables, 3 edges
+        assert pattern.num_vars == 3
+        assert len(pattern.edges) == 3
+        assert (pattern.source, pattern.target, 3) in pattern.edges
+
+    def test_duplicate_edges_collapse(self):
+        q = EdgeLabel(1) & EdgeLabel(1)
+        pattern = cpq_to_pattern(q)
+        assert len(pattern.edges) == 1
+
+
+class TestIdentityMerging:
+    def test_conjunction_with_id_merges_endpoints(self):
+        q = sequence_query((1, 2)) & ID
+        pattern = cpq_to_pattern(q)
+        assert pattern.source == pattern.target
+        assert pattern.num_vars == 2  # merged endpoint + midpoint
+
+    def test_triangle_pattern(self):
+        q = sequence_query((1, 1, 1)) & ID
+        pattern = cpq_to_pattern(q)
+        assert pattern.source == pattern.target
+        assert pattern.num_vars == 3
+        assert len(pattern.edges) == 3
+
+    def test_self_loop_edge(self):
+        q = EdgeLabel(1) & ID
+        pattern = cpq_to_pattern(q)
+        assert pattern.edges == ((pattern.source, pattern.source, 1),)
+        adjacency = pattern.adjacency()
+        assert adjacency[pattern.source] == [(pattern.source, 1, True)]
+
+    def test_join_of_identities(self):
+        pattern = cpq_to_pattern(ID >> ID)
+        assert pattern.source == pattern.target
+        assert pattern.num_vars == 1
+
+
+class TestStarShape:
+    def test_star_template_pattern(self):
+        """St: three out-and-back spokes share one center = source = target."""
+        spokes = [EdgeLabel(i) >> EdgeLabel(-i) for i in (1, 2, 3)]
+        q = ((spokes[0] & spokes[1]) & spokes[2]) & ID
+        pattern = cpq_to_pattern(q)
+        assert pattern.source == pattern.target
+        assert pattern.num_vars == 4  # center + 3 spoke tips
+        assert len(pattern.edges) == 3
+        for a, _, _ in pattern.edges:
+            assert a == pattern.source  # all spokes leave the center

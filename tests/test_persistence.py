@@ -1,0 +1,164 @@
+"""Unit tests for index persistence (save/load round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.persistence import (
+    PersistenceError,
+    decode_vertex,
+    encode_vertex,
+    load_index,
+    save_index,
+)
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.graph.schema import citation_schema
+from repro.query.parser import parse
+from repro.query.workloads import random_template_queries
+
+
+class TestVertexCodec:
+    @pytest.mark.parametrize("vertex", [0, -3, "name", ("u", 5), ("a", ("b", 1))])
+    def test_roundtrip(self, vertex):
+        assert decode_vertex(encode_vertex(vertex)) == vertex
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(PersistenceError):
+            encode_vertex(3.14)
+        with pytest.raises(PersistenceError):
+            encode_vertex(True)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(PersistenceError):
+            decode_vertex({"x": 1})
+        with pytest.raises(PersistenceError):
+            decode_vertex(None)
+
+
+class TestCpqxRoundtrip:
+    def test_structure_preserved(self, tmp_path):
+        graph = random_graph(20, 55, 3, seed=21)
+        index = CPQxIndex.build(graph, k=2)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, CPQxIndex)
+        assert loaded.k == index.k
+        assert loaded.num_classes == index.num_classes
+        assert loaded.num_pairs == index.num_pairs
+        assert loaded.size_bytes() == index.size_bytes()
+        assert loaded.graph == index.graph
+
+    def test_queries_identical_after_reload(self, tmp_path):
+        graph = random_graph(20, 55, 3, seed=22)
+        index = CPQxIndex.build(graph, k=2)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        for template in ("C2", "S", "Ti"):
+            for wq in random_template_queries(graph, template, count=2, seed=23):
+                assert loaded.evaluate(wq.query) == index.evaluate(wq.query)
+
+    def test_maintenance_works_after_reload(self, tmp_path):
+        graph = edges_from_strings(["0 1 a", "1 2 a"])
+        index = CPQxIndex.build(graph, k=2)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        loaded.insert_edge(2, 0, "a")
+        query = parse("(a . a . a) & id", loaded.graph.registry)
+        assert loaded.evaluate(query) == {(0, 0), (1, 1), (2, 2)}
+
+    def test_tuple_vertices(self, tmp_path):
+        graph = citation_schema().generate(60, seed=3)
+        index = CPQxIndex.build(graph, k=1)
+        path = tmp_path / "gmark.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.graph == graph
+
+    def test_vertex_data_preserved(self, tmp_path):
+        graph = edges_from_strings(["0 1 a"])
+        graph.set_vertex_data(0, name="zero", weight=3)
+        index = CPQxIndex.build(graph, k=1)
+        path = tmp_path / "data.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.graph.vertex_data(0) == {"name": "zero", "weight": 3}
+
+
+class TestInterestRoundtrip:
+    def test_interests_preserved(self, tmp_path):
+        graph = random_graph(18, 50, 3, seed=24)
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2), (2, -1)})
+        path = tmp_path / "ia.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, InterestAwareIndex)
+        assert loaded.interests == index.interests
+        assert loaded.num_classes == index.num_classes
+
+    def test_deleted_interest_not_resurrected_by_reload(self, tmp_path):
+        """Regression: class records may carry interests deleted before
+        the save; reload must not rebuild their Il2c postings."""
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2)})
+        assert index.lookup((1, 2)).classes
+        index.delete_interest((1, 2))
+        path = tmp_path / "stale.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert (1, 2) not in loaded.interests
+        assert loaded.lookup((1, 2)).classes == frozenset()
+
+    def test_interest_maintenance_after_reload(self, tmp_path):
+        graph = random_graph(18, 50, 3, seed=25)
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2)})
+        path = tmp_path / "ia.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        loaded.delete_interest((1, 2))
+        loaded.insert_interest((2, 1))
+        from repro.query.ast import sequence_query
+        from repro.query.semantics import evaluate as reference
+
+        query = sequence_query((2, 1))
+        assert loaded.evaluate(query) == reference(query, graph)
+
+
+class TestErrorHandling:
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "repro-index", "version": 99}), encoding="utf-8"
+        )
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_unknown_type(self, tmp_path):
+        graph_doc = {"labels": [], "vertices": [], "edges": [], "vertex_data": []}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": "repro-index", "version": 1, "type": "mystery",
+            "k": 2, "graph": graph_doc, "classes": [],
+        }), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_cannot_persist_path_index(self, tmp_path):
+        from repro.baselines.path_index import PathIndex
+
+        graph = edges_from_strings(["0 1 a"])
+        with pytest.raises(PersistenceError):
+            save_index(PathIndex.build(graph, 1), tmp_path / "x.json")

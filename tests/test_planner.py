@@ -1,0 +1,132 @@
+"""Unit tests for plan construction (Sec. IV-D, Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryDiameterError
+from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, plan_lookups
+from repro.plan.planner import build_plan, greedy_splitter, interest_splitter
+from repro.query.ast import EdgeLabel, ID, sequence_query
+
+
+def _labels(*ids):
+    return [EdgeLabel(i) for i in ids]
+
+
+class TestGreedySplitter:
+    def test_short_sequence_untouched(self):
+        assert greedy_splitter(2)((1, 2)) == [(1, 2)]
+
+    def test_figure4_split(self):
+        """⟨l1,l2,l3⟩ with k=2 → ⟨l1,l2⟩ then ⟨l3⟩ (Fig. 4)."""
+        assert greedy_splitter(2)((1, 2, 3)) == [(1, 2), (3,)]
+
+    def test_k1_splits_fully(self):
+        assert greedy_splitter(1)((1, 2, 3)) == [(1,), (2,), (3,)]
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(QueryDiameterError):
+            greedy_splitter(0)
+
+
+class TestInterestSplitter:
+    def test_prefers_longest_interest_prefix(self):
+        split = interest_splitter(frozenset({(1, 2), (3,)}), k=2)
+        assert split((1, 2, 3)) == [(1, 2), (3,)]
+
+    def test_falls_back_to_single_labels(self):
+        split = interest_splitter(frozenset({(9, 9)}), k=2)
+        assert split((1, 2, 3)) == [(1,), (2,), (3,)]
+
+    def test_mixed(self):
+        split = interest_splitter(frozenset({(2, 3)}), k=2)
+        assert split((1, 2, 3)) == [(1,), (2, 3)]
+
+
+class TestSequencePlans:
+    def test_single_lookup(self):
+        plan = build_plan(sequence_query((1, 2)), greedy_splitter(2))
+        assert plan == Lookup((1, 2))
+
+    def test_chain_becomes_left_deep_joins(self):
+        plan = build_plan(sequence_query((1, 2, 3, 4, 5)), greedy_splitter(2))
+        assert isinstance(plan, JoinNode)
+        assert [l.seq for l in plan_lookups(plan)] == [(1, 2), (3, 4), (5,)]
+
+
+class TestIdentityRules:
+    def test_join_with_id_removed(self):
+        """Optimization 2: q ∘ id = q."""
+        q = sequence_query((1, 2)) >> ID
+        plan = build_plan(q, greedy_splitter(2))
+        assert plan == Lookup((1, 2))
+
+    def test_id_join_id(self):
+        plan = build_plan(ID >> ID, greedy_splitter(2))
+        assert isinstance(plan, IdentityAll)
+
+    def test_conj_with_id_fuses_into_lookup(self):
+        q = sequence_query((1, 2)) & ID
+        plan = build_plan(q, greedy_splitter(2))
+        assert plan == Lookup((1, 2), with_identity=True)
+
+    def test_conj_with_id_fuses_into_join(self):
+        q = sequence_query((1, 2, 3)) & ID
+        plan = build_plan(q, greedy_splitter(2))
+        assert isinstance(plan, JoinNode)
+        assert plan.with_identity
+
+    def test_conj_with_id_fuses_into_conjunction(self):
+        q = (EdgeLabel(1) & EdgeLabel(2)) & ID
+        plan = build_plan(q, greedy_splitter(2))
+        assert isinstance(plan, ConjNode)
+        assert plan.with_identity
+
+    def test_id_on_left_also_fuses(self):
+        q = ID & sequence_query((1, 2))
+        plan = build_plan(q, greedy_splitter(2))
+        assert plan == Lookup((1, 2), with_identity=True)
+
+    def test_id_conj_id(self):
+        plan = build_plan(ID & ID, greedy_splitter(2))
+        assert isinstance(plan, IdentityAll)
+
+    def test_bare_id(self):
+        plan = build_plan(ID, greedy_splitter(2))
+        assert isinstance(plan, IdentityAll)
+
+    def test_nested_identity_fusion(self):
+        """(q1 & (q2 & id)) fuses only the inner conjunction."""
+        q = EdgeLabel(1) & (sequence_query((2, 3)) & ID)
+        plan = build_plan(q, greedy_splitter(2))
+        assert isinstance(plan, ConjNode)
+        assert not plan.with_identity
+        assert plan.right == Lookup((2, 3), with_identity=True)
+
+
+class TestGeneralShapes:
+    def test_conjunction_of_sequences(self):
+        q = sequence_query((1, 2)) & sequence_query((3, 4))
+        plan = build_plan(q, greedy_splitter(2))
+        assert plan == ConjNode(Lookup((1, 2)), Lookup((3, 4)))
+
+    def test_join_of_conjunctions(self):
+        q = (EdgeLabel(1) & EdgeLabel(2)) >> (EdgeLabel(3) & EdgeLabel(4))
+        plan = build_plan(q, greedy_splitter(2))
+        assert isinstance(plan, JoinNode)
+        assert isinstance(plan.left, ConjNode)
+        assert isinstance(plan.right, ConjNode)
+
+    def test_join_of_sequence_chunks_not_merged_across_conjunction(self):
+        """A conjunction interrupts chain recognition."""
+        q = (EdgeLabel(1) >> (EdgeLabel(2) & EdgeLabel(3))) >> EdgeLabel(4)
+        plan = build_plan(q, greedy_splitter(2))
+        lookups = [l.seq for l in plan_lookups(plan)]
+        assert (2,) in lookups and (3,) in lookups
+
+    def test_describe_renders(self):
+        q = (sequence_query((1, 2)) & ID) >> EdgeLabel(3)
+        plan = build_plan(q, greedy_splitter(2))
+        text = plan.describe()
+        assert "Join" in text and "Lookup" in text and "∩id" in text

@@ -1,0 +1,230 @@
+"""Property-based tests (Hypothesis) for the paper's core invariants.
+
+These are the load-bearing guarantees of DESIGN.md §4.2:
+
+1. partition classes are uniform in ``L≤k`` and in loop-ness (the index
+   correctness contract, Def. 4.2 / Thm. 4.1);
+2. level-``i`` partitions refine level-``i-1`` (Sec. IV-C);
+3. every engine agrees with the reference semantics on arbitrary CPQs
+   (Corollary 4.1 end-to-end);
+4. maintenance preserves exactness under arbitrary update sequences
+   (Prop. 4.2);
+5. algebraic laws of the CPQ semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.path_index import PathIndex
+from repro.baselines.tentris import TentrisEngine
+from repro.baselines.turbohom import TurboHomEngine
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.partition import compute_partition, refines
+from repro.core.paths import enumerate_sequences, invert_sequences
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelRegistry
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, ID, Join
+from repro.query.semantics import evaluate as reference
+
+NUM_VERTICES = 8
+NUM_LABELS = 3
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw) -> LabeledDigraph:
+    """Small random edge-labeled digraphs (≤ 8 vertices, ≤ 20 edges)."""
+    edge_count = draw(st.integers(min_value=1, max_value=20))
+    registry = LabelRegistry([f"l{i}" for i in range(1, NUM_LABELS + 1)])
+    graph = LabeledDigraph(registry)
+    for v in range(NUM_VERTICES):
+        graph.add_vertex(v)
+    for _ in range(edge_count):
+        v = draw(st.integers(0, NUM_VERTICES - 1))
+        u = draw(st.integers(0, NUM_VERTICES - 1))
+        label = draw(st.integers(1, NUM_LABELS))
+        graph.add_edge(v, u, label)
+    return graph
+
+
+@st.composite
+def queries(draw, max_depth: int = 3) -> CPQ:
+    """Random CPQ expressions over the shared label vocabulary."""
+    if max_depth == 0:
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return ID
+        label = draw(st.integers(1, NUM_LABELS))
+        return EdgeLabel(label if choice < 3 else -label)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(queries(max_depth=0))
+    left = draw(queries(max_depth=max_depth - 1))
+    right = draw(queries(max_depth=max_depth - 1))
+    return Join(left, right) if kind in (1, 2) else Conjunction(left, right)
+
+
+class TestPartitionProperties:
+    @_SETTINGS
+    @given(graphs(), st.integers(1, 3))
+    def test_classes_are_sequence_and_loop_uniform(self, graph, k):
+        partition = compute_partition(graph, k)
+        per_pair = invert_sequences(enumerate_sequences(graph, k))
+        for class_id, members in partition.blocks.items():
+            sequence_sets = {per_pair[pair] for pair in members}
+            loop_flags = {pair[0] == pair[1] for pair in members}
+            assert len(sequence_sets) == 1
+            assert len(loop_flags) == 1
+            assert (class_id in partition.loop_classes) == loop_flags.pop()
+
+    @_SETTINGS
+    @given(graphs())
+    def test_refinement_chain(self, graph):
+        p1 = compute_partition(graph, 1)
+        p2 = compute_partition(graph, 2)
+        p3 = compute_partition(graph, 3)
+        assert refines(p2.class_of, p1.class_of)
+        assert refines(p3.class_of, p2.class_of)
+
+    @_SETTINGS
+    @given(graphs(), st.integers(1, 3))
+    def test_partition_covers_exactly_reachable_pairs(self, graph, k):
+        from repro.core.paths import reachable_pairs
+
+        partition = compute_partition(graph, k)
+        assert set(partition.class_of) == reachable_pairs(graph, k)
+
+
+class TestEngineAgreement:
+    @_SETTINGS
+    @given(graphs(), st.lists(queries(), min_size=1, max_size=3))
+    def test_cpqx_matches_reference(self, graph, query_list):
+        index = CPQxIndex.build(graph, k=2)
+        for query in query_list:
+            assert index.evaluate(query) == reference(query, graph)
+
+    @_SETTINGS
+    @given(graphs(), st.lists(queries(), min_size=1, max_size=3))
+    def test_iacpqx_matches_reference(self, graph, query_list):
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2), (2, -1)})
+        for query in query_list:
+            assert index.evaluate(query) == reference(query, graph)
+
+    @_SETTINGS
+    @given(graphs(), st.lists(queries(), min_size=1, max_size=3))
+    def test_path_matches_reference(self, graph, query_list):
+        index = PathIndex.build(graph, k=2)
+        for query in query_list:
+            assert index.evaluate(query) == reference(query, graph)
+
+    @_SETTINGS
+    @given(graphs(), queries(max_depth=2))
+    def test_matchers_match_reference(self, graph, query):
+        expected = reference(query, graph)
+        assert TurboHomEngine(graph).evaluate(query) == expected
+        assert TentrisEngine(graph).evaluate(query) == expected
+
+    @_SETTINGS
+    @given(graphs(), queries())
+    def test_limit_returns_subset(self, graph, query):
+        index = CPQxIndex.build(graph, k=2)
+        expected = reference(query, graph)
+        limited = index.evaluate(query, limit=2)
+        assert limited <= expected
+        assert len(limited) == min(2, len(expected))
+
+
+class TestMaintenanceProperties:
+    @_SETTINGS
+    @given(
+        graphs(),
+        st.lists(
+            st.tuples(
+                st.integers(0, NUM_VERTICES - 1),
+                st.integers(0, NUM_VERTICES - 1),
+                st.integers(1, NUM_LABELS),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        queries(max_depth=2),
+    )
+    def test_updates_preserve_exactness(self, graph, updates, query):
+        index = CPQxIndex.build(graph.copy(), k=2)
+        for v, u, label in updates:
+            if index.graph.has_edge(v, u, label):
+                index.delete_edge(v, u, label)
+            else:
+                index.insert_edge(v, u, label)
+        assert index.evaluate(query) == reference(query, index.graph)
+
+    @_SETTINGS
+    @given(graphs(), st.lists(st.tuples(
+        st.integers(0, NUM_VERTICES - 1),
+        st.integers(0, NUM_VERTICES - 1),
+        st.integers(1, NUM_LABELS),
+    ), min_size=1, max_size=4), queries(max_depth=2))
+    def test_iacpqx_updates_preserve_exactness(self, graph, updates, query):
+        index = InterestAwareIndex.build(graph.copy(), k=2, interests={(1, 2)})
+        for v, u, label in updates:
+            if index.graph.has_edge(v, u, label):
+                index.delete_edge(v, u, label)
+            else:
+                index.insert_edge(v, u, label)
+        assert index.evaluate(query) == reference(query, index.graph)
+
+
+class TestSemanticsLaws:
+    @_SETTINGS
+    @given(graphs(), queries(max_depth=2), queries(max_depth=2))
+    def test_conjunction_commutes(self, graph, q1, q2):
+        assert reference(Conjunction(q1, q2), graph) == reference(
+            Conjunction(q2, q1), graph
+        )
+
+    @_SETTINGS
+    @given(graphs(), queries(max_depth=2))
+    def test_identity_laws(self, graph, q):
+        assert reference(Join(q, ID), graph) == reference(q, graph)
+        assert reference(Join(ID, q), graph) == reference(q, graph)
+        conj = reference(Conjunction(q, ID), graph)
+        assert conj == {(v, u) for v, u in reference(q, graph) if v == u}
+
+    @_SETTINGS
+    @given(graphs(), queries(max_depth=2), queries(max_depth=2), queries(max_depth=2))
+    def test_join_associates(self, graph, q1, q2, q3):
+        assert reference(Join(Join(q1, q2), q3), graph) == reference(
+            Join(q1, Join(q2, q3)), graph
+        )
+
+    @_SETTINGS
+    @given(graphs(), queries())
+    def test_answers_are_vertex_pairs(self, graph, q):
+        vertices = set(graph.vertices())
+        for v, u in reference(q, graph):
+            assert v in vertices and u in vertices
+
+
+class TestSizeTheorems:
+    @_SETTINGS
+    @given(graphs())
+    def test_class_count_at_most_pair_count(self, graph):
+        """|C| ≤ |P≤k| — the inequality behind Thm. 4.2."""
+        index = CPQxIndex.build(graph, k=2)
+        assert index.num_classes <= max(1, index.num_pairs)
+
+    @_SETTINGS
+    @given(graphs())
+    def test_interest_index_never_larger(self, graph):
+        """Thm. 5.1's direction: iaCPQx ≤ CPQx in pairs and classes."""
+        full = CPQxIndex.build(graph, k=2)
+        ia = InterestAwareIndex.build(graph, k=2, interests={(1, 1)})
+        assert ia.num_pairs <= full.num_pairs
+        assert ia.num_classes <= full.num_classes

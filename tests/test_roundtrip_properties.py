@@ -1,0 +1,140 @@
+"""Hypothesis round-trip and structural properties across subsystems."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.persistence import load_index, save_index
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.io import graph_from_document, graph_to_document
+from repro.graph.labels import LabelRegistry, inverse_sequence
+from repro.query.ast import CPQ, Conjunction, EdgeLabel, ID, Join
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+
+_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def graphs(draw) -> LabeledDigraph:
+    registry = LabelRegistry(["aa", "bb", "cc"])
+    graph = LabeledDigraph(registry)
+    vertex_pool = draw(st.sampled_from(["ints", "strings", "tuples"]))
+    if vertex_pool == "ints":
+        vertices = list(range(6))
+    elif vertex_pool == "strings":
+        vertices = [f"v{i}" for i in range(6)]
+    else:
+        vertices = [("t", i) for i in range(6)]
+    for v in vertices:
+        graph.add_vertex(v)
+    for _ in range(draw(st.integers(1, 14))):
+        graph.add_edge(
+            vertices[draw(st.integers(0, 5))],
+            vertices[draw(st.integers(0, 5))],
+            draw(st.integers(1, 3)),
+        )
+    return graph
+
+
+@st.composite
+def name_queries(draw, max_depth: int = 3) -> CPQ:
+    """Name-form CPQs over the aa/bb/cc vocabulary."""
+    if max_depth == 0:
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return ID
+        name = draw(st.sampled_from(["aa", "bb", "cc"]))
+        return EdgeLabel(name, inverted=choice >= 3)
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(name_queries(max_depth=0))
+    left = draw(name_queries(max_depth=max_depth - 1))
+    right = draw(name_queries(max_depth=max_depth - 1))
+    return Join(left, right) if kind == 1 else Conjunction(left, right)
+
+
+class TestParserRoundtrip:
+    @_SETTINGS
+    @given(name_queries())
+    def test_parse_of_to_text_is_identity(self, query):
+        assert parse(query.to_text()) == query
+
+    @_SETTINGS
+    @given(graphs(), name_queries(max_depth=2))
+    def test_roundtrip_preserves_semantics(self, graph, query):
+        from repro.query.ast import resolve
+
+        direct = reference(resolve(query, graph.registry), graph)
+        reparsed = reference(
+            resolve(parse(query.to_text()), graph.registry), graph
+        )
+        assert direct == reparsed
+
+
+class TestGraphDocumentRoundtrip:
+    @_SETTINGS
+    @given(graphs())
+    def test_document_roundtrip(self, graph):
+        assert graph_from_document(graph_to_document(graph)) == graph
+
+
+class TestPersistenceRoundtrip:
+    @_SETTINGS
+    @given(graphs())
+    def test_index_roundtrip_preserves_everything(self, graph):
+        import os
+        import tempfile
+
+        index = CPQxIndex.build(graph, k=2)
+        handle, path = tempfile.mkstemp(suffix=".json")
+        os.close(handle)
+        try:
+            save_index(index, path)
+            loaded = load_index(path)
+        finally:
+            os.unlink(path)
+        assert loaded.num_classes == index.num_classes
+        assert loaded.num_pairs == index.num_pairs
+        assert loaded.graph == index.graph
+        # the reloaded index answers lookups identically
+        for seq in list(index._il2c)[:10]:
+            assert loaded.expand_classes(
+                loaded.lookup(seq).classes
+            ) == index.expand_classes(index.lookup(seq).classes)
+
+
+class TestInverseSequenceSemantics:
+    @_SETTINGS
+    @given(graphs(), st.lists(st.integers(1, 3), min_size=1, max_size=3))
+    def test_inverse_sequence_is_converse_relation(self, graph, labels):
+        seq = tuple(labels)
+        forward = graph.sequence_relation(seq)
+        backward = graph.sequence_relation(inverse_sequence(seq))
+        assert backward == {(u, v) for v, u in forward}
+
+
+class TestExtendedAdjacencyConsistency:
+    @_SETTINGS
+    @given(graphs())
+    def test_successor_symmetry(self, graph):
+        """u ∈ successors(v, l) ⟺ v ∈ successors(u, -l)."""
+        for v, u, lab in graph.extended_triples():
+            assert u in graph.successors(v, lab)
+            assert v in graph.successors(u, -lab)
+
+    @_SETTINGS
+    @given(graphs())
+    def test_out_items_matches_successors(self, graph):
+        for v in graph.vertices():
+            for lab, targets in graph.out_items(v):
+                assert frozenset(targets) == graph.successors(v, lab)
+
+    @_SETTINGS
+    @given(graphs())
+    def test_degree_sum_is_twice_extended_edges(self, graph):
+        total = sum(graph.out_degree(v) for v in graph.vertices())
+        assert total == graph.num_extended_edges

@@ -1,0 +1,58 @@
+"""Opt-in larger-scale smoke tests (REPRO_RUN_SLOW=1).
+
+The default suite stays laptop-fast on tiny graphs; these runs exercise
+the full-size dataset stand-ins (scale 1.0) to catch issues that only
+appear at volume — quadratic hot spots, memory churn, degenerate
+partitions.  Enable with::
+
+    REPRO_RUN_SLOW=1 pytest tests/test_scale_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.validate import quick_verify
+from repro.graph.datasets import load_dataset
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries, workload_interests
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="set REPRO_RUN_SLOW=1 for full-scale smoke tests",
+)
+
+
+@slow
+class TestFullScaleBuilds:
+    def test_robots_full_scale_cpqx(self):
+        graph = load_dataset("robots", scale=1.0, seed=7)
+        index = CPQxIndex.build(graph, k=2)
+        assert index.num_classes > 0
+        assert quick_verify(index, sample=40).ok
+        for wq in random_template_queries(graph, "S", count=3, seed=7):
+            assert index.evaluate(wq.query) == reference(wq.query, graph)
+
+    def test_youtube_full_scale_iacpqx(self):
+        graph = load_dataset("youtube", scale=1.0, seed=7)
+        workload = []
+        for template in ("S", "C2", "T"):
+            workload.extend(random_template_queries(graph, template, count=3, seed=7))
+        interests = frozenset(workload_interests(workload, 2))
+        index = InterestAwareIndex.build(graph, k=2, interests=interests)
+        assert quick_verify(index, sample=40).ok
+        for wq in workload[:5]:
+            assert index.evaluate(wq.query) == reference(wq.query, graph)
+
+    def test_wikidata_standin_iacpqx(self):
+        graph = load_dataset("wikidata", scale=1.0, seed=7)
+        workload = random_template_queries(graph, "C2", count=5, seed=7)
+        interests = frozenset(workload_interests(workload, 2))
+        index = InterestAwareIndex.build(graph, k=2, interests=interests)
+        assert index.num_pairs > 0
+        for wq in workload[:3]:
+            assert index.evaluate(wq.query) == reference(wq.query, graph)

@@ -1,0 +1,123 @@
+"""Unit tests for the schema-driven generator (mini-gMark)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.schema import (
+    EdgeType,
+    GraphSchema,
+    VertexType,
+    citation_schema,
+    constant,
+    geometric,
+    lubm_schema,
+    uniform,
+    watdiv_schema,
+    yago_like_schema,
+    zipfian,
+)
+
+
+class TestDegreeSamplers:
+    def test_constant(self):
+        assert constant(3)(random.Random(0)) == 3
+
+    def test_uniform_bounds(self):
+        rng = random.Random(0)
+        values = {uniform(1, 4)(rng) for _ in range(200)}
+        assert values == {1, 2, 3, 4}
+
+    def test_zipf_bounded(self):
+        rng = random.Random(0)
+        values = [zipfian(10)(rng) for _ in range(500)]
+        assert max(values) <= 10
+        assert min(values) >= 1
+
+    def test_geometric_mean(self):
+        rng = random.Random(0)
+        values = [geometric(0.5)(rng) for _ in range(3000)]
+        mean = sum(values) / len(values)
+        assert 0.7 < mean < 1.3  # E[X] = (1-p)/p = 1
+
+
+class TestSchemaValidation:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(DatasetError):
+            GraphSchema("bad", [VertexType("a", 0.5)], [])
+
+    def test_duplicate_vertex_type_rejected(self):
+        with pytest.raises(DatasetError):
+            GraphSchema(
+                "bad",
+                [VertexType("a", 0.5), VertexType("a", 0.5)],
+                [],
+            )
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(DatasetError):
+            GraphSchema(
+                "bad",
+                [VertexType("a", 1.0)],
+                [EdgeType("r", "a", "missing", constant(1))],
+            )
+
+
+class TestGeneration:
+    def test_typed_vertices_and_edges(self):
+        schema = GraphSchema(
+            "two-type",
+            [VertexType("src", 0.5), VertexType("dst", 0.5)],
+            [EdgeType("rel", "src", "dst", constant(2))],
+        )
+        graph = schema.generate(40, seed=1)
+        for v, u, _ in graph.triples():
+            assert v[0] == "src"
+            assert u[0] == "dst"
+
+    def test_deterministic(self):
+        schema = citation_schema()
+        assert schema.generate(100, seed=2) == schema.generate(100, seed=2)
+
+    def test_vertex_budget_respected(self):
+        graph = citation_schema().generate(200, seed=3)
+        assert 180 <= graph.num_vertices <= 220
+
+
+class TestPredefinedSchemas:
+    @pytest.mark.parametrize(
+        "factory,expected_labels",
+        [
+            (citation_schema, {"cites", "supervises", "livesIn", "worksIn",
+                               "publishesIn", "heldIn"}),
+            (lubm_schema, {"takesCourse", "teacherOf", "advisor", "memberOf",
+                           "subOrganizationOf", "worksFor", "publicationAuthor",
+                           "undergraduateDegreeFrom"}),
+            (watdiv_schema, {"follows", "purchases", "likes", "writesReview",
+                             "reviewOf", "sells", "hasGenre"}),
+            (yago_like_schema, {"livesIn", "wasBornIn", "worksAt", "graduatedFrom",
+                                "isMarriedTo", "influences", "created",
+                                "isLocatedIn", "isCitizenOf"}),
+        ],
+        ids=["citation", "lubm", "watdiv", "yago"],
+    )
+    def test_labels(self, factory, expected_labels):
+        schema = factory()
+        assert {et.label for et in schema.edge_types} == expected_labels
+        graph = schema.generate(120, seed=4)
+        assert graph.num_edges > 0
+
+    def test_citation_edge_typing(self):
+        """The paper's schema: cites researcher→researcher, heldIn venue→city."""
+        graph = citation_schema().generate(300, seed=5)
+        registry = graph.registry
+        cites = registry.id_of("cites")
+        held_in = registry.id_of("heldIn")
+        for v, u, label in graph.triples():
+            if label == cites:
+                assert v[0] == "researcher" and u[0] == "researcher"
+            elif label == held_in:
+                assert v[0] == "venue" and u[0] == "city"

@@ -1,0 +1,115 @@
+"""Unit tests for the reference CPQ semantics (the executable spec)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.io import edges_from_strings
+from repro.query.ast import EdgeLabel, sequence_query
+from repro.query.parser import parse
+from repro.query.semantics import evaluate, is_empty
+
+
+@pytest.fixture()
+def g():
+    # 0 -a-> 1 -b-> 2, 2 -a-> 0, plus self loop b at 0
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b"])
+
+
+class TestAtoms:
+    def test_identity(self, g):
+        assert evaluate(parse("id"), g) == {(v, v) for v in g.vertices()}
+
+    def test_label(self, g):
+        assert evaluate(parse("a", g.registry), g) == {(0, 1), (2, 0)}
+
+    def test_inverse_label(self, g):
+        assert evaluate(parse("a^-", g.registry), g) == {(1, 0), (0, 2)}
+
+
+class TestJoin:
+    def test_simple_chain(self, g):
+        assert evaluate(parse("a . b", g.registry), g) == {(0, 2), (2, 0)}
+
+    def test_join_with_identity_is_noop(self, g):
+        q1 = evaluate(parse("a . id", g.registry), g)
+        q2 = evaluate(parse("id . a", g.registry), g)
+        q3 = evaluate(parse("a", g.registry), g)
+        assert q1 == q2 == q3
+
+    def test_three_chain(self, g):
+        # a b a: 0->1->2->0
+        assert evaluate(parse("a . b . a", g.registry), g) == {(0, 0), (2, 1)}
+
+
+class TestConjunction:
+    def test_intersection(self, g):
+        # pairs with both an a-edge and a b-self-loop path... use a & a
+        assert evaluate(parse("a & a", g.registry), g) == {(0, 1), (2, 0)}
+
+    def test_empty_intersection(self, g):
+        assert evaluate(parse("a & b", g.registry), g) == set()
+
+    def test_conjunction_with_identity_filters_loops(self, g):
+        assert evaluate(parse("b & id", g.registry), g) == {(0, 0)}
+
+    def test_cycle_detection(self, g):
+        # the 3-cycle 0-a->1-b->2-a->0
+        assert evaluate(parse("(a . b . a) & id", g.registry), g) == {(0, 0)}
+
+
+class TestSemanticsLaws:
+    """Algebraic laws that must hold for the set semantics."""
+
+    def test_join_associative(self, g):
+        a, b = EdgeLabel(1), EdgeLabel(2)
+        left = evaluate((a >> b) >> a, g)
+        right = evaluate(a >> (b >> a), g)
+        assert left == right
+
+    def test_conjunction_commutative(self, g):
+        a, b = EdgeLabel(1), EdgeLabel(2)
+        assert evaluate(a & b, g) == evaluate(b & a, g)
+
+    def test_conjunction_idempotent(self, g):
+        a = EdgeLabel(1)
+        assert evaluate(a & a, g) == evaluate(a, g)
+
+    def test_join_distributes_over_nothing_weaker(self, g):
+        """(q1 ∩ q2) ∘ l ⊆ (q1 ∘ l) ∩ (q2 ∘ l) — inclusion, not equality."""
+        a, b = EdgeLabel(1), EdgeLabel(2)
+        lhs = evaluate((a & a) >> b, g)
+        rhs = evaluate((a >> b) & (a >> b), g)
+        assert lhs <= rhs
+
+    def test_inverse_converse(self, g):
+        a = EdgeLabel(1)
+        forward = evaluate(a, g)
+        backward = evaluate(a.inverse(), g)
+        assert backward == {(u, v) for v, u in forward}
+
+    def test_sequence_query_matches_relation(self, g):
+        for seq in [(1,), (1, 2), (2, -1), (1, 2, 1)]:
+            assert evaluate(sequence_query(seq), g) == g.sequence_relation(seq)
+
+
+class TestMemoization:
+    def test_shared_subqueries_consistent(self, g):
+        a, b = EdgeLabel(1), EdgeLabel(2)
+        shared = a >> b
+        q = (shared & shared) >> (shared & shared)
+        # evaluating a query with heavy sharing equals step-by-step evaluation
+        expected_half = evaluate(shared, g)
+        by_hand = {
+            (v, u)
+            for v, m in expected_half
+            for (m2, u) in expected_half
+            if m2 == m
+        }
+        assert evaluate(q, g) == by_hand
+
+
+class TestIsEmpty:
+    def test_is_empty(self, g):
+        assert is_empty(parse("a & b", g.registry), g)
+        assert not is_empty(parse("a", g.registry), g)

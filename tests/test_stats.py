@@ -1,0 +1,79 @@
+"""Unit tests for index/dataset statistics accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.path_index import PathIndex
+from repro.core.cpqx import CPQxIndex
+from repro.core.stats import (
+    build_with_stats,
+    dataset_stats,
+    format_bytes,
+    stats_of,
+)
+from repro.graph.io import edges_from_strings
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a"])
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.00KB"
+
+    def test_megabytes(self):
+        assert format_bytes(3 * 1024 * 1024) == "3.00MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(5 * 1024**3) == "5.00GB"
+
+
+class TestStatsOf:
+    def test_cpqx_stats(self, g):
+        index = CPQxIndex.build(g, 2)
+        stats = stats_of(index)
+        assert stats.name == "CPQx"
+        assert stats.k == 2
+        assert stats.num_classes == index.num_classes
+        assert stats.num_pairs == index.num_pairs
+        assert stats.size_bytes == index.size_bytes()
+
+    def test_path_stats_have_no_classes(self, g):
+        index = PathIndex.build(g, 2)
+        stats = stats_of(index)
+        assert stats.num_classes is None
+        assert "|C|=-" in stats.describe()
+
+    def test_describe_contains_essentials(self, g):
+        stats = stats_of(CPQxIndex.build(g, 2), build_seconds=1.5)
+        text = stats.describe()
+        assert "CPQx" in text and "build=1.500s" in text
+
+    def test_name_override(self, g):
+        stats = stats_of(CPQxIndex.build(g, 2), name="custom")
+        assert stats.name == "custom"
+
+
+class TestBuildWithStats:
+    def test_times_builder(self, g):
+        index, stats = build_with_stats(lambda: CPQxIndex.build(g, 2))
+        assert isinstance(index, CPQxIndex)
+        assert stats.build_seconds >= 0
+        assert stats.size_bytes == index.size_bytes()
+
+
+class TestDatasetStats:
+    def test_table2_conventions(self, g):
+        stats = dataset_stats("toy", g)
+        # |E| and |L| double-count for inverses, as Table II does
+        assert stats.edges_extended == 2 * g.num_edges
+        assert stats.labels_extended == 2 * len(g.labels_used())
+        assert stats.vertices == g.num_vertices
+        assert stats.max_degree == g.max_degree()
+        assert "toy" in stats.describe()

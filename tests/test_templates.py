@@ -1,0 +1,142 @@
+"""Unit tests for the Fig. 5 templates and benchmark query shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.graph.schema import lubm_schema, watdiv_schema, yago_like_schema
+from repro.query.ast import label, label_sequences_in, resolve
+from repro.query.semantics import evaluate
+from repro.query.templates import (
+    CONJUNCTIVE_TEMPLATES,
+    TEMPLATES,
+    get_template,
+    lubm_queries,
+    template_names,
+    watdiv_queries,
+    yago2_queries,
+)
+
+
+class TestTemplateRegistry:
+    def test_twelve_templates(self):
+        assert len(TEMPLATES) == 12
+        assert set(template_names()) == {
+            "C2", "C4", "T", "S", "TT", "TC", "SC", "ST", "C2i", "Ti", "Si", "St",
+        }
+
+    def test_get_template_unknown(self):
+        with pytest.raises(QuerySyntaxError):
+            get_template("nope")
+
+    def test_arity_checked(self):
+        with pytest.raises(QuerySyntaxError):
+            get_template("C2").instantiate([label("a")])
+
+    @pytest.mark.parametrize("name,arity", [
+        ("C2", 2), ("C4", 4), ("T", 3), ("S", 4), ("TT", 5), ("TC", 4),
+        ("SC", 5), ("ST", 7), ("C2i", 2), ("Ti", 3), ("Si", 4), ("St", 3),
+    ])
+    def test_arities(self, name, arity):
+        assert get_template(name).arity == arity
+
+    @pytest.mark.parametrize("name,diameter", [
+        ("C2", 2), ("C4", 4), ("T", 2), ("S", 2), ("TT", 2), ("TC", 3),
+        ("SC", 3), ("ST", 4), ("C2i", 2), ("Ti", 3), ("Si", 4), ("St", 2),
+    ])
+    def test_diameters(self, name, diameter):
+        template = get_template(name)
+        labels = [label(f"l{i}") for i in range(template.arity)]
+        assert template.instantiate(labels).diameter() == diameter
+
+    def test_identity_flags(self):
+        for name in ("C2i", "Ti", "Si", "St"):
+            assert get_template(name).has_identity
+        for name in ("C2", "T", "S", "ST"):
+            assert not get_template(name).has_identity
+
+    def test_conjunctive_subset(self):
+        for name in CONJUNCTIVE_TEMPLATES:
+            assert name in TEMPLATES
+
+
+class TestTemplateSemantics:
+    """Template instances must evaluate to their intended patterns."""
+
+    @pytest.fixture()
+    def triangle_graph(self):
+        from repro.graph.io import edges_from_strings
+
+        # 3-cycle of a-edges plus a chord b from 0 to 2
+        return edges_from_strings(["0 1 a", "1 2 a", "2 0 a", "0 2 b"])
+
+    def test_t_finds_open_triangle(self, triangle_graph):
+        g = triangle_graph
+        q = resolve(get_template("T").instantiate(
+            [label("a"), label("a"), label("b")]), g.registry)
+        assert evaluate(q, g) == {(0, 2)}
+
+    def test_ti_finds_cycle_members(self, triangle_graph):
+        g = triangle_graph
+        q = resolve(get_template("Ti").instantiate(
+            [label("a")] * 3), g.registry)
+        assert evaluate(q, g) == {(0, 0), (1, 1), (2, 2)}
+
+    def test_c2i_empty_without_2cycle(self, triangle_graph):
+        g = triangle_graph
+        q = resolve(get_template("C2i").instantiate([label("a")] * 2), g.registry)
+        assert evaluate(q, g) == set()
+
+    def test_star_centers(self):
+        from repro.graph.io import edges_from_strings
+
+        g = edges_from_strings([
+            "hub s1 a", "hub s2 b", "hub s3 c", "solo s4 a",
+        ])
+        q = resolve(get_template("St").instantiate(
+            [label("a"), label("b"), label("c")]), g.registry)
+        assert evaluate(q, g) == {("hub", "hub")}
+
+    def test_si_four_cycle(self):
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph(4, label="n")
+        q = resolve(get_template("Si").instantiate([label("n")] * 4), g.registry)
+        assert evaluate(q, g) == {(v, v) for v in range(4)}
+
+
+class TestBenchmarkQueries:
+    def test_yago2_queries_resolve_on_schema(self):
+        graph = yago_like_schema().generate(150, seed=1)
+        for name, query in yago2_queries().items():
+            resolved = resolve(query, graph.registry)
+            evaluate(resolved, graph)  # must not raise
+
+    def test_lubm_queries_resolve_on_schema(self):
+        graph = lubm_schema().generate(150, seed=1)
+        assert len(lubm_queries()) == 7
+        for query in lubm_queries().values():
+            evaluate(resolve(query, graph.registry), graph)
+
+    def test_watdiv_queries_resolve_on_schema(self):
+        graph = watdiv_schema().generate(150, seed=1)
+        queries = watdiv_queries()
+        assert len([n for n in queries if n.startswith("L")]) == 5
+        assert len([n for n in queries if n.startswith("S")]) == 7
+        for query in queries.values():
+            evaluate(resolve(query, graph.registry), graph)
+
+    def test_benchmark_queries_have_bounded_sequences(self):
+        """All lookup chains must fit k=2 indexes after splitting."""
+        suites = (
+            (yago2_queries(), yago_like_schema()),
+            (lubm_queries(), lubm_schema()),
+            (watdiv_queries(), watdiv_schema()),
+        )
+        for queries, schema in suites:
+            graph = schema.generate(60, seed=0)
+            for query in queries.values():
+                resolved = resolve(query, graph.registry)
+                for seq in label_sequences_in(resolved):
+                    assert 1 <= len(seq) <= 3

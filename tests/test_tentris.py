@@ -1,0 +1,92 @@
+"""Unit tests for the Tentris-style hypertrie engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tentris import HyperTrie, TentrisEngine
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b", "1 0 a"])
+
+
+class TestHyperTrie:
+    def test_add_and_contains(self):
+        trie = HyperTrie()
+        trie.add("s", 1, "o")
+        assert trie.contains("s", 1, "o")
+        assert not trie.contains("o", 1, "s")
+        assert len(trie) == 1
+
+    def test_add_idempotent(self):
+        trie = HyperTrie()
+        trie.add("s", 1, "o")
+        trie.add("s", 1, "o")
+        assert len(trie) == 1
+
+    def test_slices(self, g):
+        trie = HyperTrie.from_graph(g)
+        assert trie.objects_of(0, 1) == {1}
+        assert trie.subjects_of(0, 1) == {2, 1}
+        assert trie.subjects(1) == {0, 2, 1}
+        assert trie.objects(2) == {2, 0}
+        assert trie.loops(2) == {0}
+        assert trie.loops(1) == set()
+
+    def test_predicate_cardinality(self, g):
+        trie = HyperTrie.from_graph(g)
+        assert trie.predicate_cardinality(1) == 3
+        assert trie.predicate_cardinality(2) == 2
+        assert trie.predicate_cardinality(9) == 0
+
+    def test_from_graph_counts(self, g):
+        trie = HyperTrie.from_graph(g)
+        assert len(trie) == g.num_edges
+
+
+class TestQueries:
+    @pytest.mark.parametrize("text", [
+        "a", "a^-", "id", "a . b", "(a . b) & a", "b & id",
+        "(a . b . a) & id", "(a . a^-) & (b . b^-)",
+        "(a . a^-) & (b . b^-) & id",
+    ])
+    def test_matches_reference(self, g, text):
+        engine = TentrisEngine(g)
+        query = parse(text, g.registry)
+        assert engine.evaluate(query) == reference(query, g)
+
+    def test_unknown_label_empty(self, g):
+        from repro.query.ast import EdgeLabel
+
+        assert TentrisEngine(g).evaluate(EdgeLabel(9)) == frozenset()
+
+    def test_limit(self, g):
+        engine = TentrisEngine(g)
+        answer = engine.evaluate(parse("a", g.registry), limit=2)
+        assert len(answer) == 2
+
+    def test_stats_counts_candidates(self, g):
+        from repro.core.executor import ExecutionStats
+
+        stats = ExecutionStats()
+        TentrisEngine(g).evaluate(parse("a . b", g.registry), stats=stats)
+        assert stats.pairs_touched > 0
+
+
+class TestRandomAgreement:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_templates(self, seed):
+        g = random_graph(15, 35, 3, seed=seed)
+        engine = TentrisEngine(g)
+        for template in ("C2", "T", "S", "St", "C2i", "Si", "TC"):
+            for wq in random_template_queries(g, template, count=2, seed=seed):
+                assert engine.evaluate(wq.query) == reference(wq.query, g), (
+                    template, wq.labels
+                )

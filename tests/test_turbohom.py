@@ -1,0 +1,99 @@
+"""Unit tests for the TurboHom++-style homomorphic matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.turbohom import TurboHomEngine
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference
+from repro.query.workloads import random_template_queries
+
+
+@pytest.fixture()
+def g():
+    return edges_from_strings(["0 1 a", "1 2 b", "2 0 a", "0 0 b", "1 0 a"])
+
+
+class TestBasicQueries:
+    @pytest.mark.parametrize("text", [
+        "a", "a^-", "id", "a . b", "(a . b) & a", "b & id",
+        "(a . b . a) & id", "(a . a^-) & (b . b^-)",
+    ])
+    def test_matches_reference(self, g, text):
+        engine = TurboHomEngine(g)
+        query = parse(text, g.registry)
+        assert engine.evaluate(query) == reference(query, g)
+
+    def test_bare_identity(self, g):
+        engine = TurboHomEngine(g)
+        assert engine.evaluate(parse("id")) == {(v, v) for v in g.vertices()}
+
+    def test_bare_identity_with_limit(self, g):
+        engine = TurboHomEngine(g)
+        assert len(engine.evaluate(parse("id"), limit=2)) == 2
+
+
+class TestHomomorphicSemantics:
+    def test_non_injective_embeddings_allowed(self):
+        """A homomorphism may map two query variables to one vertex.
+
+        Isomorphic matchers would miss (0,0) for a∘a⁻ on a single edge:
+        the two path endpoints coincide.
+        """
+        g = edges_from_strings(["0 1 a"])
+        engine = TurboHomEngine(g)
+        query = parse("a . a^-", g.registry)
+        assert engine.evaluate(query) == {(0, 0)}
+
+    def test_square_template_with_shared_midpoints(self):
+        g = edges_from_strings(["0 1 a", "1 2 b"])
+        engine = TurboHomEngine(g)
+        # S with both branches identical: homomorphism maps both 2-paths
+        # onto the same physical path
+        query = parse("(a . b) & (a . b)", g.registry)
+        assert engine.evaluate(query) == {(0, 2)}
+
+
+class TestFirstAnswer:
+    def test_limit_stops_early(self, g):
+        engine = TurboHomEngine(g)
+        query = parse("a", g.registry)
+        answer = engine.evaluate(query, limit=1)
+        assert len(answer) == 1
+        assert answer <= reference(query, g)
+
+    def test_limit_exceeding_answers(self, g):
+        engine = TurboHomEngine(g)
+        query = parse("a . b", g.registry)
+        assert engine.evaluate(query, limit=100) == reference(query, g)
+
+
+class TestStats:
+    def test_candidate_counting(self, g):
+        from repro.core.executor import ExecutionStats
+
+        engine = TurboHomEngine(g)
+        stats = ExecutionStats()
+        engine.evaluate(parse("(a . b) & a", g.registry), stats=stats)
+        assert stats.pairs_touched > 0
+
+
+class TestRandomAgreement:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_templates(self, seed):
+        g = random_graph(15, 35, 3, seed=seed)
+        engine = TurboHomEngine(g)
+        for template in ("C2", "T", "S", "St", "C2i", "Ti"):
+            for wq in random_template_queries(g, template, count=2, seed=seed):
+                assert engine.evaluate(wq.query) == reference(wq.query, g), (
+                    template, wq.labels
+                )
+
+    def test_empty_graph_label(self, g):
+        engine = TurboHomEngine(g)
+        from repro.query.ast import EdgeLabel
+
+        assert engine.evaluate(EdgeLabel(99) & EdgeLabel(1)) == frozenset()

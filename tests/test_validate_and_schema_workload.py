@@ -1,0 +1,156 @@
+"""Tests for index verification and schema-aware workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.validate import quick_verify, verify_index
+from repro.graph.generators import random_graph
+from repro.graph.io import edges_from_strings
+from repro.graph.schema import citation_schema, schema_workload, type_check
+from repro.query.ast import label
+from repro.query.semantics import evaluate as reference
+
+
+class TestVerifyIndex:
+    def test_fresh_cpqx_passes(self):
+        graph = random_graph(20, 55, 3, seed=41)
+        report = verify_index(CPQxIndex.build(graph, k=2))
+        assert report.ok, report.describe()
+        assert report.pairs_checked > 0
+        assert "OK" in report.describe()
+
+    def test_fresh_iacpqx_passes(self):
+        graph = random_graph(20, 55, 3, seed=42)
+        index = InterestAwareIndex.build(graph, k=2, interests={(1, 2)})
+        report = verify_index(index)
+        assert report.ok, report.describe()
+
+    def test_maintained_index_passes(self):
+        graph = random_graph(18, 45, 3, seed=43)
+        index = CPQxIndex.build(graph.copy(), k=2)
+        triples = sorted(index.graph.triples(), key=repr)
+        for edge in triples[:4]:
+            index.delete_edge(*edge)
+        index.insert_edge(0, 1, 2)
+        report = verify_index(index)
+        assert report.ok, report.describe()
+
+    def test_detects_corrupted_class_map(self):
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = CPQxIndex.build(graph, k=2)
+        # corrupt: point a pair at the wrong class
+        pair = next(iter(index._class_of))
+        index._class_of[pair] = 10_000
+        report = verify_index(index)
+        assert not report.ok
+
+    def test_detects_label_drift(self):
+        """Mutating the graph behind the index's back must be caught."""
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = CPQxIndex.build(graph, k=2)
+        graph.add_edge(2, 0, "a")  # bypasses maintenance
+        report = verify_index(index)
+        assert not report.ok
+        assert any("sequences differ" in p or "missing pair" in p
+                   for p in report.problems)
+
+    def test_detects_dangling_posting(self):
+        graph = edges_from_strings(["0 1 a"])
+        index = CPQxIndex.build(graph, k=2)
+        index._il2c[(1,)].add(999)
+        report = verify_index(index)
+        assert any("dead class" in p for p in report.problems)
+
+    def test_report_truncates_long_problem_lists(self):
+        graph = random_graph(15, 45, 2, seed=44)
+        index = CPQxIndex.build(graph, k=2)
+        index._class_of = {pair: 77777 for pair in index._class_of}
+        report = verify_index(index)
+        assert not report.ok
+        assert len(report.describe().splitlines()) <= 23
+
+
+class TestQuickVerify:
+    def test_sampled_pass(self):
+        graph = random_graph(25, 70, 3, seed=45)
+        index = CPQxIndex.build(graph, k=2)
+        report = quick_verify(index, sample=20)
+        assert report.ok
+        assert report.pairs_checked <= 60
+
+    def test_sampled_catches_wrong_sequences(self):
+        graph = edges_from_strings(["0 1 a", "1 2 b"])
+        index = CPQxIndex.build(graph, k=2)
+        some_class = next(iter(index._class_sequences))
+        index._class_sequences[some_class] = frozenset({(9, 9)})
+        report = quick_verify(index, sample=50)
+        assert not report.ok
+
+
+class TestTypeCheck:
+    @pytest.fixture()
+    def setting(self):
+        schema = citation_schema()
+        graph = schema.generate(150, seed=5)
+        return schema, graph
+
+    def test_valid_chain(self, setting):
+        schema, graph = setting
+        query = label("cites") >> label("livesIn")
+        assert type_check(schema, query, graph.registry)
+
+    def test_invalid_chain(self, setting):
+        schema, graph = setting
+        query = label("livesIn") >> label("cites")  # cities don't cite
+        assert not type_check(schema, query, graph.registry)
+
+    def test_inverse_traversal_types(self, setting):
+        schema, graph = setting
+        # worksIn ∘ heldIn⁻¹: researcher→city then city→venue (inverse)
+        query = label("worksIn") >> label("heldIn").inverse()
+        assert type_check(schema, query, graph.registry)
+
+    def test_conjunction_conflict(self, setting):
+        schema, graph = setting
+        # target must be both a city (livesIn) and a venue (publishesIn)
+        query = label("livesIn") & label("publishesIn")
+        assert not type_check(schema, query, graph.registry)
+
+    def test_conjunction_compatible(self, setting):
+        schema, graph = setting
+        query = label("livesIn") & label("worksIn")
+        assert type_check(schema, query, graph.registry)
+
+    def test_identity_constrains_endpoints(self, setting):
+        schema, graph = setting
+        # a cites-cycle is fine; a livesIn-cycle is type-impossible
+        cites_cycle = (label("cites") >> label("cites")) & label("cites").inverse()
+        assert type_check(schema, cites_cycle, graph.registry)
+        lives_cycle = (label("livesIn") >> label("livesIn")) & label("cites")
+        assert not type_check(schema, lives_cycle, graph.registry)
+
+
+class TestSchemaWorkload:
+    def test_all_generated_queries_type_check(self):
+        schema = citation_schema()
+        graph = schema.generate(200, seed=6)
+        for template in ("C2", "T", "S"):
+            for wq in schema_workload(schema, graph, template, count=4, seed=6):
+                assert type_check(schema, wq.query, graph.registry)
+
+    def test_queries_evaluate(self):
+        schema = citation_schema()
+        graph = schema.generate(200, seed=7)
+        index = CPQxIndex.build(graph, k=2)
+        for wq in schema_workload(schema, graph, "C2", count=4, seed=7):
+            assert index.evaluate(wq.query) == reference(wq.query, graph)
+
+    def test_deterministic(self):
+        schema = citation_schema()
+        graph = schema.generate(150, seed=8)
+        a = schema_workload(schema, graph, "S", count=3, seed=8)
+        b = schema_workload(schema, graph, "S", count=3, seed=8)
+        assert [wq.labels for wq in a] == [wq.labels for wq in b]

@@ -1,0 +1,105 @@
+"""Tests for vertex-local data and filtered CPQ evaluation (Sec. VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownVertexError
+from repro.core.cpqx import CPQxIndex
+from repro.baselines.bfs import BFSEngine
+from repro.graph.io import edges_from_strings
+from repro.query.parser import parse
+
+
+@pytest.fixture()
+def g():
+    graph = edges_from_strings([
+        "alice bob follows", "bob carol follows", "carol alice follows",
+        "dave alice follows",
+    ])
+    graph.set_vertex_data("alice", age=34, city="osaka")
+    graph.set_vertex_data("bob", age=28, city="eindhoven")
+    graph.set_vertex_data("carol", age=41, city="osaka")
+    return graph
+
+
+class TestVertexData:
+    def test_set_and_get(self, g):
+        assert g.vertex_data("alice") == {"age": 34, "city": "osaka"}
+
+    def test_merge_semantics(self, g):
+        g.set_vertex_data("alice", age=35)
+        assert g.vertex_data("alice") == {"age": 35, "city": "osaka"}
+
+    def test_unset_vertex_empty(self, g):
+        assert g.vertex_data("dave") == {}
+
+    def test_unknown_vertex_raises(self, g):
+        with pytest.raises(UnknownVertexError):
+            g.vertex_data("nobody")
+        with pytest.raises(UnknownVertexError):
+            g.set_vertex_data("nobody", x=1)
+
+    def test_returned_dict_is_copy(self, g):
+        g.vertex_data("alice")["age"] = 1
+        assert g.vertex_data("alice")["age"] == 34
+
+    def test_vertices_where(self, g):
+        osaka = set(g.vertices_where(lambda d: d.get("city") == "osaka"))
+        assert osaka == {"alice", "carol"}
+
+    def test_copy_preserves_data(self, g):
+        clone = g.copy()
+        assert clone.vertex_data("alice") == g.vertex_data("alice")
+        clone.set_vertex_data("alice", age=1)
+        assert g.vertex_data("alice")["age"] == 34
+
+    def test_remove_vertex_drops_data(self, g):
+        g.remove_vertex("alice")
+        g.add_vertex("alice")
+        assert g.vertex_data("alice") == {}
+
+
+class TestFilteredEvaluation:
+    def test_target_filter(self, g):
+        index = CPQxIndex.build(g, k=2)
+        query = parse("follows", g.registry)
+        answers = index.evaluate(
+            query, target_filter=lambda d: d.get("city") == "osaka"
+        )
+        assert answers == {("dave", "alice"), ("carol", "alice"), ("bob", "carol")}
+
+    def test_source_filter(self, g):
+        index = CPQxIndex.build(g, k=2)
+        query = parse("follows . follows", g.registry)
+        answers = index.evaluate(
+            query, source_filter=lambda d: d.get("age", 0) > 30
+        )
+        for source, _ in answers:
+            assert g.vertex_data(source).get("age", 0) > 30
+
+    def test_both_filters(self, g):
+        index = CPQxIndex.build(g, k=2)
+        query = parse("follows", g.registry)
+        answers = index.evaluate(
+            query,
+            source_filter=lambda d: d.get("city") == "osaka",
+            target_filter=lambda d: d.get("city") == "eindhoven",
+        )
+        assert answers == {("alice", "bob")}
+
+    def test_filters_work_on_every_engine(self, g):
+        query = parse("follows", g.registry)
+        predicate = lambda d: d.get("city") == "osaka"  # noqa: E731
+        index_answers = CPQxIndex.build(g, k=2).evaluate(
+            query, source_filter=predicate
+        )
+        bfs_answers = BFSEngine(g).evaluate(query, source_filter=predicate)
+        assert index_answers == bfs_answers
+
+    def test_no_filters_no_change(self, g):
+        index = CPQxIndex.build(g, k=2)
+        query = parse("follows", g.registry)
+        assert index.evaluate(query) == index.evaluate(
+            query, source_filter=None, target_filter=None
+        )
