@@ -1,9 +1,11 @@
 """Index maintenance under a live update stream (the Sec. IV-E life cycle).
 
-Streams edge insertions and deletions into an indexed citation graph,
-answering queries between bursts, and reports what lazy maintenance costs:
-update latency, index growth (Table VII's ratio), and the query-time drift
-(Fig. 13) — then shows that a periodic rebuild resets both.
+Streams edge insertions and deletions into an indexed citation graph
+through ``GraphDatabase.update`` — which routes them through the paper's
+lazy maintenance — answering queries between bursts, and reports what
+that laziness costs: update latency, index growth (Table VII's ratio),
+and the query-time drift (Fig. 13) — then shows that a rebuild
+(``build_index`` again on the mutated graph) resets both.
 
 Run:  python examples/dynamic_graph.py
 """
@@ -13,36 +15,35 @@ from __future__ import annotations
 import random
 import time
 
-from repro import CPQxIndex
+from repro import GraphDatabase
 from repro.graph.schema import citation_schema
 from repro.query.semantics import evaluate as reference_evaluate
 from repro.query.workloads import random_template_queries
 
 
 def main() -> None:
-    graph = citation_schema().generate(260, seed=3)
-    print(f"citation graph: {graph}")
+    db = GraphDatabase.from_graph(citation_schema().generate(260, seed=3),
+                                  name="citation")
+    print(f"citation graph: {db.graph}")
 
-    index = CPQxIndex.build(graph, k=2)
-    fresh_size = index.size_bytes()
-    print(f"CPQx: {index.num_classes} classes, {fresh_size} bytes")
+    db.build_index(engine="cpqx", k=2)
+    fresh_size = db.engine.size_bytes()
+    print(f"CPQx: {db.engine.num_classes} classes, {fresh_size} bytes")
 
     workload = [
         wq.query
         for template in ("T", "S", "C2", "C2i")
-        for wq in random_template_queries(graph, template, count=3, seed=5)
+        for wq in random_template_queries(db.graph, template, count=3, seed=5)
     ]
     print(f"monitoring workload: {len(workload)} queries")
 
     rng = random.Random(17)
-    vertices = sorted(graph.vertices(), key=repr)
-    labels = sorted(graph.labels_used())
+    vertices = sorted(db.graph.vertices(), key=repr)
+    labels = sorted(db.graph.labels_used())
 
     def query_time() -> float:
-        start = time.perf_counter()
-        for query in workload:
-            index.evaluate(query)
-        return (time.perf_counter() - start) / max(1, len(workload))
+        batch = db.execute_batch(workload)
+        return batch.elapsed_seconds / max(1, len(workload))
 
     print(f"\n{'burst':>6}{'updates':>9}{'upd [ms]':>10}{'qry [ms]':>10}"
           f"{'size ratio':>12}")
@@ -53,31 +54,32 @@ def main() -> None:
     for burst in range(1, 5):
         start = time.perf_counter()
         for _ in range(12):
-            if rng.random() < 0.5 and index.graph.num_edges > 50:
-                triples = sorted(index.graph.triples(), key=repr)
+            if rng.random() < 0.5 and db.graph.num_edges > 50:
+                triples = sorted(db.graph.triples(), key=repr)
                 edge = triples[rng.randrange(len(triples))]
-                index.delete_edge(*edge)
+                db.update(remove_edges=[edge])
             else:
                 v = vertices[rng.randrange(len(vertices))]
                 u = vertices[rng.randrange(len(vertices))]
                 lab = labels[rng.randrange(len(labels))]
-                if v != u and not index.graph.has_edge(v, u, lab):
-                    index.insert_edge(v, u, lab)
+                if v != u and not db.graph.has_edge(v, u, lab):
+                    db.update(add_edges=[(v, u, lab)])
             total_updates += 1
         update_ms = 1000 * (time.perf_counter() - start) / 12
-        ratio = index.size_bytes() / fresh_size
+        ratio = db.engine.size_bytes() / fresh_size
         print(f"{burst:>6}{total_updates:>9}{update_ms:>10.2f}"
               f"{1000 * query_time():>10.3f}{ratio:>12.2f}")
 
     # Answers must still be exact after all that churn.
     for query in workload:
-        assert index.evaluate(query) == reference_evaluate(query, index.graph)
+        assert db.query(query).pairs() == reference_evaluate(query, db.graph)
     print("\nall answers verified exact after churn")
 
     # A rebuild compacts the lazily-grown index back down.
-    rebuilt = CPQxIndex.build(index.graph, k=2)
-    print(f"rebuild: {index.size_bytes()} → {rebuilt.size_bytes()} bytes "
-          f"({index.num_classes} → {rebuilt.num_classes} classes)")
+    lazy_size, lazy_classes = db.engine.size_bytes(), db.engine.num_classes
+    db.build_index(engine="cpqx", k=2)
+    print(f"rebuild: {lazy_size} → {db.engine.size_bytes()} bytes "
+          f"({lazy_classes} → {db.engine.num_classes} classes)")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 """Run all seven engines of the paper's study side by side (mini Fig. 6).
 
-Builds one dataset stand-in, generates the Fig. 5 template workload, and
-prints a query-time matrix across CPQx, iaCPQx, Path, iaPath,
-TurboHom++-style, Tentris-style, and BFS — every answer cross-checked.
+Opens one dataset stand-in as a :class:`repro.GraphDatabase` session per
+method, generates the Fig. 5 template workload, and prints a query-time
+matrix across CPQx, iaCPQx, Path, iaPath, TurboHom++-style,
+Tentris-style, and BFS — every answer cross-checked through the facade's
+``execute_batch``.
 
 Run:  python examples/engine_comparison.py [dataset] [scale]
 """
@@ -12,6 +14,7 @@ from __future__ import annotations
 import sys
 import time
 
+from repro import GraphDatabase
 from repro.bench.runner import ALL_METHODS, prepare_dataset
 from repro.graph.datasets import load_dataset
 from repro.query.templates import template_names
@@ -24,10 +27,12 @@ def main(dataset: str = "robots", scale: float = 0.5) -> None:
         dataset, graph, tuple(template_names()), queries_per_template=3, seed=7
     )
 
-    engines = {}
+    sessions: dict[str, GraphDatabase] = {}
     for method in ALL_METHODS:
         start = time.perf_counter()
-        engines[method] = prepared.engine(method)
+        sessions[method] = GraphDatabase.from_graph(graph, name=dataset).build_index(
+            engine=method, k=2, interests=prepared.interests
+        )
         print(f"  {method:<9} ready in {time.perf_counter() - start:6.2f}s")
 
     header = f"{'template':<9}" + "".join(f"{m:>11}" for m in ALL_METHODS)
@@ -41,15 +46,13 @@ def main(dataset: str = "robots", scale: float = 0.5) -> None:
         cells = []
         reference = None
         for method in ALL_METHODS:
-            engine = engines[method]
-            start = time.perf_counter()
-            answers = [engine.evaluate(q) for q in queries]
-            elapsed = 1000 * (time.perf_counter() - start) / len(queries)
+            batch = sessions[method].execute_batch(queries)
+            answers = [result.pairs() for result in batch]
             if reference is None:
                 reference = answers
             else:
                 assert answers == reference, f"{method} disagrees on {template}"
-            cells.append(f"{elapsed:>11.3f}")
+            cells.append(f"{1000 * batch.elapsed_seconds / len(queries):>11.3f}")
         print(f"{template:<9}" + "".join(cells))
     print("\nall engines agreed on every answer")
 

@@ -1,52 +1,54 @@
-"""Quickstart: the paper's running example, end to end.
+"""Quickstart: the paper's running example through the GraphDatabase API.
 
-Builds the social graph of Fig. 1 (twelve users, two blogs, ``follows``
-and ``visits`` edges), constructs the CPQ-aware index CPQx with k = 2,
-and answers the introduction's motivating query — *find people and their
-followers who are in a triad* — expressed as the CPQ ``(f ∘ f) ∩ f⁻¹``.
+Opens the social graph of Fig. 1 (twelve users, two blogs, ``follows``
+and ``visits`` edges) as a :class:`repro.GraphDatabase` session, builds
+the CPQ-aware index CPQx with k = 2, and answers the introduction's
+motivating query — *find people and their followers who are in a
+triad* — expressed as the CPQ ``(f ∘ f) ∩ f⁻¹``.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CPQxIndex, ExecutionStats, PathIndex, example_graph, parse
+from repro import GraphDatabase, example_graph
 
 
 def main() -> None:
-    graph = example_graph()
-    print(f"Gex loaded: {graph}")
+    db = GraphDatabase.from_graph(example_graph(), name="Gex")
+    print(f"Gex loaded: {db.graph}")
 
     # ------------------------------------------------------------------
-    # 1. Build the CPQ-aware index (Algorithms 1 + 2).
+    # 1. Build the CPQ-aware index (Algorithms 1 + 2) through the facade.
     # ------------------------------------------------------------------
-    index = CPQxIndex.build(graph, k=2)
+    db.build_index(engine="cpqx", k=2)
+    index = db.engine
     print(f"CPQx built: {index.num_classes} CPQ2-equivalence classes over "
           f"{index.num_pairs} s-t pairs")
 
     # ------------------------------------------------------------------
     # 2. The introduction's triad query: (f ∘ f) ∩ f⁻¹.
+    #    db.query returns a *lazy* ResultSet — nothing is evaluated yet.
     # ------------------------------------------------------------------
-    triad = parse("(f . f) & f^-", graph.registry)
-    stats = ExecutionStats()
-    answers = index.evaluate(triad, stats=stats)
-    print(f"\n(f ∘ f) ∩ f⁻¹  →  {sorted(answers)}")
+    triad = db.query("(f . f) & f^-")
+    assert not triad.materialized
+    print(f"\n(f ∘ f) ∩ f⁻¹  →  {triad.to_list()}")
     print(f"  the conjunction intersected class-id sets "
-          f"({stats.classes_touched} class ids touched, "
-          f"{stats.pairs_touched} pairs materialized)")
+          f"({triad.stats.classes_touched} class ids touched, "
+          f"{triad.stats.pairs_touched} pairs materialized)")
 
     # Compare with the language-unaware path index: same answer, but the
     # conjunction had to intersect full pair lists.
-    path_index = PathIndex.build(graph, k=2)
-    path_stats = ExecutionStats()
-    assert path_index.evaluate(triad, stats=path_stats) == answers
-    print(f"  Path index touched {path_stats.pairs_touched} pairs for the "
-          f"same answer — the Example 4.3 pruning gap")
+    path_db = GraphDatabase.from_graph(db.graph).build_index(engine="path", k=2)
+    path_triad = path_db.query("(f . f) & f^-")
+    assert path_triad == triad
+    print(f"  Path index touched {path_triad.stats.pairs_touched} pairs for "
+          f"the same answer — the Example 4.3 pruning gap")
 
     # ------------------------------------------------------------------
     # 3. Peek inside the index: Example 4.1's lookups.
     # ------------------------------------------------------------------
-    f = graph.registry.id_of("f")
+    f = db.graph.registry.id_of("f")
     classes_ff = sorted(index.lookup((f, f)).classes)
     classes_finv = sorted(index.lookup((-f,)).classes)
     both = set(classes_ff) & set(classes_finv)
@@ -55,27 +57,26 @@ def main() -> None:
     print(f"intersection = {sorted(both)} → Ic2p gives the triad pairs directly")
 
     # ------------------------------------------------------------------
-    # 3b. The Fig. 3 view: equivalence classes with their label sets.
+    # 3b. How the engine ran it: the ResultSet's explain report.
     # ------------------------------------------------------------------
-    listing = index.describe_classes(max_pairs=3)
-    print(f"\nCPQ2-equivalence classes (Fig. 3 style, "
-          f"{index.num_classes} classes — paper shows 30 incl. the two "
-          f"unstored ones):")
-    print("\n".join(listing.splitlines()[:6]))
-    print("  ...")
+    print(f"\n{db.explain('(f . f) & f^-')}")
 
     # ------------------------------------------------------------------
     # 4. Cyclic queries via identity: who sits on a 3-cycle? (Ti template)
+    #    count() reads class sizes — no pair is materialized.
     # ------------------------------------------------------------------
-    triangle_members = index.evaluate(parse("(f . f . f) & id", graph.registry))
-    print(f"\n(f ∘ f ∘ f) ∩ id → {sorted(v for v, _ in triangle_members)}")
+    triangles = db.query("(f . f . f) & id")
+    n = triangles.count()
+    assert not triangles.materialized
+    print(f"\n(f ∘ f ∘ f) ∩ id → {sorted(v for v, _ in triangles)} "
+          f"({n} counted lazily off class sizes)")
 
     # ------------------------------------------------------------------
-    # 5. Maintenance (Example 4.4): delete the (ada, tim, f) edge.
+    # 5. Maintenance (Example 4.4) through the session: delete an edge.
     # ------------------------------------------------------------------
-    before = index.evaluate(parse("f . v", graph.registry))
-    index.delete_edge("ada", "tim", "f")
-    after = index.evaluate(parse("f . v", graph.registry))
+    before = db.query("f . v").pairs()
+    db.update(remove_edges=[("ada", "tim", "f")])
+    after = db.query("f . v").pairs()
     print(f"\nafter deleting (ada,tim,f): ada still reaches blog 123 via f∘v: "
           f"{('ada', '123') in after} (alternative path through tom)")
     assert ("ada", "123") in before and ("ada", "123") in after

@@ -1,13 +1,50 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` library.
 
 This offline environment ships setuptools without the ``wheel`` package,
 so PEP 660 editable installs (``pip install -e .``) cannot build the
 editable wheel.  ``python setup.py develop`` (or
 ``pip install -e . --no-build-isolation`` on environments that do have
-``wheel``) installs the package equivalently; all real metadata lives in
-``pyproject.toml``.
+``wheel``) installs the package equivalently; metadata therefore lives
+here rather than in a ``pyproject.toml``.
+
+Installs the ``repro`` console script (``repro.cli:main``) and ships the
+``py.typed`` marker so the typed API is consumable downstream (PEP 561).
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-cpqx",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Language-aware Indexing for Conjunctive Path "
+        "Queries' (ICDE 2022): CPQx/iaCPQx indexes, baselines, benchmarks, "
+        "and a GraphDatabase session facade"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

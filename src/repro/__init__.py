@@ -1,13 +1,28 @@
 """repro — reproduction of "Language-aware Indexing for Conjunctive Path
 Queries" (Sasaki, Fletcher, Onizuka; ICDE 2022).
 
-Public API quick reference::
+Public API quick reference — the :class:`GraphDatabase` session facade
+is the front door::
 
-    from repro import LabeledDigraph, CPQxIndex, parse
+    from repro import GraphDatabase
 
-    g = LabeledDigraph.from_triples([("a", "b", "f"), ("b", "a", "f")])
-    index = CPQxIndex.build(g, k=2)
-    answers = index.evaluate(parse("(f . f) & id", g.registry))
+    db = GraphDatabase.from_triples([("a", "b", "f"), ("b", "a", "f")])
+    db.build_index(engine="auto")           # advisor + cost-model routing
+    answers = db.query("(f . f) & id")      # lazy ResultSet
+    print(answers.count(), answers.explain())
+    db.update(add_edges=[("b", "c", "f")])  # lazy maintenance (Sec. IV-E)
+    db.save("graph.idx")
+
+.. deprecated:: 1.1
+   The direct engine entry points (``CPQxIndex.build(...)``,
+   ``InterestAwareIndex.build(...)``, ``PathIndex.build(...)``,
+   ``BFSEngine(graph)``, ...) remain importable from this module and
+   fully supported as the low-level API, but new code should go through
+   :class:`GraphDatabase` / ``db.build_index(engine=...)`` — every
+   engine is reachable by registry key (``"cpqx"``, ``"iacpqx"``,
+   ``"path"``, ``"iapath"``, ``"turbohom"``, ``"tentris"``, ``"bfs"``,
+   ``"relational"``), and the facade is where session-level features
+   (auto selection, batching, persistence, maintenance routing) land.
 
 Sub-packages:
 
@@ -19,6 +34,8 @@ Sub-packages:
   iaCPQx, executor, maintenance;
 * :mod:`repro.baselines` — Path, iaPath, BFS, TurboHom++-style and
   Tentris-style engines;
+* :mod:`repro.db` — the :class:`GraphDatabase` session facade, engine
+  registry, and lazy result sets;
 * :mod:`repro.bench` — the benchmark harness regenerating every table
   and figure of the evaluation.
 """
@@ -36,28 +53,42 @@ from repro.core import (
     InterestAwareIndex,
     compute_partition,
 )
+from repro.db import (
+    BatchResult,
+    EngineSpec,
+    GraphDatabase,
+    ResultSet,
+    available_engines,
+    register_engine,
+)
 from repro.graph import LabeledDigraph, LabelRegistry
 from repro.graph.datasets import example_graph, load_dataset
 from repro.query import evaluate, label, parse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BFSEngine",
+    "BatchResult",
     "CPQxIndex",
+    "EngineSpec",
     "ExecutionStats",
+    "GraphDatabase",
     "InterestAwareIndex",
     "InterestAwarePathIndex",
     "LabelRegistry",
     "LabeledDigraph",
     "PathIndex",
+    "ResultSet",
     "TentrisEngine",
     "TurboHomEngine",
     "__version__",
+    "available_engines",
     "compute_partition",
     "evaluate",
     "example_graph",
     "label",
     "load_dataset",
     "parse",
+    "register_engine",
 ]

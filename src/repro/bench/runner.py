@@ -25,13 +25,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.baselines.bfs import BFSEngine
-from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
-from repro.baselines.tentris import TentrisEngine
-from repro.baselines.turbohom import TurboHomEngine
-from repro.core.cpqx import CPQxIndex
-from repro.core.interest import InterestAwareIndex
-from repro.errors import DatasetError
+from repro.db import GraphDatabase
+from repro.errors import DatasetError, UnknownEngineError
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.labels import LabelSeq
 from repro.query.workloads import (
@@ -72,22 +67,21 @@ def build_engine(
     k: int = 2,
     interests: frozenset[LabelSeq] = frozenset(),
 ):
-    """Instantiate one of the seven compared methods over ``graph``."""
-    if method == "CPQx":
-        return CPQxIndex.build(graph, k)
-    if method == "iaCPQx":
-        return InterestAwareIndex.build(graph, k, interests)
-    if method == "Path":
-        return PathIndex.build(graph, k)
-    if method == "iaPath":
-        return InterestAwarePathIndex.build(graph, k, interests)
-    if method == "TurboHom":
-        return TurboHomEngine(graph)
-    if method == "Tentris":
-        return TentrisEngine(graph)
-    if method == "BFS":
-        return BFSEngine(graph)
-    raise DatasetError(f"unknown method {method!r}; known: {ALL_METHODS}")
+    """Instantiate one of the compared methods over ``graph``.
+
+    Routes through the :class:`repro.db.GraphDatabase` facade (and thus
+    the engine registry), so any backend registered with
+    :func:`repro.db.register_engine` is immediately benchmarkable by its
+    key — the paper's seven methods are just the built-ins.
+    """
+    db = GraphDatabase.from_graph(graph)
+    try:
+        db.build_index(engine=method, k=k, interests=interests)
+    except UnknownEngineError as exc:
+        raise DatasetError(
+            f"unknown method {method!r}; known: {ALL_METHODS}"
+        ) from exc
+    return db.engine
 
 
 @dataclass

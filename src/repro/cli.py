@@ -1,11 +1,14 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or the
+``repro`` console script).
 
-Commands mirroring the index life cycle the paper supports:
+Commands mirroring the session life cycle of
+:class:`repro.db.GraphDatabase`, which every command routes through:
 
 * ``datasets`` — list the registry with stand-in and paper statistics;
-* ``build``    — build CPQx/iaCPQx over a dataset and save it to disk;
+* ``build``    — build any registered engine over a dataset and (for the
+  persistable CPQx/iaCPQx) save it to disk;
 * ``query``    — evaluate a CPQ (text syntax) against a saved index or a
-  freshly built dataset;
+  freshly built dataset with a chosen ``--engine``;
 * ``info``     — statistics of a saved index;
 * ``experiment`` — regenerate one paper table/figure by name.
 
@@ -14,6 +17,7 @@ Examples::
     python -m repro datasets
     python -m repro build --dataset robots --k 2 --out robots.idx
     python -m repro query --index robots.idx "(l1 . l1) & l1^-"
+    python -m repro query --dataset robots --engine auto --stats "l1 & l1"
     python -m repro experiment table3
 """
 
@@ -24,14 +28,10 @@ import sys
 import time
 
 from repro.bench import experiments as experiments_module
-from repro.core.cpqx import CPQxIndex
-from repro.core.interest import InterestAwareIndex
-from repro.core.persistence import load_index, save_index
-from repro.core.stats import dataset_stats, format_bytes, stats_of
+from repro.core.stats import dataset_stats, format_bytes
+from repro.db import GraphDatabase, available_engines
 from repro.errors import ReproError
-from repro.graph.datasets import REGISTRY, load_dataset
-from repro.query.parser import parse
-from repro.query.workloads import random_template_queries, workload_interests
+from repro.graph.datasets import REGISTRY
 
 #: experiment-name → generator function mapping for the CLI.
 EXPERIMENTS = {
@@ -64,14 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the dataset registry")
 
+    engine_choices = ("auto", *available_engines())
+
     build = sub.add_parser("build", help="build an index over a dataset")
     build.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
     build.add_argument("--scale", type=float, default=0.25)
     build.add_argument("--seed", type=int, default=7)
     build.add_argument("--k", type=int, default=2)
     build.add_argument(
-        "--type", choices=("cpqx", "iacpqx"), default="cpqx",
-        help="full CPQx or interest-aware iaCPQx",
+        "--engine", choices=engine_choices, default=None,
+        help="engine to build ('auto' routes through the advisor/cost model)",
+    )
+    build.add_argument(
+        "--type", choices=("cpqx", "iacpqx"), default=None,
+        help="deprecated alias of --engine (kept for old scripts)",
     )
     build.add_argument(
         "--interests", default="auto",
@@ -88,8 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scale", type=float, default=0.25)
     query.add_argument("--seed", type=int, default=7)
     query.add_argument("--k", type=int, default=2)
+    query.add_argument(
+        "--engine", choices=engine_choices, default="cpqx",
+        help="engine for --dataset evaluation (ignored with --index)",
+    )
     query.add_argument("--limit", type=int, default=None)
     query.add_argument("--show", type=int, default=20, help="answers to print")
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print the executor's operator counters and the plan",
+    )
 
     info = sub.add_parser("info", help="statistics of a saved index")
     info.add_argument("index")
@@ -129,52 +143,61 @@ def cmd_datasets(_args) -> int:
 
 
 def cmd_build(args) -> int:
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    print(f"loaded {args.dataset}: {graph}")
-    start = time.perf_counter()
-    if args.type == "cpqx":
-        index = CPQxIndex.build(graph, k=args.k)
-    else:
-        if args.interests == "auto":
-            workload = []
-            for template in ("C2", "T", "S"):
-                workload.extend(random_template_queries(
-                    graph, template, count=5, seed=args.seed))
-            interests = workload_interests(workload, args.k)
-        else:
-            interests = _parse_interest_list(args.interests, graph.registry)
-        index = InterestAwareIndex.build(graph, k=args.k, interests=interests)
-    elapsed = time.perf_counter() - start
-    save_index(index, args.out)
-    stats = stats_of(index, build_seconds=elapsed)
-    print(stats.describe())
+    if args.engine is not None and args.type is not None:
+        print("error: --type is a deprecated alias of --engine; pass one",
+              file=sys.stderr)
+        return 2
+    engine = args.engine or args.type or "cpqx"
+    db = GraphDatabase.from_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"loaded {args.dataset}: {db.graph}")
+    interests = (
+        "auto" if args.interests == "auto"
+        else _parse_interest_list(args.interests, db.graph.registry)
+    )
+    db.build_index(engine=engine, k=args.k, interests=interests, seed=args.seed)
+    if db.selection is not None:
+        print(db.selection.describe())
+    print(db.stats.describe())
+    db.save(args.out)
     print(f"saved to {args.out}")
     return 0
 
 
 def cmd_query(args) -> int:
     if args.index:
-        index = load_index(args.index)
+        db = GraphDatabase.open(args.index)
     else:
-        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        index = CPQxIndex.build(graph, k=args.k)
-    query = parse(args.cpq, index.graph.registry)
+        db = GraphDatabase.from_dataset(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+        db.build_index(engine=args.engine, k=args.k, seed=args.seed)
+        if db.selection is not None:
+            print(db.selection.describe())
+    result = db.query(args.cpq, limit=args.limit)
     start = time.perf_counter()
-    answers = index.evaluate(query, limit=args.limit)
+    answers = result.to_list()
     elapsed = time.perf_counter() - start
-    print(f"{len(answers)} answers in {elapsed * 1000:.3f} ms")
-    for pair in sorted(answers, key=repr)[: args.show]:
+    print(f"[{db.engine_name}] {len(answers)} answers in {elapsed * 1000:.3f} ms")
+    for pair in answers[: args.show]:
         print(f"  {pair[0]!r} -> {pair[1]!r}")
     if len(answers) > args.show:
         print(f"  ... and {len(answers) - args.show} more")
+    if args.stats:
+        stats = result.stats
+        print(f"stats: lookups={stats.lookups} joins={stats.joins} "
+              f"class-conj={stats.class_conjunctions} "
+              f"pair-conj={stats.pair_conjunctions} "
+              f"classes-touched={stats.classes_touched} "
+              f"pairs-touched={stats.pairs_touched}")
+        print(result.explain())
     return 0
 
 
 def cmd_info(args) -> int:
-    index = load_index(args.index)
-    stats = stats_of(index)
-    print(stats.describe())
-    print(f"graph: {index.graph}")
+    db = GraphDatabase.open(args.index)
+    index = db.engine
+    print(db.stats.describe())
+    print(f"graph: {db.graph}")
     print(f"size: {format_bytes(index.size_bytes())}")
     if hasattr(index, "interests"):
         multi = sorted(s for s in index.interests if len(s) > 1)

@@ -1,0 +1,34 @@
+"""``repro.db`` — the :class:`GraphDatabase` session facade.
+
+One front door for every engine in the package: open a graph, build an
+index (``engine="auto"`` routes through the advisor and cost model),
+query it lazily, update it through the paper's lazy maintenance, save
+and reopen it.  See :mod:`repro.db.session` for the life cycle,
+:mod:`repro.db.registry` for the plugin-style engine registry, and
+:mod:`repro.db.auto` for the selection policy.
+"""
+
+from repro.db.auto import AutoSelection, default_workload, select_engine
+from repro.db.registry import (
+    EngineSpec,
+    available_engines,
+    engine_spec,
+    register_engine,
+    unregister_engine,
+)
+from repro.db.resultset import ResultSet
+from repro.db.session import BatchResult, GraphDatabase
+
+__all__ = [
+    "AutoSelection",
+    "BatchResult",
+    "EngineSpec",
+    "GraphDatabase",
+    "ResultSet",
+    "available_engines",
+    "default_workload",
+    "engine_spec",
+    "register_engine",
+    "select_engine",
+    "unregister_engine",
+]

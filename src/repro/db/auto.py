@@ -1,0 +1,176 @@
+"""Automatic engine/k/interest selection (``engine="auto"``).
+
+Implements the paper's Sec. VII future-work direction — "adaptively
+controls interests and k" — as the routing policy behind
+``GraphDatabase.build_index(engine="auto")``:
+
+1. a representative workload is taken from the caller (or synthesized
+   from the Fig. 5 templates when none is given);
+2. :func:`repro.core.advisor.advise_k` picks ``k`` from the workload's
+   longest lookup chains;
+3. the Thm. 4.2/4.3 estimators from :mod:`repro.core.costmodel` predict
+   what a *full* CPQx would cost on this graph; if the prediction stays
+   under the work ceiling the full index wins (it answers every CPQ_k
+   query) and selection stops there;
+4. only when the full index is rejected does
+   :func:`repro.core.advisor.recommend_interests` pick the interest set
+   under the optional byte budget, and the interest-aware index serves
+   just the workload's sequences — exactly the trade Sec. V motivates
+   with the "OOM" rows of Table IV.
+
+The engine decision itself (steps 2–3) uses graph summary statistics
+only (|V|, |E|, max degree, label count), so it is cheap even when
+building the index would not be.  Interest recommendation measures each
+candidate's actual relation size on the graph — that is what makes its
+byte estimates honest — and therefore runs only on the path that needs
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.advisor import advise_k, recommend_interests
+from repro.core.costmodel import construction_estimate, index_size_estimate
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+from repro.query.ast import CPQ
+
+#: Default ceiling on the Thm. 4.3 construction work score before auto
+#: selection abandons the full CPQx for the interest-aware variant.  The
+#: unit is the cost model's RAM-model operation count, not seconds; the
+#: default admits the paper's small/mid stand-ins and rejects graphs in
+#: the regime where Table IV reports OOM for full indexes.
+DEFAULT_WORK_CEILING = 5e8
+
+#: Templates used to synthesize a stand-in workload when the caller has
+#: no query log yet (same trio the CLI's ``--interests auto`` uses).
+DEFAULT_TEMPLATES = ("C2", "T", "S")
+
+
+@dataclass(frozen=True)
+class AutoSelection:
+    """The advisor's decision, with the numbers that drove it."""
+
+    engine: str
+    k: int
+    interests: frozenset[LabelSeq]
+    rationale: str
+    estimates: dict
+
+    def describe(self) -> str:
+        """One-paragraph human-readable account of the decision."""
+        interests = (
+            f" ({len(self.interests)} interests)" if self.interests else ""
+        )
+        return (
+            f"auto-selected engine={self.engine!r} k={self.k}"
+            f"{interests}: {self.rationale}"
+        )
+
+
+def default_workload(
+    graph: LabeledDigraph,
+    templates: tuple[str, ...] = DEFAULT_TEMPLATES,
+    count: int = 5,
+    seed: int = 7,
+) -> list[CPQ]:
+    """A stand-in workload from the paper's query templates."""
+    from repro.query.workloads import random_template_queries
+
+    queries: list[CPQ] = []
+    for position, template in enumerate(templates):
+        queries.extend(
+            wq.query for wq in random_template_queries(
+                graph, template, count=count, seed=seed * 1009 + position
+            )
+        )
+    return queries
+
+
+def _full_index_estimates(graph: LabeledDigraph, k: int) -> dict:
+    """Thm. 4.2/4.3 inputs predicted from graph summary statistics.
+
+    ``|P≤k|`` is bounded above by both ``|V|²`` and the path-count bound
+    ``2|E| · (2d)^(k-1)`` (the extended graph doubles edges and degree);
+    ``γ`` by the number of distinct ≤k sequences over the extended label
+    alphabet; ``|C|`` by ``|P≤k|`` (every class holds ≥ 1 pair).
+    """
+    num_vertices = max(1, graph.num_vertices)
+    num_edges = max(1, graph.num_edges)
+    degree = max(1, graph.max_degree())
+    labels = max(1, len(tuple(graph.labels_used())))
+    pairs = min(num_vertices ** 2, 2 * num_edges * (2 * degree) ** (k - 1))
+    gamma = float(sum((2 * labels) ** i for i in range(1, k + 1)))
+    classes = pairs  # worst case: singleton classes
+    size = index_size_estimate(gamma, classes, pairs)
+    construction = construction_estimate(k, degree, pairs, gamma, classes)
+    return {
+        "pairs_bound": pairs,
+        "gamma_bound": gamma,
+        "size_score": size.work,
+        "construction_score": construction.work,
+    }
+
+
+def select_engine(
+    graph: LabeledDigraph,
+    workload: list[CPQ] | None = None,
+    k: int | None = None,
+    budget_bytes: int | None = None,
+    work_ceiling: float = DEFAULT_WORK_CEILING,
+    seed: int = 7,
+) -> AutoSelection:
+    """Choose engine, ``k``, and interests for ``graph`` and ``workload``."""
+    queries = workload if workload else default_workload(graph, seed=seed)
+    synthesized = not workload
+    chosen_k = k if k is not None else advise_k(queries)
+    estimates = _full_index_estimates(graph, chosen_k)
+    estimates["workload_queries"] = len(queries)
+    estimates["workload_synthesized"] = synthesized
+
+    source = "synthesized template workload" if synthesized else "caller workload"
+    if estimates["construction_score"] <= work_ceiling:
+        # Full index accepted on summary statistics alone — don't pay for
+        # interest recommendation (it measures relation sizes per
+        # candidate sequence) when the result would be discarded.
+        return AutoSelection(
+            engine="cpqx",
+            k=chosen_k,
+            interests=frozenset(),
+            rationale=(
+                f"Thm. 4.3 construction estimate "
+                f"{estimates['construction_score']:.2e} is within the work "
+                f"ceiling {work_ceiling:.2e}; the full CPQx answers every "
+                f"CPQ_{chosen_k} query ({source})"
+            ),
+            estimates=estimates,
+        )
+
+    recommendation = recommend_interests(
+        graph, queries, k=chosen_k, budget_bytes=budget_bytes
+    )
+    estimates["interest_bytes"] = recommendation.estimated_bytes
+    estimates["interest_coverage"] = recommendation.coverage()
+    if recommendation.interests:
+        engine = "iacpqx"
+        rationale = (
+            f"full-index construction estimate "
+            f"{estimates['construction_score']:.2e} exceeds the ceiling "
+            f"{work_ceiling:.2e} (the Table IV OOM regime); indexing the "
+            f"{len(recommendation.interests)} advisor-chosen interests "
+            f"covers {recommendation.coverage():.0%} of the {source}"
+        )
+    else:
+        engine = "bfs"
+        rationale = (
+            "graph too large for a full index and the workload yields no "
+            "multi-label interests; falling back to index-free evaluation"
+        )
+    return AutoSelection(
+        engine=engine,
+        k=chosen_k,
+        interests=recommendation.interests,
+        rationale=rationale,
+        estimates=estimates,
+    )

@@ -1,0 +1,177 @@
+"""String-keyed engine registry — the plugin seam of the database facade.
+
+Every evaluation engine in this package (the paper's seven compared
+methods plus the relational strawman) registers itself here under a
+stable lowercase key, so the :class:`repro.db.GraphDatabase` facade, the
+CLI, and the benchmark harness all build engines the same way:
+
+    spec = engine_spec("cpqx")
+    engine = spec.build(graph, k=2)
+
+Third-party backends join the comparison by calling
+:func:`register_engine` (or using it as a decorator on a builder
+function); nothing else in the system needs to change — the CLI
+``--engine`` choices, ``GraphDatabase.build_index``, and
+``bench.runner.build_engine`` all read this registry.
+
+Keys are case-insensitive (``"CPQx"``, ``"cpqx"`` and ``"iaCPQx"``,
+``"iacpqx"`` resolve identically), matching the paper's display names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import UnknownEngineError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelSeq
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything the facade needs to build and describe one engine."""
+
+    key: str
+    display_name: str
+    builder: Callable[..., object]
+    uses_k: bool = True
+    uses_interests: bool = False
+    persistable: bool = False
+    incremental: bool = False
+    description: str = ""
+    aliases: tuple[str, ...] = field(default=())
+
+    def build(
+        self,
+        graph: LabeledDigraph,
+        k: int = 2,
+        interests: Iterable[LabelSeq] = frozenset(),
+    ):
+        """Instantiate the engine over ``graph`` with the relevant knobs."""
+        kwargs = {}
+        if self.uses_k:
+            kwargs["k"] = k
+        if self.uses_interests:
+            kwargs["interests"] = frozenset(interests)
+        return self.builder(graph, **kwargs)
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower()
+
+
+def register_engine(spec: EngineSpec, replace: bool = False) -> EngineSpec:
+    """Add an engine to the registry; its aliases become lookup keys too.
+
+    Registration under a taken key raises ``ValueError`` unless
+    ``replace=True`` — deliberate, so a typo cannot silently shadow a
+    built-in method in a benchmark comparison.
+    """
+    key = _normalize(spec.key)
+    taken = [
+        name for name in (key, *map(_normalize, spec.aliases))
+        if not replace and (name in _REGISTRY or name in _ALIASES)
+    ]
+    if taken:
+        raise ValueError(
+            f"engine key(s) already registered: {', '.join(sorted(set(taken)))}"
+            " (pass replace=True to override)"
+        )
+    _REGISTRY[key] = spec
+    for alias in spec.aliases:
+        _ALIASES[_normalize(alias)] = key
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (and its aliases); unknown names raise."""
+    spec = engine_spec(name)
+    key = _normalize(spec.key)
+    del _REGISTRY[key]
+    for alias, target in list(_ALIASES.items()):
+        if target == key:
+            del _ALIASES[alias]
+
+
+def engine_spec(name: str) -> EngineSpec:
+    """Resolve an engine name (or alias, case-insensitively) to its spec."""
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownEngineError(name, available_engines()) from None
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engine keys, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    """Register the paper's compared methods (idempotent)."""
+    from repro.baselines.bfs import BFSEngine
+    from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+    from repro.baselines.relational import RelationalEngine
+    from repro.baselines.tentris import TentrisEngine
+    from repro.baselines.turbohom import TurboHomEngine
+    from repro.core.cpqx import CPQxIndex
+    from repro.core.interest import InterestAwareIndex
+
+    builtins = (
+        EngineSpec(
+            key="cpqx", display_name="CPQx", builder=CPQxIndex.build,
+            persistable=True, incremental=True,
+            description="CPQ-aware path index (Sec. IV): class-level "
+                        "lookups over the CPQ_k partition",
+        ),
+        EngineSpec(
+            key="iacpqx", display_name="iaCPQx",
+            builder=InterestAwareIndex.build,
+            uses_interests=True, persistable=True, incremental=True,
+            description="interest-aware CPQx (Sec. V): postings only for "
+                        "interest sequences",
+        ),
+        EngineSpec(
+            key="path", display_name="Path", builder=PathIndex.build,
+            description="language-unaware path index [14]: sequence -> "
+                        "full pair lists",
+        ),
+        EngineSpec(
+            key="iapath", display_name="iaPath",
+            builder=InterestAwarePathIndex.build, uses_interests=True,
+            description="Path index restricted to interest sequences",
+        ),
+        EngineSpec(
+            key="turbohom", display_name="TurboHom",
+            builder=lambda graph: TurboHomEngine(graph), uses_k=False,
+            description="TurboHom++-style backtracking homomorphic matcher",
+        ),
+        EngineSpec(
+            key="tentris", display_name="Tentris",
+            builder=lambda graph: TentrisEngine(graph), uses_k=False,
+            description="Tentris-style hypertrie store with WCOJ evaluation",
+        ),
+        EngineSpec(
+            key="bfs", display_name="BFS",
+            builder=lambda graph: BFSEngine(graph), uses_k=False,
+            description="index-free breadth-first-search evaluation",
+        ),
+        EngineSpec(
+            key="relational", display_name="Relational",
+            builder=RelationalEngine.build,
+            description="edge-table joins (Path with k=1); the baseline "
+                        "the paper dismisses analytically",
+        ),
+    )
+    for spec in builtins:
+        if _normalize(spec.key) not in _REGISTRY:
+            register_engine(spec)
+
+
+_register_builtins()

@@ -1,0 +1,373 @@
+"""The :class:`GraphDatabase` session facade — one front door for every engine.
+
+The seed exposed six engine classes with subtly different construction
+and evaluation entry points; every example, benchmark, and CLI command
+re-implemented the build → plan → evaluate → stats pipeline by hand.
+``GraphDatabase`` owns that pipeline once:
+
+    db = GraphDatabase.from_triples([("a", "b", "f"), ("b", "a", "f")])
+    db.build_index(engine="auto")          # advisor + cost model routing
+    for pair in db.query("(f . f) & id"):  # lazy ResultSet
+        ...
+    db.update(add_edges=[("a", "c", "f")])  # lazy maintenance + refresh
+    db.save("graph.idx")                    # persistence round-trip
+    db2 = GraphDatabase.open("graph.idx")
+
+The session life cycle:
+
+* **open** — :meth:`from_triples`, :meth:`from_graph`, :meth:`from_dataset`,
+  or :meth:`open` (a saved index file, via :mod:`repro.core.persistence`);
+* **build** — :meth:`build_index` resolves the engine through the
+  registry (:mod:`repro.db.registry`); ``engine="auto"`` routes through
+  the advisor/cost-model policy (:mod:`repro.db.auto`), and
+  ``interests="auto"`` derives interests from the workload;
+* **query** — :meth:`query` returns a lazy :class:`ResultSet`;
+  :meth:`execute_batch` evaluates a workload and aggregates its stats;
+* **update** — :meth:`update` applies edge/vertex changes through the
+  lazy maintenance of Sec. IV-E on incremental engines (CPQx/iaCPQx) and
+  transparently rebuilds the others;
+* **save** — :meth:`save` persists persistable engines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.advisor import advise_k, recommend_interests
+from repro.core.executor import ExecutionStats
+from repro.core.stats import IndexStats, stats_of
+from repro.db.auto import AutoSelection, default_workload, select_engine
+from repro.db.registry import EngineSpec, available_engines, engine_spec
+from repro.db.resultset import ResultSet, VertexDataFilter
+from repro.errors import SessionError
+from repro.graph.digraph import LabeledDigraph, Vertex
+from repro.graph.labels import LabelSeq
+from repro.query.ast import CPQ, is_resolved, resolve
+from repro.query.parser import parse
+
+Triple = tuple[Vertex, Vertex, object]
+
+
+class BatchResult(Sequence):
+    """Results of :meth:`GraphDatabase.execute_batch`: one materialized
+    :class:`ResultSet` per query, plus merged operator counters."""
+
+    def __init__(self, results: list[ResultSet], elapsed_seconds: float) -> None:
+        self.results = results
+        self.elapsed_seconds = elapsed_seconds
+        self.stats = ExecutionStats()
+        for result in results:
+            self.stats.merge(result.stats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, item):
+        return self.results[item]
+
+    @property
+    def total_answers(self) -> int:
+        return sum(len(result) for result in self.results)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.results)} queries, {self.total_answers} answers in "
+            f"{1000 * self.elapsed_seconds:.3f} ms "
+            f"(lookups={self.stats.lookups} joins={self.stats.joins})"
+        )
+
+
+class GraphDatabase:
+    """A session over one labeled digraph and one (current) engine."""
+
+    def __init__(self, graph: LabeledDigraph, name: str = "graph") -> None:
+        self.graph = graph
+        self.name = name
+        self._engine = None
+        self._spec: EngineSpec | None = None
+        self._build_args: dict = {}
+        self._build_seconds = 0.0
+        #: Populated when ``engine="auto"`` made the choice.
+        self.selection: AutoSelection | None = None
+
+    # ------------------------------------------------------------------
+    # opening a session
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: LabeledDigraph, name: str = "graph") -> "GraphDatabase":
+        """Wrap an existing graph in a session."""
+        return cls(graph, name=name)
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Triple],
+        labels: Iterable[str] | None = None,
+        name: str = "graph",
+    ) -> "GraphDatabase":
+        """Start a session from ``(source, target, label)`` triples.
+
+        ``labels`` optionally pre-registers label names so their ids are
+        stable regardless of first-use order in ``triples``.
+        """
+        from repro.graph.labels import LabelRegistry
+
+        registry = LabelRegistry(labels) if labels is not None else None
+        return cls(LabeledDigraph.from_triples(triples, registry), name=name)
+
+    @classmethod
+    def from_dataset(
+        cls, name: str, scale: float = 0.25, seed: int = 7
+    ) -> "GraphDatabase":
+        """Start a session over a registry dataset stand-in."""
+        from repro.graph.datasets import load_dataset
+
+        return cls(load_dataset(name, scale=scale, seed=seed), name=name)
+
+    @classmethod
+    def open(cls, path, name: str | None = None) -> "GraphDatabase":
+        """Resume a session from a saved index file (graph included)."""
+        from repro.core.interest import InterestAwareIndex
+        from repro.core.persistence import load_index
+
+        index = load_index(path)
+        db = cls(index.graph, name=name or str(path))
+        key = "iacpqx" if isinstance(index, InterestAwareIndex) else "cpqx"
+        db._adopt(index, engine_spec(key), {"k": index.k})
+        return db
+
+    def _adopt(self, engine, spec: EngineSpec, build_args: dict) -> None:
+        self._engine = engine
+        self._spec = spec
+        self._build_args = build_args
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def build_index(
+        self,
+        engine: str = "auto",
+        k: int | str = "auto",
+        interests: Iterable[LabelSeq] | str = "auto",
+        workload: list[CPQ] | None = None,
+        budget_bytes: int | None = None,
+        seed: int = 7,
+    ) -> "GraphDatabase":
+        """Build (or replace) the session's engine; returns ``self``.
+
+        ``engine="auto"`` routes the choice of engine, ``k``, and
+        interests through the advisor/cost-model policy; naming an engine
+        still honours ``k="auto"`` / ``interests="auto"`` individually
+        (each resolved from ``workload``, or from a synthesized template
+        workload when none is given).
+        """
+        auto_k = k == "auto"
+        auto_interests = isinstance(interests, str) and interests == "auto"
+        if not auto_k and (not isinstance(k, int) or k < 1):
+            raise SessionError(f"k must be a positive int or 'auto', got {k!r}")
+        if isinstance(interests, str) and not auto_interests:
+            # A stray string would be character-split by frozenset() below.
+            raise SessionError(
+                f"interests must be 'auto' or an iterable of label-id "
+                f"tuples, got {interests!r}"
+            )
+        self.selection = None
+
+        if engine == "auto":
+            selection = select_engine(
+                self.graph,
+                workload=workload,
+                k=None if auto_k else k,  # type: ignore[arg-type]
+                budget_bytes=budget_bytes,
+                seed=seed,
+            )
+            self.selection = selection
+            spec = engine_spec(selection.engine)
+            chosen_k = selection.k if auto_k else k
+            resolved_auto_interests = selection.interests
+        else:
+            # Named engine: resolve k/interests individually from the
+            # workload, without the full (and costlier) selection pass.
+            spec = engine_spec(engine)
+            queries: list[CPQ] | None = None
+            if (auto_k and spec.uses_k) or (auto_interests and spec.uses_interests):
+                queries = workload if workload else default_workload(
+                    self.graph, seed=seed
+                )
+            if auto_k:
+                chosen_k = advise_k(queries) if queries is not None else 2
+            else:
+                chosen_k = k
+            resolved_auto_interests = (
+                recommend_interests(
+                    self.graph, queries, k=chosen_k, budget_bytes=budget_bytes
+                ).interests
+                if queries is not None and spec.uses_interests and auto_interests
+                else frozenset()
+            )
+
+        if spec.uses_interests:
+            chosen_interests = (
+                resolved_auto_interests if auto_interests
+                else frozenset(interests)  # type: ignore[arg-type]
+            )
+        else:
+            chosen_interests = frozenset()
+
+        start = time.perf_counter()
+        built = spec.build(self.graph, k=chosen_k, interests=chosen_interests)
+        self._build_seconds = time.perf_counter() - start
+        self._adopt(built, spec, {"k": chosen_k, "interests": chosen_interests})
+        return self
+
+    @property
+    def engine(self):
+        """The current engine object (builds ``engine="auto"`` on first use)."""
+        if self._engine is None:
+            self.build_index(engine="auto")
+        return self._engine
+
+    @property
+    def engine_name(self) -> str | None:
+        """Display name of the current engine, or ``None`` before build."""
+        return self._spec.display_name if self._spec is not None else None
+
+    @property
+    def is_built(self) -> bool:
+        return self._engine is not None
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def _resolve(self, query: CPQ | str) -> CPQ:
+        if isinstance(query, str):
+            return parse(query, self.graph.registry)
+        if not is_resolved(query):
+            return resolve(query, self.graph.registry)
+        return query
+
+    def query(
+        self,
+        query: CPQ | str,
+        limit: int | None = None,
+        source_filter: VertexDataFilter | None = None,
+        target_filter: VertexDataFilter | None = None,
+    ) -> ResultSet:
+        """Parse (if text) and wrap ``query`` in a lazy :class:`ResultSet`.
+
+        Nothing is evaluated until the result set is consumed (iterated,
+        counted, ...); see :mod:`repro.db.resultset`.
+        """
+        return ResultSet(
+            self.engine,
+            self._resolve(query),
+            limit=limit,
+            source_filter=source_filter,
+            target_filter=target_filter,
+        )
+
+    def execute_batch(
+        self, queries: Iterable[CPQ | str], limit: int | None = None
+    ) -> BatchResult:
+        """Evaluate a workload eagerly, returning per-query results plus
+        merged operator counters — the serving-path entry point."""
+        results = [self.query(query, limit=limit) for query in queries]
+        start = time.perf_counter()
+        for result in results:
+            result.pairs()
+        return BatchResult(results, time.perf_counter() - start)
+
+    def explain(self, query: CPQ | str) -> str:
+        """The current engine's plan/profile report for ``query``."""
+        return self.query(query).explain()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        add_edges: Iterable[Triple] = (),
+        remove_edges: Iterable[Triple] = (),
+        add_vertices: Iterable[Vertex] = (),
+        remove_vertices: Iterable[Vertex] = (),
+    ) -> "GraphDatabase":
+        """Apply graph updates and keep the engine consistent.
+
+        Incremental engines (CPQx, iaCPQx) take each change through the
+        lazy maintenance path of Sec. IV-E (:mod:`repro.core.maintenance`);
+        non-incremental engines are rebuilt once after all changes, with
+        the same build arguments.  Order: vertex additions, edge
+        additions, edge removals, vertex removals (removing a vertex
+        drops its incident edges, as the paper specifies).
+        """
+        if self._engine is not None and self._spec is not None and self._spec.incremental:
+            index = self._engine
+            for v in add_vertices:
+                index.insert_vertex(v)
+            for v, u, label in add_edges:
+                index.insert_edge(v, u, label)
+            for v, u, label in remove_edges:
+                index.delete_edge(v, u, label)
+            for v in remove_vertices:
+                index.delete_vertex(v)
+            return self
+
+        for v in add_vertices:
+            self.graph.add_vertex(v)
+        for v, u, label in add_edges:
+            self.graph.add_edge(v, u, label)
+        for v, u, label in remove_edges:
+            self.graph.remove_edge(v, u, label)
+        for v in remove_vertices:
+            self.graph.remove_vertex(v)  # drops incident edges itself
+        if self._engine is not None and self._spec is not None:
+            start = time.perf_counter()
+            built = self._spec.build(self.graph, **self._build_args)
+            self._build_seconds = time.perf_counter() - start
+            self._engine = built
+        return self
+
+    # ------------------------------------------------------------------
+    # persistence and introspection
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the current engine (graph included) to ``path``."""
+        from repro.core.persistence import save_index
+
+        if self._engine is None or self._spec is None:
+            raise SessionError("no index built yet; call build_index() first")
+        if not self._spec.persistable:
+            raise SessionError(
+                f"engine {self._spec.display_name!r} is not persistable; "
+                f"persistable engines: cpqx, iacpqx"
+            )
+        save_index(self._engine, path)
+
+    @property
+    def stats(self) -> IndexStats:
+        """A Table IV-style stats row for the current engine."""
+        return stats_of(self.engine, build_seconds=self._build_seconds)
+
+    def info(self) -> str:
+        """Multi-line session summary: graph, engine, stats, selection."""
+        lines = [f"graph: {self.graph}"]
+        if self._engine is None:
+            lines.append("engine: none built (available: "
+                         + ", ".join(available_engines()) + ")")
+        else:
+            lines.append(f"engine: {self.engine_name}")
+            lines.append(self.stats.describe())
+            interests = getattr(self._engine, "interests", None)
+            if interests is not None:
+                multi = sorted(s for s in interests if len(s) > 1)
+                lines.append(
+                    f"interests: {len(interests)} ({len(multi)} multi-label)"
+                )
+        if self.selection is not None:
+            lines.append(self.selection.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        engine = self.engine_name or "unbuilt"
+        return f"GraphDatabase(name={self.name!r}, engine={engine}, {self.graph})"

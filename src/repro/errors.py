@@ -61,3 +61,18 @@ class MaintenanceError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by the dataset registry for unknown dataset names or bad scales."""
+
+
+class UnknownEngineError(ReproError):
+    """Raised by the engine registry when an engine name is not registered."""
+
+    def __init__(self, name: object, known: tuple = ()) -> None:
+        hint = f"; known engines: {', '.join(known)}" if known else ""
+        super().__init__(f"unknown engine {name!r}{hint}")
+        self.name = name
+        self.known = known
+
+
+class SessionError(ReproError):
+    """Raised by :class:`repro.db.GraphDatabase` for invalid session usage
+    (saving before an index is built, persisting a non-persistable engine...)."""

@@ -70,6 +70,63 @@ class TestBuildAndQuery:
         assert "1 answers" in capsys.readouterr().out
 
 
+class TestEngineFlag:
+    def test_query_engine_choice(self, capsys):
+        assert main([
+            "query", "--dataset", "robots", "--scale", "0.1",
+            "--engine", "bfs", "l1 . l1^-", "--show", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[BFS]" in out and "answers in" in out
+
+    def test_query_engine_auto_reports_selection(self, capsys):
+        assert main([
+            "query", "--dataset", "robots", "--scale", "0.1",
+            "--engine", "auto", "l1 & l1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "auto-selected engine=" in out and "answers in" in out
+
+    def test_query_stats_flag_prints_counters(self, capsys):
+        assert main([
+            "query", "--dataset", "robots", "--scale", "0.1",
+            "--stats", "l1 & l1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stats: lookups=" in out
+        assert "plan:" in out
+
+    def test_query_unknown_engine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--dataset", "robots", "--engine", "nope", "l1",
+            ])
+
+    def test_build_engine_flag(self, tmp_path, capsys):
+        out = tmp_path / "e.idx"
+        assert main([
+            "build", "--dataset", "robots", "--scale", "0.15",
+            "--engine", "iacpqx", "--out", str(out),
+        ]) == 0
+        assert "iaCPQx" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_build_engine_and_type_conflict(self, capsys):
+        assert main([
+            "build", "--dataset", "robots", "--scale", "0.1",
+            "--engine", "cpqx", "--type", "iacpqx", "--out", "x.idx",
+        ]) == 2
+        assert "deprecated alias" in capsys.readouterr().err
+
+    def test_build_non_persistable_engine_errors_cleanly(self, tmp_path, capsys):
+        code = main([
+            "build", "--dataset", "robots", "--scale", "0.1",
+            "--engine", "bfs", "--out", str(tmp_path / "b.idx"),
+        ])
+        assert code == 1
+        assert "not persistable" in capsys.readouterr().err
+
+
 class TestDatasets:
     def test_lists_registry(self, capsys):
         assert main(["datasets"]) == 0

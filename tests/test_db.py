@@ -1,0 +1,349 @@
+"""Tests for the ``repro.db`` session facade, registry, and lazy results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphDatabase, available_engines, example_graph
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.db import (
+    EngineSpec,
+    ResultSet,
+    engine_spec,
+    register_engine,
+    select_engine,
+    unregister_engine,
+)
+from repro.db.auto import default_workload
+from repro.errors import SessionError, UnknownEngineError
+from repro.query.parser import parse
+from repro.query.semantics import evaluate as reference_evaluate
+
+TRIPLES = [
+    ("a", "b", "f"), ("b", "a", "f"), ("b", "c", "f"),
+    ("c", "a", "f"), ("a", "d", "v"), ("c", "d", "v"),
+]
+
+
+@pytest.fixture
+def db() -> GraphDatabase:
+    return GraphDatabase.from_triples(TRIPLES)
+
+
+class TestSessionLifecycle:
+    def test_full_round_trip(self, tmp_path):
+        """from_triples → build auto → query → update → save → open → query."""
+        db = GraphDatabase.from_triples(TRIPLES)
+        db.build_index(engine="auto")
+        assert db.selection is not None
+        assert db.engine_name in ("CPQx", "iaCPQx", "BFS")
+
+        before = db.query("(f . f) & f^-")
+        assert before.pairs() == reference_evaluate(
+            parse("(f . f) & f^-", db.graph.registry), db.graph
+        )
+
+        db.update(add_edges=[("d", "a", "f")], remove_edges=[("a", "d", "v")])
+        assert db.graph.has_edge("d", "a", db.graph.registry.id_of("f"))
+        after = db.query("f . f").pairs()
+        assert after == reference_evaluate(
+            parse("f . f", db.graph.registry), db.graph
+        )
+
+        path = tmp_path / "session.idx"
+        db.save(path)
+        reopened = GraphDatabase.open(path)
+        assert reopened.engine_name == db.engine_name
+        assert reopened.query("f . f").pairs() == after
+
+    def test_from_graph_and_dataset(self):
+        db = GraphDatabase.from_graph(example_graph(), name="Gex")
+        assert db.name == "Gex"
+        db2 = GraphDatabase.from_dataset("robots", scale=0.1)
+        assert db2.graph.num_vertices > 0
+
+    def test_every_engine_reachable_and_agrees(self, db):
+        reference = None
+        for key in available_engines():
+            session = GraphDatabase.from_graph(db.graph)
+            session.build_index(engine=key, k=2)
+            answers = session.query("(f . f) & f^-").pairs()
+            if reference is None:
+                reference = answers
+            assert answers == reference, key
+
+    def test_build_returns_self_for_chaining(self, db):
+        assert db.build_index(engine="bfs") is db
+        assert db.engine_name == "BFS"
+
+    def test_engine_property_autobuilds(self, db):
+        assert not db.is_built
+        engine = db.engine  # triggers build_index(engine="auto")
+        assert db.is_built and engine is db.engine
+
+    def test_save_without_build_raises(self, db, tmp_path):
+        with pytest.raises(SessionError, match="no index built"):
+            db.save(tmp_path / "x.idx")
+
+    def test_save_non_persistable_engine_raises(self, db, tmp_path):
+        db.build_index(engine="bfs")
+        with pytest.raises(SessionError, match="not persistable"):
+            db.save(tmp_path / "x.idx")
+
+    def test_open_restores_iacpqx(self, db, tmp_path):
+        db.build_index(engine="iacpqx", k=2, interests="auto")
+        path = tmp_path / "ia.idx"
+        db.save(path)
+        reopened = GraphDatabase.open(path)
+        assert reopened.engine_name == "iaCPQx"
+        assert isinstance(reopened.engine, InterestAwareIndex)
+
+    def test_invalid_k_rejected(self, db):
+        with pytest.raises(SessionError, match="k must be"):
+            db.build_index(engine="cpqx", k=0)
+        with pytest.raises(SessionError, match="k must be"):
+            db.build_index(engine="cpqx", k="three")
+
+    def test_non_auto_interest_string_rejected(self, db):
+        """A stray string must not be silently character-split."""
+        with pytest.raises(SessionError, match="interests must be"):
+            db.build_index(engine="iacpqx", k=2, interests="f.g")
+
+    def test_info_before_and_after_build(self, db):
+        assert "none built" in db.info()
+        db.build_index(engine="cpqx", k=2)
+        info = db.info()
+        assert "CPQx" in info and "graph:" in info
+
+
+class TestUpdates:
+    def test_incremental_engine_patches_in_place(self, db):
+        db.build_index(engine="cpqx", k=2)
+        index_before = db.engine
+        db.update(add_edges=[("d", "b", "f")])
+        assert db.engine is index_before  # patched, not rebuilt
+        assert db.query("f . f").pairs() == reference_evaluate(
+            parse("f . f", db.graph.registry), db.graph
+        )
+
+    def test_non_incremental_engine_rebuilds(self, db):
+        db.build_index(engine="tentris")
+        engine_before = db.engine
+        db.update(add_edges=[("d", "b", "f")])
+        assert db.engine is not engine_before  # rebuilt over mutated graph
+        assert db.query("f . f").pairs() == reference_evaluate(
+            parse("f . f", db.graph.registry), db.graph
+        )
+
+    def test_vertex_updates(self, db):
+        db.build_index(engine="cpqx", k=2)
+        db.update(add_vertices=["z"], add_edges=[("z", "a", "f")])
+        assert ("z", "b") in db.query("f . f").pairs()
+        db.update(remove_vertices=["z"])
+        assert not db.graph.has_vertex("z")
+        assert ("z", "b") not in db.query("f . f").pairs()
+
+    def test_update_before_build_mutates_graph_only(self, db):
+        db.update(add_edges=[("d", "b", "f")])
+        assert not db.is_built
+        assert db.graph.has_edge("d", "b", db.graph.registry.id_of("f"))
+
+
+class TestResultSetLaziness:
+    def test_no_materialization_before_consumption(self, db):
+        db.build_index(engine="cpqx", k=2)
+        calls = []
+        engine = db.engine
+        original = engine.evaluate
+
+        def spying_evaluate(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        engine.evaluate = spying_evaluate
+        try:
+            result = db.query("(f . f) & f^-")
+            assert not result.materialized
+            assert calls == []  # constructing the ResultSet ran nothing
+            pairs = result.pairs()
+            assert len(calls) == 1 and result.materialized
+            assert result.pairs() == pairs
+            assert len(calls) == 1  # cached, not re-evaluated
+        finally:
+            engine.evaluate = original
+
+    def test_count_pushdown_skips_materialization(self, db):
+        db.build_index(engine="cpqx", k=2)
+        result = db.query("(f . f) & f^-")
+        count = result.count()
+        assert not result.materialized  # class-size counting, no pairs
+        assert count == len(result.pairs())
+
+    def test_count_on_pattern_engine_materializes(self, db):
+        db.build_index(engine="turbohom")
+        result = db.query("(f . f) & f^-")
+        count = result.count()
+        assert result.materialized  # no COUNT pushdown on matchers
+        assert count == len(result.pairs())
+
+    def test_iteration_and_membership(self, db):
+        db.build_index(engine="cpqx", k=2)
+        result = db.query("f")
+        listed = list(result)
+        assert listed == sorted(result.pairs(), key=repr)
+        assert listed[0] in result
+        assert len(result) == len(listed)
+
+    def test_limit_and_filters(self, db):
+        db.build_index(engine="cpqx", k=2)
+        limited = db.query("f", limit=2)
+        assert len(limited) <= 2
+        db.graph.set_vertex_data("a", kind="person")
+        filtered = db.query(
+            "f", source_filter=lambda data: data.get("kind") == "person"
+        )
+        assert filtered.sources() <= {"a"}
+
+    def test_limit_applies_after_filters(self, db):
+        """limit counts surviving answers, not pre-filter ones."""
+        db.build_index(engine="cpqx", k=2)
+        db.graph.set_vertex_data("c", kind="person")
+        # 'c' sorts last among f-edge sources, so a limit-first
+        # implementation would truncate it away before filtering.
+        result = db.query(
+            "f", limit=1,
+            source_filter=lambda data: data.get("kind") == "person",
+        )
+        assert result.to_list() == [("c", "a")]
+
+    def test_stats_reflect_one_evaluation_not_the_sum(self, db):
+        """count() then materialization must not double the counters."""
+        db.build_index(engine="cpqx", k=2)
+        result = db.query("(f . f) & f^-")
+        result.count()
+        after_count = result.stats.lookups
+        result.to_list()
+        assert result.stats.lookups == after_count  # overwritten, not merged
+        reference = db.query("(f . f) & f^-")
+        reference.to_list()
+        assert result.stats.lookups == reference.stats.lookups
+
+    def test_explain_and_stats(self, db):
+        db.build_index(engine="cpqx", k=2)
+        result = db.query("(f . f) & f^-")
+        report = result.explain()
+        assert "engine: CPQx" in report and "plan:" in report
+        result.pairs()
+        assert result.stats.lookups > 0
+
+    def test_explain_on_pattern_engine(self, db):
+        db.build_index(engine="tentris")
+        assert "Tentris" in db.query("f . f").explain()
+
+    def test_resultset_equality(self, db):
+        db.build_index(engine="cpqx", k=2)
+        a = db.query("f . f")
+        b = db.query("f . f")
+        assert a == b
+        assert a == b.pairs()
+
+
+class TestExecuteBatch:
+    def test_batch_evaluates_and_merges_stats(self, db):
+        db.build_index(engine="cpqx", k=2)
+        batch = db.execute_batch(["f", "f . f", "(f . f) & id"])
+        assert len(batch) == 3
+        assert all(result.materialized for result in batch)
+        assert batch.total_answers == sum(len(r) for r in batch)
+        assert batch.stats.lookups >= 3
+        assert "3 queries" in batch.describe()
+
+
+class TestEngineRegistry:
+    def test_builtins_registered(self):
+        keys = available_engines()
+        for expected in ("cpqx", "iacpqx", "path", "iapath",
+                         "turbohom", "tentris", "bfs"):
+            assert expected in keys
+
+    def test_lookup_is_case_insensitive(self):
+        assert engine_spec("CPQx") is engine_spec("cpqx")
+        assert engine_spec("iaCPQx").display_name == "iaCPQx"
+
+    def test_unknown_engine_error_lists_known(self, db):
+        with pytest.raises(UnknownEngineError, match="cpqx"):
+            engine_spec("no-such-engine")
+        with pytest.raises(UnknownEngineError):
+            db.build_index(engine="no-such-engine")
+
+    def test_register_unregister_custom_engine(self, db):
+        spec = EngineSpec(
+            key="custom-null", display_name="Null",
+            builder=lambda graph, k=2: CPQxIndex.build(graph, k=k),
+        )
+        register_engine(spec)
+        try:
+            db.build_index(engine="custom-null", k=2)
+            assert db.engine_name == "Null"
+        finally:
+            unregister_engine("custom-null")
+        with pytest.raises(UnknownEngineError):
+            engine_spec("custom-null")
+
+    def test_duplicate_registration_rejected(self):
+        spec = EngineSpec(key="cpqx", display_name="X", builder=lambda g: None)
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(spec)
+
+
+class TestAutoSelection:
+    def test_small_graph_selects_full_cpqx(self, db):
+        selection = select_engine(db.graph)
+        assert selection.engine == "cpqx"
+        assert selection.k >= 1
+        assert "Thm. 4.3" in selection.rationale
+
+    def test_tight_ceiling_falls_back_to_interests(self, db):
+        selection = select_engine(db.graph, work_ceiling=0.0)
+        assert selection.engine == "iacpqx"
+        assert selection.interests
+        assert "OOM regime" in selection.rationale
+
+    def test_caller_workload_drives_k(self, db):
+        workload = [parse("f . f . f", db.graph.registry)]
+        selection = select_engine(db.graph, workload=workload)
+        assert selection.k == 3
+        assert selection.estimates["workload_synthesized"] is False
+
+    def test_auto_build_uses_selection(self, db):
+        db.build_index(engine="auto", workload=[parse("f . f", db.graph.registry)])
+        assert db.selection is not None
+        assert db.engine_name == "CPQx"
+        assert db.selection.describe() in db.info()
+
+    def test_auto_interests_with_named_engine(self, db):
+        db.build_index(engine="iacpqx", k=2, interests="auto")
+        assert db.selection is None  # explicit engine: no auto routing record
+        assert db.engine.interests  # but interests were derived
+
+    def test_default_workload_nonempty(self, db):
+        assert default_workload(db.graph)
+
+
+class TestDeprecationShims:
+    def test_old_names_still_importable(self):
+        import repro
+
+        for name in ("CPQxIndex", "InterestAwareIndex", "PathIndex",
+                     "InterestAwarePathIndex", "BFSEngine", "TurboHomEngine",
+                     "TentrisEngine", "parse", "evaluate"):
+            assert hasattr(repro, name)
+
+    def test_old_entry_points_still_work(self):
+        from repro import CPQxIndex, example_graph, parse
+
+        graph = example_graph()
+        index = CPQxIndex.build(graph, k=2)
+        answers = index.evaluate(parse("(f . f) & f^-", graph.registry))
+        assert answers
