@@ -3,9 +3,10 @@
 Sec. III-C: "The state-of-the-art language-unaware path index is an
 inverted index that outputs a set of paths corresponding to a given label
 sequence as a search key."  It stores, for every label sequence of length
-≤ k, the sorted list of s-t pairs it connects.  Its size is
-``O(γ |P≤k|)`` because each pair is stored once per sequence it matches —
-the redundancy CPQx eliminates (Thm. 4.2's comparison).
+≤ k, the sorted column of s-t pair codes it connects
+(:class:`repro.core.pairset.PairSet`).  Its size is ``O(γ |P≤k|)``
+because each pair is stored once per sequence it matches — the
+redundancy CPQx eliminates (Thm. 4.2's comparison).
 
 ``iaPath`` is the paper's interest-restricted variant: only sequences in
 the interest set (plus all single labels) are indexed.  The paper notes
@@ -20,12 +21,13 @@ from repro.errors import IndexBuildError, QueryDiameterError
 from repro.graph.digraph import LabeledDigraph, Pair
 from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
-from repro.core.paths import enumerate_sequences
+from repro.core.pairset import PairSet
+from repro.core.paths import enumerate_sequences_codes, sequence_relation_codes
 from repro.plan.planner import Splitter, greedy_splitter, interest_splitter
 
 
 class PathIndex(EngineBase):
-    """Inverted index: label sequence (length ≤ k) → sorted s-t pairs."""
+    """Inverted index: label sequence (length ≤ k) → sorted s-t pair column."""
 
     name = "Path"
 
@@ -33,22 +35,26 @@ class PathIndex(EngineBase):
         self,
         graph: LabeledDigraph,
         k: int,
-        entries: dict[LabelSeq, list[Pair]],
+        entries: dict[LabelSeq, PairSet] | dict[LabelSeq, list[Pair]],
     ) -> None:
         self.graph = graph
         self.k = k
-        self._entries = entries
+        interner = graph.interner
+        self._entries: dict[LabelSeq, PairSet] = {
+            seq: (
+                stored
+                if isinstance(stored, PairSet)
+                else PairSet.from_vertex_pairs(stored, interner)
+            )
+            for seq, stored in entries.items()
+        }
 
     @classmethod
     def build(cls, graph: LabeledDigraph, k: int = 2) -> "PathIndex":
-        """Enumerate all ≤k label sequences and their pair lists."""
+        """Enumerate all ≤k label sequences and their pair columns."""
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
-        sequences = enumerate_sequences(graph, k)
-        entries = {
-            seq: sorted(pairs, key=repr) for seq, pairs in sequences.items()
-        }
-        return cls(graph=graph, k=k, entries=entries)
+        return cls(graph=graph, k=k, entries=enumerate_sequences_codes(graph, k))
 
     # ------------------------------------------------------------------
     # executor interface
@@ -58,12 +64,15 @@ class PathIndex(EngineBase):
         return greedy_splitter(self.k)
 
     def lookup(self, seq: LabelSeq) -> Result:
-        """Return the s-t pairs of a label sequence."""
+        """Return the s-t pair column of a label sequence."""
         if len(seq) > self.k:
             raise QueryDiameterError(
                 f"sequence of length {len(seq)} exceeds index parameter k={self.k}"
             )
-        return Result.of_pairs(self._entries.get(seq, ()))
+        stored = self._entries.get(seq)
+        if stored is None:
+            stored = PairSet.empty(self.graph.interner)
+        return Result(pairs=stored)
 
     # ------------------------------------------------------------------
     # introspection
@@ -76,10 +85,10 @@ class PathIndex(EngineBase):
     @property
     def num_pairs(self) -> int:
         """Number of *distinct* s-t pairs appearing in the index."""
-        pairs: set[Pair] = set()
+        codes: set[int] = set()
         for stored in self._entries.values():
-            pairs.update(stored)
-        return len(pairs)
+            codes.update(stored.iter_codes())
+        return len(codes)
 
     @property
     def num_postings(self) -> int:
@@ -87,8 +96,11 @@ class PathIndex(EngineBase):
         return sum(len(stored) for stored in self._entries.values())
 
     def pairs_of_sequence(self, seq: LabelSeq) -> list[Pair]:
-        """Stored pair list for a sequence (copy)."""
-        return list(self._entries.get(seq, ()))
+        """Stored pairs for a sequence, decoded to a sorted list."""
+        stored = self._entries.get(seq)
+        if stored is None:
+            return []
+        return sorted(stored, key=repr)
 
     def size_bytes(self) -> int:
         """32-bit-id size model: 4 bytes per key label, 8 per posted pair."""
@@ -112,7 +124,7 @@ class InterestAwarePathIndex(PathIndex):
         self,
         graph: LabeledDigraph,
         k: int,
-        entries: dict[LabelSeq, list[Pair]],
+        entries: dict[LabelSeq, PairSet] | dict[LabelSeq, list[Pair]],
         interests: frozenset[LabelSeq],
     ) -> None:
         super().__init__(graph, k, entries)
@@ -138,8 +150,7 @@ class InterestAwarePathIndex(PathIndex):
             full.add((label,))
             full.add((-label,))
         entries = {
-            seq: sorted(graph.sequence_relation(seq), key=repr)
-            for seq in full
+            seq: sequence_relation_codes(graph, seq) for seq in full
         }
         entries = {seq: pairs for seq, pairs in entries.items() if pairs}
         return cls(graph=graph, k=k, entries=entries, interests=frozenset(full))

@@ -81,7 +81,14 @@ def build_engine(
         raise DatasetError(
             f"unknown method {method!r}; known: {ALL_METHODS}"
         ) from exc
-    return db.engine
+    engine = db.engine
+    # Paper experiments time repeated evaluations of the same queries;
+    # the cross-query result LRU would turn those into cache-hit
+    # readings, so benchmark-built engines run with it off.
+    disable = getattr(engine, "set_result_caching", None)
+    if disable is not None:
+        disable(False)
+    return engine
 
 
 @dataclass

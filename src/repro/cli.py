@@ -114,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    micro = sub.add_parser(
+        "bench-micro",
+        help="time build + query on a generated graph vs the pre-PR core "
+             "and emit machine-readable JSON",
+    )
+    micro.add_argument("--vertices", type=int, default=250)
+    micro.add_argument("--edges", type=int, default=2000)
+    micro.add_argument("--labels", type=int, default=3)
+    micro.add_argument("--k", type=int, default=2)
+    micro.add_argument("--seed", type=int, default=7)
+    micro.add_argument("--repeats", type=int, default=5)
+    micro.add_argument("--out", default=None, help="write JSON here instead of stdout")
     return parser
 
 
@@ -225,6 +238,12 @@ SERIES_VIEWS = {
 }
 
 
+def cmd_bench_micro(args) -> int:
+    from repro.bench.micro import main_bench_micro
+
+    return main_bench_micro(args)
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.name]()
     print(result.render())
@@ -246,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": cmd_query,
         "info": cmd_info,
         "experiment": cmd_experiment,
+        "bench-micro": cmd_bench_micro,
     }
     try:
         return handlers[args.command](args)

@@ -23,16 +23,29 @@ from repro.core.cq import (
     parse_bgp,
 )
 from repro.core.validate import ValidationReport, quick_verify, verify_index
+from repro.core.cache import LRUCache
 from repro.core.executor import EngineBase, ExecutionStats, Result, execute_plan
 from repro.core.interest import InterestAwareIndex
+from repro.core.pairset import PairSet
 from repro.core.persistence import PersistenceError, load_index, save_index
-from repro.core.partition import PathPartition, compute_partition, level1_classes, refines
+from repro.core.partition import (
+    CodePartition,
+    PathPartition,
+    compute_partition,
+    compute_partition_codes,
+    level1_classes,
+    refines,
+)
 from repro.core.paths import (
     enumerate_sequences,
+    enumerate_sequences_codes,
     gamma,
     invert_sequences,
+    invert_sequences_codes,
     label_sequences_for_pair,
+    reachable_codes,
     reachable_pairs,
+    sequence_relation_codes,
 )
 from repro.core.stats import (
     DatasetStats,
@@ -45,6 +58,7 @@ from repro.core.stats import (
 
 __all__ = [
     "CPQxIndex",
+    "CodePartition",
     "ConjunctiveQuery",
     "DatasetStats",
     "EngineBase",
@@ -52,6 +66,8 @@ __all__ = [
     "IndexStats",
     "InterestAwareIndex",
     "InterestRecommendation",
+    "LRUCache",
+    "PairSet",
     "PathPartition",
     "PersistenceError",
     "Result",
@@ -76,15 +92,20 @@ __all__ = [
     "sequence_frequencies",
     "build_with_stats",
     "compute_partition",
+    "compute_partition_codes",
     "dataset_stats",
     "enumerate_sequences",
+    "enumerate_sequences_codes",
     "execute_plan",
     "format_bytes",
     "gamma",
     "invert_sequences",
+    "invert_sequences_codes",
     "label_sequences_for_pair",
     "level1_classes",
+    "reachable_codes",
     "reachable_pairs",
     "refines",
+    "sequence_relation_codes",
     "stats_of",
 ]

@@ -1,0 +1,67 @@
+"""A tiny bounded LRU cache for memoized query results.
+
+Used by :class:`repro.core.executor.EngineBase` to memoize
+``evaluate``/``count`` across queries.  The cache carries a ``token``
+— the (graph version, engine epoch) pair current when it was created —
+so the owner can detect staleness with one tuple comparison and rebuild
+instead of serving results computed against an older graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Relies on dict insertion order: a hit re-inserts the key at the
+    back, eviction pops from the front.
+    """
+
+    __slots__ = ("capacity", "token", "_data")
+
+    def __init__(self, capacity: int, token: object = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Opaque freshness token (owner-defined; compared by equality).
+        self.token = token
+        self._data: dict[Hashable, object] = {}
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value, refreshed to most-recently-used; else None."""
+        data = self._data
+        value = data.get(key)
+        if value is not None or key in data:
+            del data[key]
+            data[key] = value
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry when full."""
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        self.put(key, value)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def __repr__(self) -> str:
+        return f"LRUCache({len(self._data)}/{self.capacity})"

@@ -4,12 +4,15 @@ CPQx is an inverted index in two parts:
 
 * ``Il2c`` — label sequence (length ≤ k) → set of class identifiers whose
   pairs' ``L≤k`` sets contain that sequence;
-* ``Ic2p`` — class identifier → sorted list of member s-t pairs.
+* ``Ic2p`` — class identifier → sorted column of member s-t pair codes
+  (:class:`repro.core.pairset.PairSet`).
 
 Classes are the CPQ_k-equivalence classes computed by
 :mod:`repro.core.partition`.  A lookup touches class ids instead of
 pairs; conjunctions intersect class-id sets (Prop. 4.1); pairs are only
-materialized when a JOIN or the query root demands them.
+materialized when a JOIN or the query root demands them — and then as
+sorted code columns combined without decoding (classes are disjoint, so
+expansion is a concatenation plus one C-level sort over pre-sorted runs).
 
 Construction (Algorithm 2) supports two strategies:
 
@@ -27,15 +30,42 @@ from __future__ import annotations
 
 from repro.errors import IndexBuildError, QueryDiameterError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.interner import ID_BITS, ID_MASK
 from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
-from repro.core.partition import compute_partition
+from repro.core.pairset import PairSet
+from repro.core.partition import compute_partition_codes
 from repro.core.paths import (
-    enumerate_sequences,
-    invert_sequences,
-    label_sequences_for_pair,
+    enumerate_sequences_codes,
+    invert_sequences_codes,
+    sequence_targets_from_source,
 )
 from repro.plan.planner import Splitter, greedy_splitter
+
+
+def _adopt_ic2p(
+    ic2p: dict[int, PairSet] | dict[int, list[Pair]], graph: LabeledDigraph
+) -> dict[int, PairSet]:
+    """Accept ``Ic2p`` in columnar or legacy list-of-tuples form."""
+    interner = graph.interner
+    return {
+        class_id: (
+            members
+            if isinstance(members, PairSet)
+            else PairSet.from_vertex_pairs(members, interner)
+        )
+        for class_id, members in ic2p.items()
+    }
+
+
+def _adopt_class_of(
+    class_of: dict[int, int] | dict[Pair, int], graph: LabeledDigraph
+) -> dict[int, int]:
+    """Accept the pair→class map keyed by codes (ints) or vertex tuples."""
+    if not class_of or isinstance(next(iter(class_of)), int):
+        return dict(class_of)
+    encode = graph.interner.encode_pair
+    return {encode(pair): class_id for pair, class_id in class_of.items()}
 
 
 class CPQxIndex(EngineBase):
@@ -48,16 +78,16 @@ class CPQxIndex(EngineBase):
         graph: LabeledDigraph,
         k: int,
         il2c: dict[LabelSeq, set[int]],
-        ic2p: dict[int, list[Pair]],
-        class_of: dict[Pair, int],
+        ic2p: dict[int, PairSet] | dict[int, list[Pair]],
+        class_of: dict[int, int] | dict[Pair, int],
         class_sequences: dict[int, frozenset[LabelSeq]],
         loop_classes: set[int],
     ) -> None:
         self.graph = graph
         self.k = k
         self._il2c = il2c
-        self._ic2p = ic2p
-        self._class_of = class_of
+        self._ic2p = _adopt_ic2p(ic2p, graph)
+        self._class_of = _adopt_class_of(class_of, graph)
         self._class_sequences = class_sequences
         self._loop_classes = loop_classes
         self._next_class = max(ic2p, default=-1) + 1
@@ -74,24 +104,38 @@ class CPQxIndex(EngineBase):
     ) -> "CPQxIndex":
         """Build CPQx over ``graph`` with path-length bound ``k``.
 
-        Runs Algorithm 1 (partition) then Algorithm 2 (index assembly).
+        Runs Algorithm 1 (partition) then Algorithm 2 (index assembly),
+        entirely in the interned code space.
         """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
-        partition = compute_partition(graph, k)
-        ic2p = {c: list(members) for c, members in partition.blocks.items()}
+        partition = compute_partition_codes(graph, k)
+        ic2p = partition.blocks
+        view = graph.interned()
 
         class_sequences: dict[int, frozenset[LabelSeq]] = {}
         if il2c_method == "representative":
+            # One L≤k BFS per *source vertex*, shared by every class whose
+            # representative pair starts there (Def. 4.2 uniformity makes
+            # any member's derivation the class's derivation).
+            by_source: dict[int, list[tuple[int, int]]] = {}
             for class_id, members in ic2p.items():
-                rep = members[0]
-                class_sequences[class_id] = label_sequences_for_pair(
-                    graph, rep[0], rep[1], k
+                rep = members.codes[0]
+                by_source.setdefault(rep >> ID_BITS, []).append(
+                    (class_id, rep & ID_MASK)
                 )
+            for source, anchored in by_source.items():
+                table = sequence_targets_from_source(view, source, k)
+                rows = table.items()
+                for class_id, target in anchored:
+                    class_sequences[class_id] = frozenset(
+                        seq for seq, ids in rows if target in ids
+                    )
         elif il2c_method == "per-pair":
-            per_pair = invert_sequences(enumerate_sequences(graph, k))
-            for pair, seqs in per_pair.items():
-                class_id = partition.class_of[pair]
+            per_code = invert_sequences_codes(enumerate_sequences_codes(graph, k))
+            class_of = partition.class_of
+            for code, seqs in per_code.items():
+                class_id = class_of[code]
                 known = class_sequences.get(class_id)
                 if known is None:
                     class_sequences[class_id] = seqs
@@ -112,7 +156,7 @@ class CPQxIndex(EngineBase):
             k=k,
             il2c=il2c,
             ic2p=ic2p,
-            class_of=dict(partition.class_of),
+            class_of=partition.class_of,
             class_sequences=class_sequences,
             loop_classes=set(partition.loop_classes),
         )
@@ -132,12 +176,14 @@ class CPQxIndex(EngineBase):
             )
         return Result.of_classes(self._il2c.get(seq, ()))
 
-    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
-        """``∪ Ic2p(c)`` over ``classes``."""
-        pairs: set[Pair] = set()
-        for class_id in classes:
-            pairs.update(self._ic2p.get(class_id, ()))
-        return frozenset(pairs)
+    def expand_classes(self, classes: frozenset[int]) -> PairSet:
+        """``∪ Ic2p(c)`` over ``classes``: concatenate the disjoint
+        columns and re-sort (C Timsort over pre-sorted runs)."""
+        ic2p = self._ic2p
+        return PairSet.union_disjoint(
+            (ic2p[class_id] for class_id in classes if class_id in ic2p),
+            self.graph.interner,
+        )
 
     def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
         """IDENTITY on class sets: keep classes whose pairs are loops."""
@@ -163,11 +209,31 @@ class CPQxIndex(EngineBase):
 
     def class_of(self, pair: Pair) -> int | None:
         """The class identifier of a pair, or None if not indexed."""
-        return self._class_of.get(pair)
+        interner = self.graph.interner
+        vid = interner.get_id(pair[0])
+        uid = interner.get_id(pair[1])
+        if vid is None or uid is None:
+            return None
+        return self._class_of.get((vid << ID_BITS) | uid)
+
+    def class_size(self, class_id: int) -> int:
+        """``|Ic2p(c)|`` without decoding (COUNT pushdown reads this)."""
+        members = self._ic2p.get(class_id)
+        return len(members) if members is not None else 0
 
     def pairs_of_class(self, class_id: int) -> list[Pair]:
-        """``Ic2p(c)`` as a sorted list (copy)."""
-        return list(self._ic2p.get(class_id, ()))
+        """``Ic2p(c)`` decoded to a deterministically sorted list."""
+        members = self._ic2p.get(class_id)
+        if members is None:
+            return []
+        return sorted(members, key=repr)
+
+    def codes_of_class(self, class_id: int) -> PairSet:
+        """``Ic2p(c)`` as its columnar pair set."""
+        members = self._ic2p.get(class_id)
+        if members is None:
+            return PairSet.empty(self.graph.interner)
+        return members
 
     def sequences_of_class(self, class_id: int) -> frozenset[LabelSeq]:
         """The (uniform) ``L≤k`` set shared by every pair of the class."""
@@ -191,7 +257,8 @@ class CPQxIndex(EngineBase):
         """Deterministic size model with 32-bit ids (Thm. 4.2's accounting).
 
         ``Il2c``: 4 bytes per label in each key plus 4 per posted class id;
-        ``Ic2p``: 4 bytes per class key plus 8 per stored s-t pair.
+        ``Ic2p``: 4 bytes per class key plus 8 per stored s-t pair (one
+        64-bit packed code — exactly what the columns store).
         """
         il2c_bytes = sum(
             4 * len(seq) + 4 * len(classes) for seq, classes in self._il2c.items()
@@ -243,9 +310,10 @@ class CPQxIndex(EngineBase):
         """
         registry = self.graph.registry
         lines = []
-        ordered = sorted(
-            self._ic2p.items(), key=lambda item: repr(item[1][0])
-        )
+        decoded = {
+            class_id: self.pairs_of_class(class_id) for class_id in self._ic2p
+        }
+        ordered = sorted(decoded.items(), key=lambda item: repr(item[1][0]))
         for class_id, members in ordered:
             shown = ", ".join(f"({v},{u})" for v, u in members[:max_pairs])
             if len(members) > max_pairs:

@@ -14,6 +14,11 @@ with ``|Lq| / |L≤k|`` (Thm. 5.1), which is the paper's scalability story:
 the graphs whose full CPQx ran out of memory in Table IV all get an
 iaCPQx here.
 
+Like CPQx, the class postings are columnar
+(:class:`repro.core.pairset.PairSet` code columns) and the pair→class
+map is keyed on packed pair codes; the construction sweep enumerates
+each interest's relation directly in code space.
+
 Maintenance covers the paper's four update kinds: edge insertion/deletion
 (like CPQx, restricted to interest sequences) and interest (label
 sequence) insertion/deletion (Sec. V-C).
@@ -23,9 +28,12 @@ from __future__ import annotations
 
 from repro.errors import IndexBuildError, MaintenanceError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.interner import ID_BITS, ID_MASK
 from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.maintenance import affected_pairs
+from repro.core.pairset import PairSet
+from repro.core.paths import sequence_relation_codes
 from repro.plan.planner import Splitter, interest_splitter
 
 
@@ -62,17 +70,19 @@ class InterestAwareIndex(EngineBase):
         k: int,
         interests: frozenset[LabelSeq],
         il2c: dict[LabelSeq, set[int]],
-        ic2p: dict[int, list[Pair]],
-        class_of: dict[Pair, int],
+        ic2p: dict[int, PairSet] | dict[int, list[Pair]],
+        class_of: dict[int, int] | dict[Pair, int],
         class_sequences: dict[int, frozenset[LabelSeq]],
         loop_classes: set[int],
     ) -> None:
+        from repro.core.cpqx import _adopt_class_of, _adopt_ic2p
+
         self.graph = graph
         self.k = k
         self.interests = interests
         self._il2c = il2c
-        self._ic2p = ic2p
-        self._class_of = class_of
+        self._ic2p = _adopt_ic2p(ic2p, graph)
+        self._class_of = _adopt_class_of(class_of, graph)
         self._class_sequences = class_sequences
         self._loop_classes = loop_classes
         self._next_class = max(ic2p, default=-1) + 1
@@ -105,30 +115,40 @@ class InterestAwareIndex(EngineBase):
                 )
         full_interests = frozenset(set(interests) | _single_label_interests(graph))
 
-        pair_seqs: dict[Pair, set[LabelSeq]] = {}
+        code_seqs: dict[int, set[LabelSeq]] = {}
         for seq in full_interests:
-            for pair in graph.sequence_relation(seq):
-                pair_seqs.setdefault(pair, set()).add(seq)
+            for code in sequence_relation_codes(graph, seq).iter_codes():
+                entry = code_seqs.get(code)
+                if entry is None:
+                    code_seqs[code] = {seq}
+                else:
+                    entry.add(seq)
 
         signature_ids: dict[tuple[bool, frozenset[LabelSeq]], int] = {}
         il2c: dict[LabelSeq, set[int]] = {}
-        ic2p: dict[int, list[Pair]] = {}
-        class_of: dict[Pair, int] = {}
+        members_by_class: dict[int, list[int]] = {}
+        class_of: dict[int, int] = {}
         class_sequences: dict[int, frozenset[LabelSeq]] = {}
         loop_classes: set[int] = set()
-        for pair, seqs in pair_seqs.items():
-            signature = (pair[0] == pair[1], frozenset(seqs))
+        for code, seqs in code_seqs.items():
+            signature = ((code >> ID_BITS) == (code & ID_MASK), frozenset(seqs))
             class_id = signature_ids.setdefault(signature, len(signature_ids))
-            ic2p.setdefault(class_id, []).append(pair)
-            class_of[pair] = class_id
-            if class_id not in class_sequences:
+            bucket = members_by_class.get(class_id)
+            if bucket is None:
+                members_by_class[class_id] = [code]
                 class_sequences[class_id] = signature[1]
                 if signature[0]:
                     loop_classes.add(class_id)
                 for seq in signature[1]:
                     il2c.setdefault(seq, set()).add(class_id)
-        for members in ic2p.values():
-            members.sort(key=repr)
+            else:
+                bucket.append(code)
+            class_of[code] = class_id
+        interner = graph.interner
+        ic2p = {
+            class_id: PairSet.from_codes(codes, interner)
+            for class_id, codes in members_by_class.items()
+        }
         return cls(
             graph=graph,
             k=k,
@@ -151,12 +171,14 @@ class InterestAwareIndex(EngineBase):
         """``Il2c(seq)``; sequences outside the interests return empty."""
         return Result.of_classes(self._il2c.get(seq, ()))
 
-    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair]:
-        """``∪ Ic2p(c)`` over ``classes``."""
-        pairs: set[Pair] = set()
-        for class_id in classes:
-            pairs.update(self._ic2p.get(class_id, ()))
-        return frozenset(pairs)
+    def expand_classes(self, classes: frozenset[int]) -> PairSet:
+        """``∪ Ic2p(c)`` over ``classes``: concatenate the disjoint
+        columns and re-sort (C Timsort over pre-sorted runs)."""
+        ic2p = self._ic2p
+        return PairSet.union_disjoint(
+            (ic2p[class_id] for class_id in classes if class_id in ic2p),
+            self.graph.interner,
+        )
 
     def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
         """IDENTITY on class sets."""
@@ -182,11 +204,24 @@ class InterestAwareIndex(EngineBase):
 
     def class_of(self, pair: Pair) -> int | None:
         """Class identifier of a pair, or None."""
-        return self._class_of.get(pair)
+        interner = self.graph.interner
+        vid = interner.get_id(pair[0])
+        uid = interner.get_id(pair[1])
+        if vid is None or uid is None:
+            return None
+        return self._class_of.get((vid << ID_BITS) | uid)
+
+    def class_size(self, class_id: int) -> int:
+        """``|Ic2p(c)|`` without decoding (COUNT pushdown reads this)."""
+        members = self._ic2p.get(class_id)
+        return len(members) if members is not None else 0
 
     def pairs_of_class(self, class_id: int) -> list[Pair]:
-        """Members of a class (copy)."""
-        return list(self._ic2p.get(class_id, ()))
+        """Members of a class, decoded to a deterministically sorted list."""
+        members = self._ic2p.get(class_id)
+        if members is None:
+            return []
+        return sorted(members, key=repr)
 
     def sequences_of_class(self, class_id: int) -> frozenset[LabelSeq]:
         """The uniform ``L≤k ∩ Lq`` set of a class."""
@@ -262,14 +297,15 @@ class InterestAwareIndex(EngineBase):
         if seq in self.interests:
             return
         self.interests = self.interests | {seq}
-        matching = self.graph.sequence_relation(seq)
-        by_old_class: dict[int | None, list[Pair]] = {}
-        for pair in matching:
-            by_old_class.setdefault(self._class_of.get(pair), []).append(pair)
+        self.invalidate_cache()
+        matching = sequence_relation_codes(self.graph, seq)
+        by_old_class: dict[int | None, list[int]] = {}
+        for code in matching.iter_codes():
+            by_old_class.setdefault(self._class_of.get(code), []).append(code)
         for old_class, members in by_old_class.items():
             if old_class is None:
-                loops = [p for p in members if p[0] == p[1]]
-                non_loops = [p for p in members if p[0] != p[1]]
+                loops = [c for c in members if (c >> ID_BITS) == (c & ID_MASK)]
+                non_loops = [c for c in members if (c >> ID_BITS) != (c & ID_MASK)]
                 for group, is_loop in ((non_loops, False), (loops, True)):
                     if group:
                         self._create_class(frozenset((seq,)), is_loop, group)
@@ -280,8 +316,8 @@ class InterestAwareIndex(EngineBase):
                 live_seqs = self._class_sequences[old_class] & self.interests
                 new_seqs = live_seqs | {seq}
                 is_loop = old_class in self._loop_classes
-                for pair in members:
-                    self._remove_pair(pair, old_class)
+                for code in members:
+                    self._remove_code(code, old_class)
                 self._create_class(frozenset(new_seqs), is_loop, members)
 
     def delete_interest(self, seq: LabelSeq) -> None:
@@ -297,19 +333,22 @@ class InterestAwareIndex(EngineBase):
             raise MaintenanceError(f"{seq} is not an interest")
         self.interests = self.interests - {seq}
         self._il2c.pop(seq, None)
+        self.invalidate_cache()
 
     # ------------------------------------------------------------------
     # internal helpers shared by the maintenance paths
     # ------------------------------------------------------------------
     def _reclassify(self, pairs: set[Pair]) -> None:
-        regrouped: dict[tuple[frozenset[LabelSeq], bool], list[Pair]] = {}
+        encode = self.graph.interner.encode_pair
+        regrouped: dict[tuple[frozenset[LabelSeq], bool], list[int]] = {}
         for pair in pairs:
             new_seqs = frozenset(
                 seq
                 for seq in self.interests
                 if _pair_matches(self.graph, pair, seq)
             )
-            old_class = self._class_of.get(pair)
+            code = encode(pair)
+            old_class = self._class_of.get(code)
             old_seqs = (
                 self._class_sequences[old_class] & self.interests
                 if old_class is not None
@@ -318,37 +357,38 @@ class InterestAwareIndex(EngineBase):
             if new_seqs == old_seqs:
                 continue
             if old_class is not None:
-                self._remove_pair(pair, old_class)
+                self._remove_code(code, old_class)
             if new_seqs:
                 key = (new_seqs, pair[0] == pair[1])
-                regrouped.setdefault(key, []).append(pair)
+                regrouped.setdefault(key, []).append(code)
         for (seqs, is_loop), members in regrouped.items():
             self._create_class(seqs, is_loop, members)
 
-    def _remove_pair(self, pair: Pair, class_id: int) -> None:
-        members = self._ic2p[class_id]
-        members.remove(pair)
-        self._class_of.pop(pair, None)
-        if not members:
-            for seq in self._class_sequences[class_id]:
-                postings = self._il2c.get(seq)
-                if postings is not None:
-                    postings.discard(class_id)
-                    if not postings:
-                        del self._il2c[seq]
-            del self._ic2p[class_id]
-            del self._class_sequences[class_id]
-            self._loop_classes.discard(class_id)
+    def _remove_code(self, code: int, class_id: int) -> None:
+        members = self._ic2p[class_id].without_code(code)
+        self._class_of.pop(code, None)
+        if members:
+            self._ic2p[class_id] = members
+            return
+        for seq in self._class_sequences[class_id]:
+            postings = self._il2c.get(seq)
+            if postings is not None:
+                postings.discard(class_id)
+                if not postings:
+                    del self._il2c[seq]
+        del self._ic2p[class_id]
+        del self._class_sequences[class_id]
+        self._loop_classes.discard(class_id)
 
     def _create_class(
-        self, seqs: frozenset[LabelSeq], is_loop: bool, members: list[Pair]
+        self, seqs: frozenset[LabelSeq], is_loop: bool, members: list[int]
     ) -> int:
         class_id = self._next_class
         self._next_class += 1
-        self._ic2p[class_id] = sorted(members, key=repr)
+        self._ic2p[class_id] = PairSet.from_codes(members, self.graph.interner)
         self._class_sequences[class_id] = seqs
-        for pair in members:
-            self._class_of[pair] = class_id
+        for code in members:
+            self._class_of[code] = class_id
         if is_loop:
             self._loop_classes.add(class_id)
         for seq in seqs:

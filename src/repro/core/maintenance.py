@@ -12,6 +12,13 @@ The paper's strategy, reproduced here:
    to one (Prop. 4.2 shows query answers stay exact on such refinements;
    Table VII measures the resulting size growth).
 
+The patches operate on the index's columnar internals — pairs are
+addressed by packed code and class postings rebuilt as new sorted
+columns — but all traversal (affected balls, per-pair ``L≤k``) walks
+the live vertex-keyed adjacency: the interned snapshot is rebuilt per
+graph version, and every maintenance step mutates the graph, so using
+it here would cost O(V+E) per update instead of the touched ball.
+
 Vertex insertion/deletion and label changes reduce to edge operations,
 exactly as the paper notes.
 """
@@ -24,6 +31,7 @@ from repro.errors import MaintenanceError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 from repro.graph.labels import LabelSeq
 from repro.core.cpqx import CPQxIndex
+from repro.core.pairset import PairSet
 from repro.core.paths import label_sequences_for_pair
 
 
@@ -104,20 +112,27 @@ def affected_pairs(graph: LabeledDigraph, v: Vertex, u: Vertex, k: int) -> set[P
     A path of length ≤ k through the edge decomposes as
     ``x →* v → u →* y`` with prefix+suffix length ≤ k-1 (or the mirrored
     decomposition through the inverse edge), so the affected set is built
-    from distance balls of radius ``k-1`` around both endpoints.
+    from distance balls of radius ``k-1`` around both endpoints.  The
+    balls walk the live vertex-keyed adjacency — not the interned
+    snapshot, which every maintenance step would otherwise rebuild in
+    full after its graph mutation — and pairs are encoded for the class
+    bookkeeping only afterwards.
     """
     ball_v = _distance_ball(graph, v, k - 1)
     ball_u = _distance_ball(graph, u, k - 1)
     affected: set[Pair] = set()
+    budget = k - 1
     for x, dx in ball_v.items():
         for y, dy in ball_u.items():
-            if dx + dy <= k - 1:
+            if dx + dy <= budget:
                 affected.add((x, y))  # uses v --l--> u
                 affected.add((y, x))  # uses u --l⁻¹--> v
     return affected
 
 
-def _distance_ball(graph: LabeledDigraph, center: Vertex, radius: int) -> dict[Vertex, int]:
+def _distance_ball(
+    graph: LabeledDigraph, center: Vertex, radius: int
+) -> dict[Vertex, int]:
     """BFS distances ≤ radius over the (symmetric) extended adjacency."""
     distances: dict[Vertex, int] = {center: 0}
     queue: deque[tuple[Vertex, int]] = deque([(center, 0)])
@@ -141,10 +156,12 @@ def reclassify(index: CPQxIndex, pairs: set[Pair]) -> None:
     the removal are garbage collected from both structures.
     """
     graph = index.graph
-    regrouped: dict[tuple[frozenset[LabelSeq], bool], list[Pair]] = {}
+    encode = graph.interner.encode_pair
+    regrouped: dict[tuple[frozenset[LabelSeq], bool], list[int]] = {}
     for pair in pairs:
+        code = encode(pair)
         new_seqs = label_sequences_for_pair(graph, pair[0], pair[1], index.k)
-        old_class = index._class_of.get(pair)
+        old_class = index._class_of.get(code)
         old_seqs = (
             index._class_sequences[old_class]
             if old_class is not None
@@ -153,44 +170,45 @@ def reclassify(index: CPQxIndex, pairs: set[Pair]) -> None:
         if new_seqs == old_seqs:
             continue
         if old_class is not None:
-            _remove_pair_from_class(index, pair, old_class)
+            _remove_code_from_class(index, code, old_class)
         if new_seqs:
             key = (new_seqs, pair[0] == pair[1])
-            regrouped.setdefault(key, []).append(pair)
-        elif pair in index._class_of:
-            del index._class_of[pair]
+            regrouped.setdefault(key, []).append(code)
+        else:
+            index._class_of.pop(code, None)
     for (seqs, is_loop), members in regrouped.items():
         _create_class(index, seqs, is_loop, members)
 
 
-def _remove_pair_from_class(index: CPQxIndex, pair: Pair, class_id: int) -> None:
-    members = index._ic2p[class_id]
-    members.remove(pair)
-    index._class_of.pop(pair, None)
-    if not members:
-        for seq in index._class_sequences[class_id]:
-            postings = index._il2c.get(seq)
-            if postings is not None:
-                postings.discard(class_id)
-                if not postings:
-                    del index._il2c[seq]
-        del index._ic2p[class_id]
-        del index._class_sequences[class_id]
-        index._loop_classes.discard(class_id)
+def _remove_code_from_class(index: CPQxIndex, code: int, class_id: int) -> None:
+    members = index._ic2p[class_id].without_code(code)
+    index._class_of.pop(code, None)
+    if members:
+        index._ic2p[class_id] = members
+        return
+    for seq in index._class_sequences[class_id]:
+        postings = index._il2c.get(seq)
+        if postings is not None:
+            postings.discard(class_id)
+            if not postings:
+                del index._il2c[seq]
+    del index._ic2p[class_id]
+    del index._class_sequences[class_id]
+    index._loop_classes.discard(class_id)
 
 
 def _create_class(
     index: CPQxIndex,
     seqs: frozenset[LabelSeq],
     is_loop: bool,
-    members: list[Pair],
+    members: list[int],
 ) -> int:
     class_id = index._next_class
     index._next_class += 1
-    index._ic2p[class_id] = sorted(members, key=repr)
+    index._ic2p[class_id] = PairSet.from_codes(members, index.graph.interner)
     index._class_sequences[class_id] = seqs
-    for pair in members:
-        index._class_of[pair] = class_id
+    for code in members:
+        index._class_of[code] = class_id
     if is_loop:
         index._loop_classes.add(class_id)
     for seq in seqs:

@@ -1,0 +1,501 @@
+"""Columnar s-t pair sets: sorted ``array('q')`` columns of packed ids.
+
+Every structure the paper builds — ``P≤k``, the per-sequence relations,
+``Ic2p`` postings, executor intermediates — is a set of s-t pairs.  The
+seed kept them as Python sets of ``(v, u)`` tuples over arbitrary
+vertices; :class:`PairSet` instead packs interned ids (see
+:mod:`repro.graph.interner`) into 64-bit codes ``v_id << 32 | u_id``
+with two physical states:
+
+* **frozen** — one sorted, duplicate-free ``array('q')`` column: 8
+  bytes per pair in a contiguous buffer.  This is the storage form
+  (index postings, enumeration output) and supports merge-based
+  union/intersection/difference, switching to galloping (binary probes
+  into the larger column) when the operands are size-skewed — the
+  classic adaptive strategy of sorted-posting systems;
+* **lazy** — a plain ``set`` of codes, produced by operators whose
+  output order is not yet needed (composition, hash-path algebra).
+  Sorting an operator's output costs more than every downstream
+  consumer that doesn't need order, so the sort is deferred: the column
+  materializes (once, cached) only when something asks for it.
+
+Composition — the relational join on the shared middle vertex — runs as
+a hash join grouped on the packed middle id, from either physical
+state.  It beats the seed executor's per-call dict-of-vertex-lists
+rebuild: grouping keys are single machine-width ints, never tuples of
+objects, and the output stays a lazy code set.
+
+Iteration decodes to original ``(v, u)`` vertex pairs through the
+interner's reverse lookup, so a ``PairSet`` can stand in for the old
+``frozenset[Pair]`` anywhere (equality and the binary set operators
+accept plain sets of vertex tuples too).  The old set-of-tuples API is
+one :meth:`to_set` call away for consumers that do not migrate.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator
+
+from repro.graph.digraph import Pair
+from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, VertexInterner
+
+#: Size ratio beyond which merge operations gallop instead of scanning.
+GALLOP_RATIO = 8
+
+_EMPTY = array("q")
+
+
+def _intersect_columns(a: array, b: array) -> array:
+    """Sorted-merge intersection; gallops when one column dwarfs the other."""
+    if len(a) > len(b):
+        a, b = b, a
+    la, lb = len(a), len(b)
+    out = array("q")
+    if la == 0:
+        return out
+    if lb >= GALLOP_RATIO * la:
+        lo = 0
+        for code in a:
+            lo = bisect_left(b, code, lo)
+            if lo == lb:
+                break
+            if b[lo] == code:
+                out.append(code)
+                lo += 1
+        return out
+    i = j = 0
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _union_columns(a: array, b: array) -> array:
+    """Sorted-merge union of two sorted duplicate-free columns."""
+    if not a:
+        return array("q", b)
+    if not b:
+        return array("q", a)
+    la, lb = len(a), len(b)
+    if min(la, lb) * GALLOP_RATIO <= max(la, lb):
+        # skewed: binary-probe the small side, then one C-level sort of
+        # the large column plus the genuinely new codes
+        small, large = (a, b) if la < lb else (b, a)
+        missing = [
+            code for code in small
+            if (pos := bisect_left(large, code)) == len(large) or large[pos] != code
+        ]
+        if not missing:
+            return array("q", large)
+        merged = array("q", large)
+        merged.extend(missing)
+        return array("q", sorted(merged))
+    out = array("q")
+    i = j = 0
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            out.append(x)
+            i += 1
+        else:
+            out.append(y)
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+def _difference_columns(a: array, b: array) -> array:
+    """Sorted-merge difference ``a \\ b``; gallops when ``b`` is much larger."""
+    if not a or not b:
+        return array("q", a)
+    la, lb = len(a), len(b)
+    out = array("q")
+    if lb >= GALLOP_RATIO * la:
+        lo = 0
+        for code in a:
+            lo = bisect_left(b, code, lo)
+            if lo == lb or b[lo] != code:
+                out.append(code)
+        return out
+    i = j = 0
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif x > y:
+            j += 1
+        else:
+            i += 1
+            j += 1
+    out.extend(a[i:])
+    return out
+
+
+class PairSet:
+    """An immutable set of packed ``(v_id, u_id)`` pair codes.
+
+    Physically either a frozen sorted column, a lazy code set, or (after
+    first column access on a lazy set) both.  All mutation is
+    copy-on-write; cached representations never change observable state.
+    """
+
+    __slots__ = ("_codes", "_codeset", "_interner")
+
+    def __init__(
+        self,
+        codes: array | None,
+        interner: VertexInterner,
+        codeset: set[int] | None = None,
+    ) -> None:
+        """Wrap a **sorted, duplicate-free** column and/or a code set.
+
+        Use the ``from_*`` constructors unless the invariant is already
+        guaranteed by construction.
+        """
+        self._codes = codes
+        self._codeset = codeset
+        self._interner = interner
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, interner: VertexInterner) -> "PairSet":
+        """The empty pair set."""
+        return cls(_EMPTY, interner)
+
+    @classmethod
+    def from_codes(cls, codes: Iterable[int], interner: VertexInterner) -> "PairSet":
+        """Build a frozen column from arbitrary codes (sorts + dedups)."""
+        return cls(array("q", sorted(set(codes))), interner)
+
+    @classmethod
+    def from_sorted_codes(cls, codes: array, interner: VertexInterner) -> "PairSet":
+        """Adopt an already sorted duplicate-free column (no copy)."""
+        return cls(codes, interner)
+
+    @classmethod
+    def from_code_set(cls, codes: set[int], interner: VertexInterner) -> "PairSet":
+        """Adopt a code set lazily — the column sorts on first demand."""
+        return cls(None, interner, codeset=codes)
+
+    @classmethod
+    def from_vertex_pairs(
+        cls, pairs: Iterable[Pair], interner: VertexInterner
+    ) -> "PairSet":
+        """Encode original-vertex pairs through the interner."""
+        id_of = interner.id_of
+        return cls.from_codes(
+            ((id_of(v) << ID_BITS) | id_of(u) for v, u in pairs), interner
+        )
+
+    @classmethod
+    def union_disjoint(
+        cls, parts: Iterable["PairSet"], interner: VertexInterner
+    ) -> "PairSet":
+        """K-way union of pairwise-disjoint frozen sets (``Ic2p`` classes).
+
+        Disjointness (classes partition the pair universe) means no
+        dedup pass is needed: concatenate the columns and re-sort — the
+        C sort exploits the pre-sorted runs.
+        """
+        columns = [part.codes for part in parts if part]
+        if not columns:
+            return cls.empty(interner)
+        if len(columns) == 1:
+            return cls(columns[0], interner)
+        merged = array("q")
+        for column in columns:
+            merged.extend(column)
+        return cls(array("q", sorted(merged)), interner)
+
+    # ------------------------------------------------------------------
+    # physical representations
+    # ------------------------------------------------------------------
+    @property
+    def codes(self) -> array:
+        """The sorted code column (materialized and cached on demand)."""
+        codes = self._codes
+        if codes is None:
+            codes = self._codes = array("q", sorted(self._codeset))
+        return codes
+
+    @property
+    def interner(self) -> VertexInterner:
+        """The interner that decodes this column's ids."""
+        return self._interner
+
+    def code_set(self) -> set[int]:
+        """The codes as a set (the lazy state's native form; else built)."""
+        if self._codeset is not None:
+            return self._codeset
+        return set(self._codes)
+
+    def _any_codes(self) -> "set[int] | array":
+        """Whichever representation exists, for order-free scans."""
+        return self._codeset if self._codeset is not None else self._codes
+
+    def is_frozen(self) -> bool:
+        """True when the sorted column is already materialized."""
+        return self._codes is not None
+
+    def iter_codes(self) -> Iterator[int]:
+        """Iterate the packed codes in ascending column order."""
+        return iter(self.codes)
+
+    def contains_code(self, code: int) -> bool:
+        """Membership on the packed code (hash or binary search)."""
+        if self._codeset is not None:
+            return code in self._codeset
+        codes = self._codes
+        pos = bisect_left(codes, code)
+        return pos < len(codes) and codes[pos] == code
+
+    # ------------------------------------------------------------------
+    # set protocol (decoded boundary)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        backing = self._codeset if self._codeset is not None else self._codes
+        return len(backing)
+
+    def __bool__(self) -> bool:
+        backing = self._codeset if self._codeset is not None else self._codes
+        return bool(backing)
+
+    def __iter__(self) -> Iterator[Pair]:
+        vertices = self._interner._vertices
+        for code in self.codes:
+            yield (vertices[code >> ID_BITS], vertices[code & ID_MASK])
+
+    def __contains__(self, pair: object) -> bool:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            return False
+        get_id = self._interner.get_id
+        vid = get_id(pair[0])
+        uid = get_id(pair[1])
+        if vid is None or uid is None:
+            return False
+        return self.contains_code((vid << ID_BITS) | uid)
+
+    def to_set(self) -> frozenset[Pair]:
+        """Decode into the seed's set-of-tuples representation."""
+        vertices = self._interner._vertices
+        return frozenset(
+            (vertices[code >> ID_BITS], vertices[code & ID_MASK])
+            for code in self._any_codes()
+        )
+
+    def first_pairs(self, limit: int) -> list[Pair]:
+        """The ``limit`` smallest-coded pairs, decoded (deterministic)."""
+        vertices = self._interner._vertices
+        return [
+            (vertices[code >> ID_BITS], vertices[code & ID_MASK])
+            for code in self.codes[:limit]
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PairSet):
+            if self._interner is other._interner:
+                return self.code_set() == other.code_set()
+            return self.to_set() == other.to_set()
+        if isinstance(other, (set, frozenset)):
+            return self.to_set() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.to_set())
+
+    # ------------------------------------------------------------------
+    # set algebra — merge-based on frozen columns, hash-based when an
+    # operand is still a lazy code set
+    # ------------------------------------------------------------------
+    def _coerce(self, other: object) -> "PairSet | None":
+        if isinstance(other, PairSet) and other._interner is self._interner:
+            return other
+        return None
+
+    def _both_frozen(self, peer: "PairSet") -> bool:
+        return self._codes is not None and peer._codes is not None
+
+    def __and__(self, other: object) -> "PairSet | frozenset[Pair]":
+        peer = self._coerce(other)
+        if peer is not None:
+            if self._both_frozen(peer):
+                return PairSet(
+                    _intersect_columns(self._codes, peer._codes), self._interner
+                )
+            return PairSet.from_code_set(
+                self.code_set() & peer.code_set(), self._interner
+            )
+        if isinstance(other, (set, frozenset, PairSet)):
+            return self.to_set() & (
+                other.to_set() if isinstance(other, PairSet) else frozenset(other)
+            )
+        return NotImplemented
+
+    __rand__ = __and__
+
+    def __or__(self, other: object) -> "PairSet | frozenset[Pair]":
+        peer = self._coerce(other)
+        if peer is not None:
+            if self._both_frozen(peer):
+                return PairSet(
+                    _union_columns(self._codes, peer._codes), self._interner
+                )
+            return PairSet.from_code_set(
+                self.code_set() | peer.code_set(), self._interner
+            )
+        if isinstance(other, (set, frozenset, PairSet)):
+            return self.to_set() | (
+                other.to_set() if isinstance(other, PairSet) else frozenset(other)
+            )
+        return NotImplemented
+
+    __ror__ = __or__
+
+    def __sub__(self, other: object) -> "PairSet | frozenset[Pair]":
+        peer = self._coerce(other)
+        if peer is not None:
+            if self._both_frozen(peer):
+                return PairSet(
+                    _difference_columns(self._codes, peer._codes), self._interner
+                )
+            return PairSet.from_code_set(
+                self.code_set() - peer.code_set(), self._interner
+            )
+        if isinstance(other, (set, frozenset, PairSet)):
+            return self.to_set() - (
+                other.to_set() if isinstance(other, PairSet) else frozenset(other)
+            )
+        return NotImplemented
+
+    def __rsub__(self, other: object) -> frozenset[Pair]:
+        if isinstance(other, (set, frozenset)):
+            return frozenset(other) - self.to_set()
+        return NotImplemented
+
+    def intersection(self, other: "PairSet") -> "PairSet":
+        """Intersection (alias of ``&`` for PairSets)."""
+        result = self & other
+        assert isinstance(result, PairSet)
+        return result
+
+    def union(self, other: "PairSet") -> "PairSet":
+        """Union (alias of ``|`` for PairSets)."""
+        result = self | other
+        assert isinstance(result, PairSet)
+        return result
+
+    def difference(self, other: "PairSet") -> "PairSet":
+        """Difference (alias of ``-`` for PairSets)."""
+        result = self - other
+        assert isinstance(result, PairSet)
+        return result
+
+    # ------------------------------------------------------------------
+    # point updates (persistent: return a new column)
+    # ------------------------------------------------------------------
+    def with_code(self, code: int) -> "PairSet":
+        """A new set with ``code`` inserted (no-op copy if present)."""
+        codes = self.codes
+        pos = bisect_left(codes, code)
+        if pos < len(codes) and codes[pos] == code:
+            return self
+        updated = codes[:pos]
+        updated.append(code)
+        updated.extend(codes[pos:])
+        return PairSet(updated, self._interner)
+
+    def without_code(self, code: int) -> "PairSet":
+        """A new set with ``code`` removed; raises KeyError if absent."""
+        codes = self.codes
+        pos = bisect_left(codes, code)
+        if pos == len(codes) or codes[pos] != code:
+            raise KeyError(code)
+        return PairSet(codes[:pos] + codes[pos + 1:], self._interner)
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def loops(self) -> "PairSet":
+        """The subset with ``v == u`` (the ``∩ id`` filter)."""
+        if self._codeset is not None:
+            return PairSet.from_code_set(
+                {c for c in self._codeset if (c >> ID_BITS) == (c & ID_MASK)},
+                self._interner,
+            )
+        return PairSet(
+            array(
+                "q",
+                (c for c in self._codes if (c >> ID_BITS) == (c & ID_MASK)),
+            ),
+            self._interner,
+        )
+
+    def compose(self, other: "PairSet", loops_only: bool = False) -> "PairSet":
+        """Relational composition ``{(v, u) | (v, m) ∈ self, (m, u) ∈ other}``.
+
+        A single-pass hash join on the *packed ids*: the right column is
+        grouped once by its packed source id (one machine-width int per
+        key — never a dict of vertex objects rebuilt per call, which is
+        what the seed executor did), then the left column streams
+        through it.  The frozen right column is naturally clustered by
+        source, so grouping is a run-length scan of the sorted codes.
+        The output stays a lazy code set — its sort is deferred until
+        (and unless) a consumer needs the column.  ``loops_only=True``
+        fuses the trailing ``∩ id`` (the paper's JOIN ID operator),
+        probing only for ``(m, v)`` on the right instead of emitting the
+        full cross product.
+        """
+        interner = self._interner
+        if not self or not other:
+            return PairSet.empty(interner)
+        by_source: dict[int, list[int]] = {}
+        for code in other._any_codes():
+            key = code >> ID_BITS
+            bucket = by_source.get(key)
+            if bucket is None:
+                by_source[key] = [code & ID_MASK]
+            else:
+                bucket.append(code & ID_MASK)
+        out: set[int] = set()
+        get = by_source.get
+        if loops_only:
+            add = out.add
+            for code in self._any_codes():
+                targets = get(code & ID_MASK)
+                if targets is not None:
+                    v = code >> ID_BITS
+                    if v in targets:
+                        add((v << ID_BITS) | v)
+        else:
+            add = out.add
+            for code in self._any_codes():
+                targets = get(code & ID_MASK)
+                if targets is not None:
+                    v_high = code & ID_HIGH_MASK
+                    for u in targets:
+                        add(v_high | u)
+        return PairSet.from_code_set(out, self._interner)
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._codes is not None else "lazy"
+        return f"PairSet({len(self)} pairs, {state})"

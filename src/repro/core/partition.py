@@ -17,17 +17,27 @@ correct for the index (the paper's own lazy maintenance relies on this,
 Prop. 4.2).  The two invariants index correctness actually needs — all
 pairs of a class share the same ``L≤k`` set, and agree on ``v == u`` —
 are enforced by construction and property-tested.
+
+The computation runs entirely in the interned code space: pairs are
+64-bit codes, decompositions pack ``(prev_class, edge_class)`` into one
+int, and signatures hash ints instead of nested tuples.
+:func:`compute_partition` decodes the result for the public tuple-based
+API; the index builders consume :func:`compute_partition_codes` directly.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.errors import IndexBuildError
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.digraph import LabeledDigraph, Pair
+from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK
+from repro.core.pairset import PairSet
 
 #: A level signature: hashable key identifying a block within a level.
 _Signature = tuple
+
 
 
 @dataclass
@@ -60,28 +70,67 @@ class PathPartition:
         return len(self.class_of)
 
 
-def level1_classes(graph: LabeledDigraph) -> dict[Pair, int]:
-    """Level-1 partition: group edge-connected pairs by ``(v==u, L1(v,u))``.
+@dataclass
+class CodePartition:
+    """The same partition in columnar form (pair codes, not tuples)."""
+
+    k: int
+    class_of: dict[int, int]
+    blocks: dict[int, PairSet]
+    loop_classes: frozenset[int]
+    level_class_counts: list[int]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.class_of)
+
+
+def _level1_code_classes(graph: LabeledDigraph) -> dict[int, int]:
+    """Level-1 partition over pair codes: ``(v==u, L1(v,u))`` grouping.
 
     This realizes Def. 4.1 conditions (1) and (2): two pairs are
     1-path-bisimilar iff they agree on loop-ness and on the extended edge
     labels between them (the inverse-extension makes condition 2's
     both-direction clauses a single label-set comparison).
     """
-    label_sets: dict[Pair, set[int]] = {}
-    for v, u, lab in graph.triples():
-        label_sets.setdefault((v, u), set()).add(lab)
-        label_sets.setdefault((u, v), set()).add(-lab)
+    view = graph.interned()
+    label_sets: dict[int, set[int]] = {}
+    for vid, uid, lab in view.triples:
+        code = (vid << ID_BITS) | uid
+        entry = label_sets.get(code)
+        if entry is None:
+            label_sets[code] = {lab}
+        else:
+            entry.add(lab)
+        inverse_code = (uid << ID_BITS) | vid
+        entry = label_sets.get(inverse_code)
+        if entry is None:
+            label_sets[inverse_code] = {-lab}
+        else:
+            entry.add(-lab)
     ids: dict[_Signature, int] = {}
-    classes: dict[Pair, int] = {}
-    for pair, labels in label_sets.items():
-        signature = (pair[0] == pair[1], frozenset(labels))
+    classes: dict[int, int] = {}
+    for code, labels in label_sets.items():
+        signature = ((code >> ID_BITS) == (code & ID_MASK), frozenset(labels))
         class_id = ids.setdefault(signature, len(ids))
-        classes[pair] = class_id
+        classes[code] = class_id
     return classes
 
 
-def compute_partition(graph: LabeledDigraph, k: int) -> PathPartition:
+def level1_classes(graph: LabeledDigraph) -> dict[Pair, int]:
+    """Level-1 partition, decoded to vertex pairs (public API)."""
+    decode = graph.interner.decode_pair
+    return {
+        decode(code): class_id
+        for code, class_id in _level1_code_classes(graph).items()
+    }
+
+
+def compute_partition_codes(graph: LabeledDigraph, k: int) -> CodePartition:
     """Compute the CPQ_k-equivalence partition bottom-up (Algorithm 1).
 
     Level ``i`` composes every level-``i-1`` pair ``(v, m)`` with every
@@ -89,55 +138,104 @@ def compute_partition(graph: LabeledDigraph, k: int) -> PathPartition:
     ``(previous class, decomposition-class set)``.  The per-level work is
     ``O(d · |P≤i-1|)`` plus the grouping, matching Theorem 4.3's bound
     (grouping here is a hash aggregation rather than the paper's sort —
-    same asymptotics, simpler in Python).
+    same asymptotics, simpler in Python).  Decomposition entries pack
+    ``prev_class << 32 | edge_class`` into single ints, so each level
+    hashes flat integers rather than nested tuples of objects.
     """
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
-    current = level1_classes(graph)
-    level1 = dict(current)
+    current = _level1_code_classes(graph)
     level_counts = [len(set(current.values()))]
+    high_mask = ID_HIGH_MASK
+    id_mask = ID_MASK
+    empty_decomposition: frozenset[int] = frozenset()
 
-    # Adjacency annotated with level-1 classes: m → [(u, C1(m, u))].
+    # Level-1 adjacency annotated with classes: m → [(u, C1(m, u))].
     # Built once; reused by every level's composition step.
-    edge_class_by_source: dict[Vertex, list[tuple[Vertex, int]]] = {}
-    for (m, u), class_id in level1.items():
-        edge_class_by_source.setdefault(m, []).append((u, class_id))
+    num_ids = len(graph.interner)
+    edge_class_by_source: list[list[tuple[int, int]]] = [[] for _ in range(num_ids)]
+    for code, class_id in current.items():
+        edge_class_by_source[code >> ID_BITS].append((code & id_mask, class_id))
 
     for _ in range(2, k + 1):
-        decompositions: dict[Pair, set[tuple[int, int]]] = {}
-        for (v, m), prev_class in current.items():
-            for u, edge_class in edge_class_by_source.get(m, ()):
-                decompositions.setdefault((v, u), set()).add((prev_class, edge_class))
+        # Decomposition entries pack (prev_class, edge_class) into one
+        # int; duplicates are appended freely and collapsed by the
+        # signature's frozenset — cheaper than hashing into a set per add.
+        decompositions: dict[int, list[int]] = {}
+        get_bucket = decompositions.get
+        for code, prev_class in current.items():
+            annotated = edge_class_by_source[code & id_mask]
+            if not annotated:
+                continue
+            v_high = code & high_mask
+            prev_high = prev_class << ID_BITS
+            for u, edge_class in annotated:
+                pair_code = v_high | u
+                decomposition = prev_high | edge_class
+                bucket = get_bucket(pair_code)
+                if bucket is None:
+                    decompositions[pair_code] = [decomposition]
+                else:
+                    bucket.append(decomposition)
         ids: dict[_Signature, int] = {}
-        refined: dict[Pair, int] = {}
-        domain = set(current)
-        domain.update(decompositions)
-        for pair in domain:
+        assign = ids.setdefault
+        refined: dict[int, int] = {}
+        get_prev = current.get
+        for code, bucket in decompositions.items():
             signature = (
-                pair[0] == pair[1],
-                current.get(pair),
-                frozenset(decompositions.get(pair, ())),
+                (code >> ID_BITS) == (code & id_mask),
+                get_prev(code),
+                frozenset(bucket),
             )
-            refined[pair] = ids.setdefault(signature, len(ids))
+            refined[code] = assign(signature, len(ids))
+        for code, prev_class in current.items():
+            if code not in decompositions:
+                signature = (
+                    (code >> ID_BITS) == (code & id_mask),
+                    prev_class,
+                    empty_decomposition,
+                )
+                refined[code] = assign(signature, len(ids))
         current = refined
         level_counts.append(len(ids))
 
-    blocks: dict[int, list[Pair]] = {}
-    for pair, class_id in current.items():
-        blocks.setdefault(class_id, []).append(pair)
-    for members in blocks.values():
-        members.sort(key=repr)
+    block_codes: dict[int, list[int]] = {}
+    for code, class_id in current.items():
+        block_codes.setdefault(class_id, []).append(code)
+    interner = graph.interner
+    # Block members are unique by construction; sort without a dedup pass.
+    blocks = {
+        class_id: PairSet(array("q", sorted(codes)), interner)
+        for class_id, codes in block_codes.items()
+    }
     loop_classes = frozenset(
         class_id
         for class_id, members in blocks.items()
-        if members and members[0][0] == members[0][1]
+        if members and (first := members.codes[0]) >> ID_BITS == first & ID_MASK
     )
-    return PathPartition(
+    return CodePartition(
         k=k,
         class_of=current,
         blocks=blocks,
         loop_classes=loop_classes,
         level_class_counts=level_counts,
+    )
+
+
+def compute_partition(graph: LabeledDigraph, k: int) -> PathPartition:
+    """Tuple-decoded view of :func:`compute_partition_codes` (public API)."""
+    coded = compute_partition_codes(graph, k)
+    decode = graph.interner.decode_pair
+    blocks = {
+        class_id: sorted(members, key=repr)
+        for class_id, members in coded.blocks.items()
+    }
+    return PathPartition(
+        k=coded.k,
+        class_of={decode(code): cid for code, cid in coded.class_of.items()},
+        blocks=blocks,
+        loop_classes=coded.loop_classes,
+        level_class_counts=coded.level_class_counts,
     )
 
 

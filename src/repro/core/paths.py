@@ -5,6 +5,13 @@ at most ``k`` and ``L≤k(v, u)`` as the set of label sequences (over the
 inverse-extended label set) along such paths.  This module materializes
 both, plus the per-pair variant used by incremental maintenance.
 
+The hot implementations run in the interned code space (dense vertex ids
+packed two-to-a-word, see :mod:`repro.core.pairset`): frontiers are sets
+of 64-bit pair codes and adjacency comes from the graph's
+:class:`repro.graph.interner.InternedView`.  The original tuple-returning
+functions remain as the public API, decoding at the boundary — consumers
+that want the columnar form call the ``*_codes`` variants directly.
+
 Conventions:
 
 * only *non-empty* paths (length 1..k) are enumerated; the length-0
@@ -17,42 +24,85 @@ from __future__ import annotations
 
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, InternedView
 from repro.graph.labels import LabelSeq
+from repro.core.pairset import PairSet
 
 
-def enumerate_sequences(graph: LabeledDigraph, k: int) -> dict[LabelSeq, set[Pair]]:
-    """All label sequences of length 1..k with their s-t pair sets.
+
+def enumerate_sequences_codes(
+    graph: LabeledDigraph, k: int
+) -> dict[LabelSeq, PairSet]:
+    """All label sequences of length 1..k with their s-t pair columns.
 
     This is the content of the language-unaware path index of [14]
     (Sec. III-C) and the per-pair feed of Algorithm 2.  Built level by
-    level: length-``i`` relations extend length-``i-1`` relations by one
-    extended edge.  Cost is ``O(d · Σ_seq |pairs(seq)|)``.
+    level in code space: length-``i`` relations extend length-``i-1``
+    relations by one extended edge over the interned adjacency view.
+    Cost is ``O(d · Σ_seq |pairs(seq)|)``.
     """
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
-    sequences: dict[LabelSeq, set[Pair]] = {}
-    frontier: dict[LabelSeq, set[Pair]] = {}
-    for v, u, lab in graph.triples():
-        frontier.setdefault((lab,), set()).add((v, u))
-        frontier.setdefault((-lab,), set()).add((u, v))
-    sequences.update(frontier)
+    view = graph.interned()
+    out = view.out
+    sequences: dict[LabelSeq, set[int]] = {}
+    frontier: dict[LabelSeq, set[int]] = {}
+    for vid, uid, lab in view.triples:
+        frontier.setdefault((lab,), set()).add((vid << ID_BITS) | uid)
+        frontier.setdefault((-lab,), set()).add((uid << ID_BITS) | vid)
+    for seq, codes in frontier.items():
+        sequences[seq] = set(codes)
     for _ in range(1, k):
-        extended: dict[LabelSeq, set[Pair]] = {}
-        for seq, pairs in frontier.items():
-            for v, m in pairs:
-                for lab, targets in graph.out_items(m):
+        extended: dict[LabelSeq, set[int]] = {}
+        for seq, codes in frontier.items():
+            for code in codes:
+                v_high = code & ID_HIGH_MASK
+                for lab, targets in out[code & ID_MASK].items():
                     bucket = extended.setdefault(seq + (lab,), set())
-                    for u in targets:
-                        bucket.add((v, u))
-        for seq, pairs in extended.items():
-            sequences.setdefault(seq, set()).update(pairs)
+                    for uid in targets:
+                        bucket.add(v_high | uid)
+        for seq, codes in extended.items():
+            existing = sequences.get(seq)
+            if existing is None:
+                sequences[seq] = codes
+            else:
+                existing.update(codes)
         frontier = extended
         if not frontier:
             break
-    return sequences
+    interner = graph.interner
+    return {
+        seq: PairSet.from_codes(codes, interner)
+        for seq, codes in sequences.items()
+    }
 
 
-def invert_sequences(sequences: dict[LabelSeq, set[Pair]]) -> dict[Pair, frozenset[LabelSeq]]:
+def enumerate_sequences(graph: LabeledDigraph, k: int) -> dict[LabelSeq, set[Pair]]:
+    """Tuple-decoded view of :func:`enumerate_sequences_codes`."""
+    return {
+        seq: set(pairs)
+        for seq, pairs in enumerate_sequences_codes(graph, k).items()
+    }
+
+
+def invert_sequences_codes(
+    sequences: dict[LabelSeq, PairSet]
+) -> dict[int, frozenset[LabelSeq]]:
+    """Transpose sequence→column into the per-code ``L≤k(v, u)`` map."""
+    per_code: dict[int, set[LabelSeq]] = {}
+    for seq, pairs in sequences.items():
+        for code in pairs.iter_codes():
+            entry = per_code.get(code)
+            if entry is None:
+                per_code[code] = {seq}
+            else:
+                entry.add(seq)
+    return {code: frozenset(seqs) for code, seqs in per_code.items()}
+
+
+def invert_sequences(
+    sequences: dict[LabelSeq, set[Pair]]
+) -> dict[Pair, frozenset[LabelSeq]]:
     """Transpose sequence→pairs into the per-pair ``L≤k(v, u)`` map."""
     per_pair: dict[Pair, set[LabelSeq]] = {}
     for seq, pairs in sequences.items():
@@ -61,34 +111,108 @@ def invert_sequences(sequences: dict[LabelSeq, set[Pair]]) -> dict[Pair, frozens
     return {pair: frozenset(seqs) for pair, seqs in per_pair.items()}
 
 
-def reachable_pairs(graph: LabeledDigraph, k: int) -> set[Pair]:
-    """``P≤k`` restricted to non-empty paths (length 1..k)."""
+def reachable_codes(graph: LabeledDigraph, k: int) -> PairSet:
+    """``P≤k`` (non-empty paths) as a sorted code column.
+
+    Level ``i`` extends only the pairs *discovered* at level ``i-1``:
+    a pair already known extends to nothing new (its extensions were
+    explored when it first entered the frontier), so the frontier is
+    filtered against the accumulated set before traversal.
+    """
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
-    pairs: set[Pair] = set()
-    frontier: set[Pair] = set()
-    for v, u, _ in graph.triples():
-        frontier.add((v, u))
-        frontier.add((u, v))
-    pairs.update(frontier)
+    view = graph.interned()
+    out = view.out
+    codes: set[int] = set()
+    for vid, uid, _ in view.triples:
+        codes.add((vid << ID_BITS) | uid)
+        codes.add((uid << ID_BITS) | vid)
+    frontier = set(codes)
     for _ in range(1, k):
-        new_frontier: set[Pair] = set()
-        for v, m in frontier:
-            for _, targets in graph.out_items(m):
-                for u in targets:
-                    pair = (v, u)
-                    if pair not in pairs:
-                        new_frontier.add(pair)
-        frontier = {
-            (v, u)
-            for v, m in frontier
-            for _, targets in graph.out_items(m)
-            for u in targets
-        }
-        pairs.update(frontier)
+        extended: set[int] = set()
+        for code in frontier:
+            v_high = code & ID_HIGH_MASK
+            for targets in out[code & ID_MASK].values():
+                for uid in targets:
+                    extended.add(v_high | uid)
+        frontier = extended - codes
+        codes.update(frontier)
         if not frontier:
             break
-    return pairs
+    return PairSet.from_codes(codes, graph.interner)
+
+
+def reachable_pairs(graph: LabeledDigraph, k: int) -> set[Pair]:
+    """``P≤k`` restricted to non-empty paths (length 1..k)."""
+    return set(reachable_codes(graph, k))
+
+
+def sequence_relation_codes(graph: LabeledDigraph, seq: LabelSeq) -> PairSet:
+    """``⟦seq⟧G`` as a sorted code column (identity for the empty seq).
+
+    The columnar counterpart of
+    :meth:`repro.graph.digraph.LabeledDigraph.sequence_relation`, used
+    by the interest-aware builders.
+    """
+    view = graph.interned()
+    interner = graph.interner
+    if not seq:
+        return PairSet.from_codes(
+            ((vid << ID_BITS) | vid for vid in view.live_ids), interner
+        )
+    out = view.out
+    codes: set[int] = set()
+    first = seq[0]
+    for vid in view.live_ids:
+        targets = out[vid].get(first)
+        if targets:
+            v_high = vid << ID_BITS
+            for uid in targets:
+                codes.add(v_high | uid)
+    for label in seq[1:]:
+        if not codes:
+            break
+        extended: set[int] = set()
+        for code in codes:
+            targets = out[code & ID_MASK].get(label)
+            if targets:
+                v_high = code & ID_HIGH_MASK
+                for uid in targets:
+                    extended.add(v_high | uid)
+        codes = extended
+    return PairSet.from_codes(codes, interner)
+
+
+def sequence_targets_from_source(
+    view: InternedView, source: int, k: int
+) -> dict[LabelSeq, set[int]]:
+    """All ``(sequence, reachable-target-ids)`` rows from one source.
+
+    One BFS over the ``(vertex-id, sequence)`` product space serves
+    *every* pair anchored at ``source``: the representative-based index
+    construction groups its per-class ``L≤k`` derivations by the
+    representative's source vertex and pays for this table once per
+    group instead of once per class.
+    """
+    out = view.out
+    table: dict[LabelSeq, set[int]] = {}
+    frontier: dict[LabelSeq, set[int]] = {(): {source}}
+    for _ in range(k):
+        next_frontier: dict[LabelSeq, set[int]] = {}
+        for seq, ids in frontier.items():
+            for mid in ids:
+                for lab, targets in out[mid].items():
+                    extended = seq + (lab,)
+                    entry = next_frontier.get(extended)
+                    if entry is None:
+                        next_frontier[extended] = set(targets)
+                    else:
+                        entry.update(targets)
+        table.update(next_frontier)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return table
 
 
 def label_sequences_for_pair(
@@ -97,9 +221,14 @@ def label_sequences_for_pair(
     """``L≤k(source, target)`` for one pair, without global enumeration.
 
     Used by lazy maintenance (Sec. IV-E), which must re-derive the label
-    sequences of the (few) pairs a graph update touches, and by the
-    representative-based construction of ``Il2c`` (one call per class).
-    Explores the ``(vertex, sequence)`` product space, ``O(d^k)``.
+    sequences of the (few) pairs a graph update touches.  Deliberately
+    walks the live vertex-keyed adjacency rather than the interned
+    snapshot: every maintenance step mutates the graph, so routing this
+    through :meth:`LabeledDigraph.interned` would rebuild the full
+    O(V+E) view per update and defeat the paper's touched-ball cost
+    model.  Explores the ``(vertex, sequence)`` product space,
+    ``O(d^k)``.  (Bulk construction instead batches
+    :func:`sequence_targets_from_source` over the snapshot.)
     """
     found: set[LabelSeq] = set()
     frontier: dict[LabelSeq, set[Vertex]] = {(): {source}}
@@ -121,8 +250,8 @@ def label_sequences_for_pair(
 
 def gamma(graph: LabeledDigraph, k: int) -> float:
     """The paper's ``γ``: average ``|L≤k(v, u)|`` over pairs in ``P≤k``."""
-    sequences = enumerate_sequences(graph, k)
-    per_pair = invert_sequences(sequences)
-    if not per_pair:
+    sequences = enumerate_sequences_codes(graph, k)
+    per_code = invert_sequences_codes(sequences)
+    if not per_code:
         return 0.0
-    return sum(len(seqs) for seqs in per_pair.values()) / len(per_pair)
+    return sum(len(seqs) for seqs in per_code.values()) / len(per_code)

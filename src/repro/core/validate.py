@@ -62,7 +62,8 @@ def verify_index(index: CPQxIndex | InterestAwareIndex) -> ValidationReport:
         report = ValidationReport("CPQx", len(expected), index.num_classes)
 
     # coverage: stored pairs == expected pairs
-    stored = set(index._class_of)
+    decode = index.graph.interner.decode_pair
+    stored = {decode(code) for code in index._class_of}
     for pair in stored - set(expected):
         report.problems.append(f"stored pair {pair!r} has no qualifying path")
     for pair in set(expected) - stored:
@@ -82,8 +83,8 @@ def verify_index(index: CPQxIndex | InterestAwareIndex) -> ValidationReport:
             report.problems.append(f"class {class_id} mixes loops and non-loops")
         elif (class_id in index._loop_classes) != loop_flags.pop():
             report.problems.append(f"class {class_id} loop registry mismatch")
-        for pair in members:
-            if index._class_of.get(pair) != class_id:
+        for code, pair in zip(members.iter_codes(), members):
+            if index._class_of.get(code) != class_id:
                 report.problems.append(
                     f"pair {pair!r} listed in class {class_id} but mapped elsewhere"
                 )
@@ -144,10 +145,12 @@ def quick_verify(index: CPQxIndex, sample: int = 50) -> ValidationReport:
     report = ValidationReport(
         type(index).__name__, 0, index.num_classes
     )
-    pairs = sorted(index._class_of, key=repr)
+    decode = index.graph.interner.decode_pair
+    by_pair = {decode(code): class_id for code, class_id in index._class_of.items()}
+    pairs = sorted(by_pair, key=repr)
     step = max(1, len(pairs) // max(1, sample))
     for pair in pairs[::step]:
-        class_id = index._class_of[pair]
+        class_id = by_pair[pair]
         declared = index._class_sequences[class_id]
         actual = label_sequences_for_pair(index.graph, pair[0], pair[1], index.k)
         expected_view = frozenset(_visible(index, actual))

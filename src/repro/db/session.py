@@ -311,6 +311,12 @@ class GraphDatabase:
                 index.delete_edge(v, u, label)
             for v in remove_vertices:
                 index.delete_vertex(v)
+            # Memoized evaluate/count answers are already retired by the
+            # graph-version token; bump the engine epoch too so even
+            # no-op update batches cannot serve a stale read.
+            invalidate = getattr(index, "invalidate_cache", None)
+            if invalidate is not None:
+                invalidate()
             return self
 
         for v in add_vertices:

@@ -1,6 +1,7 @@
 """Graph substrate: labeled digraphs, IO, generators, schemas, datasets."""
 
 from repro.graph.digraph import LabeledDigraph, Pair, Triple, Vertex
+from repro.graph.interner import InternedView, VertexInterner
 from repro.graph.metrics import degree_summary, density, label_skew, summarize
 from repro.graph.labels import (
     Label,
@@ -13,6 +14,7 @@ from repro.graph.labels import (
 )
 
 __all__ = [
+    "InternedView",
     "LabeledDigraph",
     "Label",
     "LabelRegistry",
@@ -20,6 +22,7 @@ __all__ = [
     "Pair",
     "Triple",
     "Vertex",
+    "VertexInterner",
     "base_label",
     "degree_summary",
     "density",

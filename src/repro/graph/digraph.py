@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Iterator
 
 from repro.errors import GraphError, UnknownVertexError
+from repro.graph.interner import InternedView, VertexInterner
 from repro.graph.labels import Label, LabelRegistry, LabelSeq
 
 #: Type alias for a vertex (any hashable).
@@ -43,6 +44,16 @@ class LabeledDigraph:
         self._in: dict[Vertex, dict[Label, set[Vertex]]] = {}
         self._data: dict[Vertex, dict[str, object]] = {}
         self._num_edges = 0
+        #: Dense vertex ↔ id map feeding the columnar pair-set core.
+        self.interner = VertexInterner()
+        #: Monotone structural-mutation counter; cache invalidation token.
+        #: Vertex/edge changes only — attribute writes bump
+        #: ``_data_version`` instead, because cached pair sets and the
+        #: interned adjacency snapshot are independent of vertex data
+        #: (filters are applied post-cache against live data).
+        self._version = 0
+        self._data_version = 0
+        self._interned_cache: tuple[int, InternedView] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -67,6 +78,8 @@ class LabeledDigraph:
         if v not in self._out:
             self._out[v] = {}
             self._in[v] = {}
+            self.interner.intern(v)
+            self._version += 1
 
     def add_edge(self, v: Vertex, u: Vertex, label: object) -> Label:
         """Add the forward edge ``(v, u, label)``; returns the label id.
@@ -83,6 +96,7 @@ class LabeledDigraph:
             targets.add(u)
             self._in[u].setdefault(lid, set()).add(v)
             self._num_edges += 1
+            self._version += 1
         return lid
 
     def remove_edge(self, v: Vertex, u: Vertex, label: object) -> None:
@@ -102,6 +116,7 @@ class LabeledDigraph:
         if not sources:
             del self._in[u][lid]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and every edge incident to it."""
@@ -116,6 +131,7 @@ class LabeledDigraph:
         del self._out[v]
         del self._in[v]
         self._data.pop(v, None)
+        self._version += 1
 
     def _coerce_label(self, label: object) -> Label:
         if isinstance(label, str):
@@ -127,6 +143,60 @@ class LabeledDigraph:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Structural-mutation counter (monotone).
+
+        Every vertex/edge mutation bumps it; the executor's memo caches
+        and the interned adjacency snapshot key on it, so a stale read
+        is impossible by construction.  Attribute writes bump
+        :attr:`data_version` instead — cached pair sets are independent
+        of vertex data (filters re-read live data after every hit).
+        """
+        return self._version
+
+    @property
+    def data_version(self) -> int:
+        """Attribute-mutation counter (monotone).
+
+        The invalidation token for anything keyed on vertex-local data
+        (e.g. a cache of pre-filtered result sets); the built-in engines
+        don't need it because data filters are applied post-cache.
+        """
+        return self._data_version
+
+    def interned(self) -> InternedView:
+        """The id-indexed extended-adjacency snapshot for this version.
+
+        Built lazily on first use after a mutation and cached; hot build
+        pipelines (enumeration, partitioning, per-pair BFS) iterate this
+        view instead of the vertex-keyed nested dicts.
+        """
+        cached = self._interned_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        interner = self.interner
+        id_of = interner._id_of
+        num_ids = len(interner)
+        out: list[dict[Label, tuple[int, ...]]] = [{} for _ in range(num_ids)]
+        triples: list[tuple[int, int, int]] = []
+        for v, by_label in self._out.items():
+            vid = id_of[v]
+            adjacency = out[vid]
+            for label, targets in by_label.items():
+                ids = tuple(id_of[u] for u in targets)
+                adjacency[label] = ids
+                triples.extend((vid, uid, label) for uid in ids)
+        for u, by_label in self._in.items():
+            uid = id_of[u]
+            adjacency = out[uid]
+            for label, sources in by_label.items():
+                adjacency[-label] = tuple(id_of[v] for v in sources)
+        live_ids = tuple(sorted(id_of[v] for v in self._out))
+        view = InternedView(num_ids, out, triples, live_ids)
+        self._interned_cache = (self._version, view)
+        return view
+
     @property
     def num_vertices(self) -> int:
         """Number of vertices ``|V|``."""
@@ -223,6 +293,7 @@ class LabeledDigraph:
         if v not in self._out:
             raise UnknownVertexError(v)
         self._data.setdefault(v, {}).update(attributes)
+        self._data_version += 1
 
     def vertex_data(self, v: Vertex) -> dict[str, object]:
         """The vertex's attribute dict (empty if none set; a copy)."""

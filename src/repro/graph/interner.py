@@ -1,0 +1,146 @@
+"""Dense vertex-id interning — the substrate of the columnar pair-set core.
+
+The paper's structures are all *sets of s-t pairs*; the seed stored them
+as Python sets of ``(v, u)`` tuples over arbitrary hashable vertices,
+which re-hashes two objects (plus a tuple allocation) for every set
+operation.  Structural-index systems get their speed from dense integer
+domains instead: every vertex is assigned a small non-negative integer
+id at graph-build time, and a pair packs into a single 64-bit code
+``v_id << 32 | u_id``.  Hot paths (enumeration, partitioning, joins)
+then work on ints — identity hashes, no allocation — and the original
+vertex objects reappear only at the result boundary via reverse lookup.
+
+Two pieces live here:
+
+* :class:`VertexInterner` — the bidirectional vertex ↔ dense-id map
+  owned by every :class:`repro.graph.digraph.LabeledDigraph`;
+* :class:`InternedView` — an id-indexed snapshot of the extended
+  adjacency (forward labels plus virtual inverses), rebuilt lazily when
+  the graph's version counter moves.  Index construction walks this
+  view instead of the vertex-keyed nested dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphError, UnknownVertexError
+
+#: Bit width of one packed vertex id (two ids share a 64-bit pair code).
+ID_BITS = 32
+#: Mask extracting the low (target) id of a pair code.
+ID_MASK = (1 << ID_BITS) - 1
+#: Mask isolating the packed source id (high word) of a pair code.
+ID_HIGH_MASK = ID_MASK << ID_BITS
+#: Hard cap on interned ids so a packed pair code (high id shifted by
+#: ID_BITS) always fits a *signed* 64-bit ``array('q')`` slot.
+MAX_IDS = 1 << (ID_BITS - 1)
+
+
+def pack_pair(v_id: int, u_id: int) -> int:
+    """Pack two dense vertex ids into one 64-bit pair code."""
+    return (v_id << ID_BITS) | u_id
+
+
+def unpack_pair(code: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_pair`."""
+    return code >> ID_BITS, code & ID_MASK
+
+
+class VertexInterner:
+    """Bidirectional mapping between vertices and dense integer ids.
+
+    Ids are assigned in first-seen order, starting at 0, and are never
+    recycled: a removed vertex keeps its id so pair codes referencing it
+    in historical structures still decode (the graph simply has no live
+    adjacency for it).  This mirrors how the label registry treats label
+    ids.
+    """
+
+    __slots__ = ("_id_of", "_vertices")
+
+    def __init__(self, vertices: Iterable[Hashable] = ()) -> None:
+        self._id_of: dict[Hashable, int] = {}
+        self._vertices: list[Hashable] = []
+        for vertex in vertices:
+            self.intern(vertex)
+
+    def intern(self, vertex: Hashable) -> int:
+        """Return the id of ``vertex``, assigning the next id if new."""
+        vid = self._id_of.get(vertex)
+        if vid is None:
+            vid = len(self._vertices)
+            if vid >= MAX_IDS:  # pragma: no cover - 4B vertices
+                raise GraphError("vertex interner exhausted 32-bit id space")
+            self._id_of[vertex] = vid
+            self._vertices.append(vertex)
+        return vid
+
+    def id_of(self, vertex: Hashable) -> int:
+        """The id of an interned vertex; raises for unknown vertices."""
+        try:
+            return self._id_of[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def get_id(self, vertex: Hashable) -> int | None:
+        """The id of ``vertex``, or None if it was never interned."""
+        return self._id_of.get(vertex)
+
+    def vertex_of(self, vid: int) -> Hashable:
+        """Reverse lookup: the vertex object behind a dense id."""
+        return self._vertices[vid]
+
+    def encode_pair(self, pair: tuple[Hashable, Hashable]) -> int:
+        """Pack an ``(v, u)`` vertex pair into its 64-bit code."""
+        return (self.id_of(pair[0]) << ID_BITS) | self.id_of(pair[1])
+
+    def decode_pair(self, code: int) -> tuple[Hashable, Hashable]:
+        """Inverse of :meth:`encode_pair`."""
+        vertices = self._vertices
+        return (vertices[code >> ID_BITS], vertices[code & ID_MASK])
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._id_of
+
+    def __repr__(self) -> str:
+        return f"VertexInterner({len(self._vertices)} ids)"
+
+
+class InternedView:
+    """Id-indexed snapshot of a graph's extended adjacency.
+
+    ``out[v_id]`` maps an extended label (negative = inverse traversal)
+    to the tuple of target ids — the interned equivalent of
+    :meth:`repro.graph.digraph.LabeledDigraph.out_items`.  ``triples``
+    lists the forward edges as id triples.  Built once per graph
+    version by :meth:`LabeledDigraph.interned`; treat as immutable.
+    """
+
+    __slots__ = ("num_ids", "out", "triples", "live_ids")
+
+    def __init__(
+        self,
+        num_ids: int,
+        out: list[dict[int, tuple[int, ...]]],
+        triples: list[tuple[int, int, int]],
+        live_ids: tuple[int, ...],
+    ) -> None:
+        self.num_ids = num_ids
+        self.out = out
+        self.triples = triples
+        #: Ids of vertices currently in the graph (removed ids excluded).
+        self.live_ids = live_ids
+
+    def successors(self, vid: int, label: int) -> tuple[int, ...]:
+        """Target ids one extended ``label`` step from ``vid``."""
+        return self.out[vid].get(label, ())
+
+    def __repr__(self) -> str:
+        return (
+            f"InternedView(ids={self.num_ids}, live={len(self.live_ids)}, "
+            f"|E|={len(self.triples)})"
+        )

@@ -50,9 +50,15 @@ def index_estimator(index) -> CardinalityEstimator:
             cache[chunk] = 1 << 30
             return 1 << 30
         if result.classes is not None:
-            size = sum(
-                len(index.pairs_of_class(class_id)) for class_id in result.classes
-            )
+            if hasattr(index, "class_size"):
+                size = sum(
+                    index.class_size(class_id) for class_id in result.classes
+                )
+            else:
+                size = sum(
+                    len(index.pairs_of_class(class_id))
+                    for class_id in result.classes
+                )
         else:
             size = len(result.pairs or ())
         cache[chunk] = size

@@ -1,0 +1,58 @@
+"""Smoke tests for ``repro bench-micro`` and its legacy reference core."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.micro import (
+    LegacyCPQx,
+    micro_graph,
+    micro_queries,
+    run_micro,
+)
+from repro.cli import main
+from repro.core.cpqx import CPQxIndex
+
+
+class TestLegacyReferenceCore:
+    def test_legacy_and_columnar_agree_on_every_workload_query(self):
+        graph = micro_graph(vertices=40, edges=150, labels=3, seed=3)
+        queries = micro_queries(graph, seed=3)
+        assert queries
+        legacy = LegacyCPQx(graph, 2)
+        engine = CPQxIndex.build(graph, k=2)
+        for query in queries:
+            assert engine.evaluate(query) == legacy.evaluate(query)
+
+
+class TestRunMicro:
+    def test_result_document_shape(self):
+        result = run_micro(vertices=35, edges=120, labels=3, repeats=1)
+        assert result["benchmark"] == "bench-micro"
+        assert result["query_eval"]["identical_results"] is True
+        assert result["workload"]["queries"] == result["workload"]["distinct_queries"]
+        for section in ("cpqx_build", "query_eval"):
+            for value in result[section].values():
+                assert value is not None
+        assert result["cpqx_build"]["speedup"] > 0
+        json.dumps(result)  # must be JSON-serializable as-is
+
+    def test_cli_writes_json_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench-micro", "--vertices", "30", "--edges", "100",
+            "--labels", "3", "--repeats", "1", "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "bench-micro"
+        assert "build:" in capsys.readouterr().out
+
+    def test_cli_prints_json_without_out(self, capsys):
+        code = main([
+            "bench-micro", "--vertices", "25", "--edges", "80",
+            "--labels", "2", "--repeats", "1",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"]["vertices"] <= 25

@@ -25,15 +25,16 @@ def build(lines, k=2):
 def assert_index_consistent(index):
     """Structural invariants that must survive any update sequence."""
     per_pair = invert_sequences(enumerate_sequences(index.graph, index.k))
+    decode = index.graph.interner.decode_pair
     # 1. the index covers exactly the reachable pairs
-    assert set(index._class_of) == set(per_pair)
+    assert {decode(code) for code in index._class_of} == set(per_pair)
     # 2. classes are L≤k-uniform and loop-uniform, and Il2c is exact
     for class_id, members in index._ic2p.items():
         assert members, f"empty class {class_id} not collected"
         seqs = index._class_sequences[class_id]
-        for pair in members:
+        for code, pair in zip(members.iter_codes(), members):
             assert per_pair[pair] == seqs
-            assert index._class_of[pair] == class_id
+            assert index._class_of[code] == class_id
         flags = {p[0] == p[1] for p in members}
         assert len(flags) == 1
         assert (class_id in index._loop_classes) == flags.pop()
