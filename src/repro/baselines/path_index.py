@@ -22,6 +22,11 @@ from repro.graph.digraph import LabeledDigraph, Pair
 from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.pairset import PairSet
+from repro.core.parallel import (
+    enumerate_sequences_codes_parallel,
+    interest_relations_parallel,
+    resolve_workers,
+)
 from repro.core.paths import enumerate_sequences_codes, sequence_relation_codes
 from repro.plan.planner import Splitter, greedy_splitter, interest_splitter
 
@@ -50,11 +55,25 @@ class PathIndex(EngineBase):
         }
 
     @classmethod
-    def build(cls, graph: LabeledDigraph, k: int = 2) -> "PathIndex":
-        """Enumerate all ≤k label sequences and their pair columns."""
+    def build(
+        cls, graph: LabeledDigraph, k: int = 2, workers: int | str = 1
+    ) -> "PathIndex":
+        """Enumerate all ≤k label sequences and their pair columns.
+
+        ``workers`` > 1 (or ``"auto"``) shards the enumeration across a
+        process pool by source vertex (every posting is anchored at its
+        pair's source), merging to an identical index.
+        """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
-        return cls(graph=graph, k=k, entries=enumerate_sequences_codes(graph, k))
+        num_workers = resolve_workers(workers)
+        if num_workers > 1:
+            entries: dict[LabelSeq, PairSet] = enumerate_sequences_codes_parallel(
+                graph, k, num_workers
+            )
+        else:
+            entries = enumerate_sequences_codes(graph, k)
+        return cls(graph=graph, k=k, entries=entries)
 
     # ------------------------------------------------------------------
     # executor interface
@@ -136,10 +155,16 @@ class InterestAwarePathIndex(PathIndex):
         graph: LabeledDigraph,
         k: int = 2,
         interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
+        workers: int | str = 1,
     ) -> "InterestAwarePathIndex":
-        """Index only the interest sequences (plus all single labels)."""
+        """Index only the interest sequences (plus all single labels).
+
+        ``workers`` > 1 (or ``"auto"``) shards the per-interest relation
+        sweep across a process pool by source vertex.
+        """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
+        num_workers = resolve_workers(workers)
         for seq in interests:
             if not seq or len(seq) > k:
                 raise IndexBuildError(
@@ -149,9 +174,18 @@ class InterestAwarePathIndex(PathIndex):
         for label in graph.labels_used():
             full.add((label,))
             full.add((-label,))
-        entries = {
-            seq: sequence_relation_codes(graph, seq) for seq in full
-        }
+        interner = graph.interner
+        if num_workers > 1 and full:
+            entries = {
+                seq: PairSet.from_sorted_codes(column, interner)
+                for seq, column in interest_relations_parallel(
+                    graph, full, num_workers
+                ).items()
+            }
+        else:
+            entries = {
+                seq: sequence_relation_codes(graph, seq) for seq in full
+            }
         entries = {seq: pairs for seq, pairs in entries.items() if pairs}
         return cls(graph=graph, k=k, entries=entries, interests=frozenset(full))
 

@@ -66,6 +66,7 @@ def build_engine(
     graph: LabeledDigraph,
     k: int = 2,
     interests: frozenset[LabelSeq] = frozenset(),
+    workers: int | str = 1,
 ):
     """Instantiate one of the compared methods over ``graph``.
 
@@ -73,10 +74,13 @@ def build_engine(
     the engine registry), so any backend registered with
     :func:`repro.db.register_engine` is immediately benchmarkable by its
     key — the paper's seven methods are just the built-ins.
+    ``workers`` shards construction on engines that support it
+    (:mod:`repro.core.parallel`); paper-protocol experiments keep the
+    default serial build so Table IV comparisons stay apples-to-apples.
     """
     db = GraphDatabase.from_graph(graph)
     try:
-        db.build_index(engine=method, k=k, interests=interests)
+        db.build_index(engine=method, k=k, interests=interests, workers=workers)
     except UnknownEngineError as exc:
         raise DatasetError(
             f"unknown method {method!r}; known: {ALL_METHODS}"

@@ -54,6 +54,23 @@ EXPERIMENTS = {
 }
 
 
+def _workers_arg(raw: str) -> "int | str":
+    """argparse type for worker counts: a positive int or 'auto'."""
+    if raw == "auto":
+        return "auto"
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive int or 'auto', got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive int or 'auto', got {raw!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema."""
     parser = argparse.ArgumentParser(
@@ -83,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--interests", default="auto",
         help="'auto' derives interests from a template workload; "
              "or a comma list of label sequences like 'l1.l2,l2.l3^-'",
+    )
+    build.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="shard construction over N worker processes "
+             "('auto' = one per CPU; engines that cannot shard ignore it)",
     )
     build.add_argument("--out", required=True, help="output index file")
 
@@ -127,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("--seed", type=int, default=7)
     micro.add_argument("--repeats", type=int, default=5)
     micro.add_argument("--out", default=None, help="write JSON here instead of stdout")
+
+    concurrent = sub.add_parser(
+        "bench-concurrent",
+        help="time sharded parallel build + threaded serving vs the "
+             "serial paths and emit machine-readable JSON",
+    )
+    concurrent.add_argument("--vertices", type=int, default=250)
+    concurrent.add_argument("--edges", type=int, default=2000)
+    concurrent.add_argument("--labels", type=int, default=3)
+    concurrent.add_argument(
+        "--k", type=int, default=3,
+        help="path-length bound (default 3: the derivation-dominant "
+             "regime where the sharded build step is >half the work)",
+    )
+    concurrent.add_argument("--seed", type=int, default=7)
+    concurrent.add_argument("--repeats", type=int, default=3)
+    concurrent.add_argument(
+        "--build-workers", type=_workers_arg, default="auto", metavar="N|auto",
+        help="worker processes for the sharded builds (default: one per CPU)",
+    )
+    concurrent.add_argument(
+        "--serve-threads", type=int, default=8,
+        help="reader threads for the concurrent serving measurement",
+    )
+    concurrent.add_argument(
+        "--out", default=None, help="write JSON here instead of stdout"
+    )
     return parser
 
 
@@ -167,7 +216,10 @@ def cmd_build(args) -> int:
         "auto" if args.interests == "auto"
         else _parse_interest_list(args.interests, db.graph.registry)
     )
-    db.build_index(engine=engine, k=args.k, interests=interests, seed=args.seed)
+    db.build_index(
+        engine=engine, k=args.k, interests=interests, seed=args.seed,
+        workers=args.workers,
+    )
     if db.selection is not None:
         print(db.selection.describe())
     print(db.stats.describe())
@@ -244,6 +296,12 @@ def cmd_bench_micro(args) -> int:
     return main_bench_micro(args)
 
 
+def cmd_bench_concurrent(args) -> int:
+    from repro.bench.concurrent import main_bench_concurrent
+
+    return main_bench_concurrent(args)
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.name]()
     print(result.render())
@@ -266,6 +324,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "experiment": cmd_experiment,
         "bench-micro": cmd_bench_micro,
+        "bench-concurrent": cmd_bench_concurrent,
     }
     try:
         return handlers[args.command](args)

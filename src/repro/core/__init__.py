@@ -24,6 +24,8 @@ from repro.core.cq import (
 )
 from repro.core.validate import ValidationReport, quick_verify, verify_index
 from repro.core.cache import LRUCache
+from repro.core.concurrency import RWLock
+from repro.core.parallel import index_fingerprint, resolve_workers
 from repro.core.executor import EngineBase, ExecutionStats, Result, execute_plan
 from repro.core.interest import InterestAwareIndex
 from repro.core.pairset import PairSet
@@ -70,6 +72,7 @@ __all__ = [
     "PairSet",
     "PathPartition",
     "PersistenceError",
+    "RWLock",
     "Result",
     "TriplePattern",
     "ValidationReport",
@@ -99,6 +102,8 @@ __all__ = [
     "execute_plan",
     "format_bytes",
     "gamma",
+    "index_fingerprint",
+    "resolve_workers",
     "invert_sequences",
     "invert_sequences_codes",
     "label_sequences_for_pair",

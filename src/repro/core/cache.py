@@ -1,14 +1,24 @@
-"""A tiny bounded LRU cache for memoized query results.
+"""A tiny bounded LRU cache for memoized query results — thread-safe.
 
 Used by :class:`repro.core.executor.EngineBase` to memoize
 ``evaluate``/``count`` across queries.  The cache carries a ``token``
 — the (graph version, engine epoch) pair current when it was created —
 so the owner can detect staleness with one tuple comparison and rebuild
 instead of serving results computed against an older graph.
+
+Staleness is handled by *replacement*, never mutation: a cache whose
+token no longer matches is dropped wholesale and a fresh one installed
+(:meth:`EngineBase._token_cache`), so an in-flight reader holding the
+old object keeps a consistent — merely doomed — snapshot.  Within one
+cache, every operation holds a per-instance mutex: the recency
+bookkeeping (delete + reinsert on hit, evict on insert) is a multi-step
+dict mutation that the concurrent serving path
+(:meth:`repro.db.GraphDatabase.serve_batch`) would otherwise corrupt.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterator
 
 
@@ -16,10 +26,13 @@ class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
     Relies on dict insertion order: a hit re-inserts the key at the
-    back, eviction pops from the front.
+    back, eviction pops from the front.  All operations are atomic
+    under a per-instance lock, so any number of threads may share one
+    cache (get/put races then only cost a duplicated computation,
+    never a corrupted table).
     """
 
-    __slots__ = ("capacity", "token", "_data")
+    __slots__ = ("capacity", "token", "_data", "_lock")
 
     def __init__(self, capacity: int, token: object = None) -> None:
         if capacity < 1:
@@ -28,40 +41,47 @@ class LRUCache:
         #: Opaque freshness token (owner-defined; compared by equality).
         self.token = token
         self._data: dict[Hashable, object] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> object | None:
         """The cached value, refreshed to most-recently-used; else None."""
-        data = self._data
-        value = data.get(key)
-        if value is not None or key in data:
-            del data[key]
-            data[key] = value
-        return value
+        with self._lock:
+            data = self._data
+            value = data.get(key)
+            if value is not None or key in data:
+                del data[key]
+                data[key] = value
+            return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert/refresh ``key``, evicting the oldest entry when full."""
-        data = self._data
-        if key in data:
-            del data[key]
-        elif len(data) >= self.capacity:
-            del data[next(iter(data))]
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self.capacity:
+                del data[next(iter(data))]
+            data[key] = value
 
     def __setitem__(self, key: Hashable, value: object) -> None:
         self.put(key, value)
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        with self._lock:
+            return iter(list(self._data))
 
     def __repr__(self) -> str:
-        return f"LRUCache({len(self._data)}/{self.capacity})"
+        return f"LRUCache({len(self)}/{self.capacity})"

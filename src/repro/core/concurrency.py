@@ -1,0 +1,96 @@
+"""Concurrency primitives for the serving path.
+
+One building block lives here: a writer-preferring readers/writer lock.
+:class:`repro.db.GraphDatabase` holds one per session — query serving
+(:meth:`~repro.db.GraphDatabase.serve_batch`) runs under the shared
+side, :meth:`~repro.db.GraphDatabase.update` under the exclusive side —
+so a batch of graph mutations is never interleaved with an in-flight
+evaluation and every reader observes the engine at an update boundary.
+
+Writer preference matters for the intended workload: a serving fleet of
+reader threads would otherwise starve the (rare) update writer forever.
+Readers that arrive while a writer is waiting queue up behind it; the
+lock is not reentrant, which the session facade never needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """A writer-preferring readers/writer lock.
+
+    Any number of readers may hold the lock concurrently; a writer holds
+    it alone.  A waiting writer blocks *new* readers, so updates cannot
+    be starved by a busy serving pool.  Not reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # shared (reader) side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until the lock can be held in shared mode."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # exclusive (writer) side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        """Block until the lock can be held exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, "
+            f"writer={self._writer_active}, waiting={self._writers_waiting})"
+        )

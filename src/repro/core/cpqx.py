@@ -34,12 +34,13 @@ from repro.graph.interner import ID_BITS, ID_MASK
 from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.pairset import PairSet
-from repro.core.partition import compute_partition_codes
-from repro.core.paths import (
-    enumerate_sequences_codes,
-    invert_sequences_codes,
-    sequence_targets_from_source,
+from repro.core.parallel import (
+    derive_class_sequences,
+    derive_class_sequences_parallel,
+    resolve_workers,
 )
+from repro.core.partition import compute_partition_codes
+from repro.core.paths import enumerate_sequences_codes, invert_sequences_codes
 from repro.plan.planner import Splitter, greedy_splitter
 
 
@@ -101,14 +102,19 @@ class CPQxIndex(EngineBase):
         graph: LabeledDigraph,
         k: int = 2,
         il2c_method: str = "representative",
+        workers: int | str = 1,
     ) -> "CPQxIndex":
         """Build CPQx over ``graph`` with path-length bound ``k``.
 
         Runs Algorithm 1 (partition) then Algorithm 2 (index assembly),
-        entirely in the interned code space.
+        entirely in the interned code space.  ``workers`` > 1 (or
+        ``"auto"``) shards the dominant step — the per-representative
+        ``L≤k`` derivation — across a process pool by source vertex,
+        producing an identical index (see :mod:`repro.core.parallel`).
         """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
+        num_workers = resolve_workers(workers)
         partition = compute_partition_codes(graph, k)
         ic2p = partition.blocks
         view = graph.interned()
@@ -124,13 +130,14 @@ class CPQxIndex(EngineBase):
                 by_source.setdefault(rep >> ID_BITS, []).append(
                     (class_id, rep & ID_MASK)
                 )
-            for source, anchored in by_source.items():
-                table = sequence_targets_from_source(view, source, k)
-                rows = table.items()
-                for class_id, target in anchored:
-                    class_sequences[class_id] = frozenset(
-                        seq for seq, ids in rows if target in ids
-                    )
+            if num_workers > 1 and len(by_source) > 1:
+                class_sequences = derive_class_sequences_parallel(
+                    graph, k, by_source, num_workers
+                )
+            else:
+                class_sequences = derive_class_sequences(
+                    view, k, by_source.items()
+                )
         elif il2c_method == "per-pair":
             per_code = invert_sequences_codes(enumerate_sequences_codes(graph, k))
             class_of = partition.class_of
@@ -322,7 +329,7 @@ class CPQxIndex(EngineBase):
                 self._class_sequences[class_id], key=lambda s: (len(s), s)
             )
             labels = "{" + ", ".join(
-                "".join(registry.name_of(l) for l in seq) for seq in sequences
+                "".join(registry.name_of(lab) for lab in seq) for seq in sequences
             ) + "}"
             lines.append(f"c={class_id}: {shown} {labels}")
         return "\n".join(lines)

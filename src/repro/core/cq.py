@@ -172,12 +172,12 @@ def collapse_chains(cq: ConjunctiveQuery) -> list[_Relation]:
             if first.right != variable:
                 first = _Relation(
                     first.right, first.left,
-                    tuple(-l for l in reversed(first.sequence)),
+                    tuple(-lab for lab in reversed(first.sequence)),
                 )
             if second.left != variable:
                 second = _Relation(
                     second.right, second.left,
-                    tuple(-l for l in reversed(second.sequence)),
+                    tuple(-lab for lab in reversed(second.sequence)),
                 )
             merged = _Relation(
                 first.left, second.right, first.sequence + second.sequence

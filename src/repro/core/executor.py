@@ -40,6 +40,7 @@ for all methods" protocol.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Iterable, Protocol, runtime_checkable
 
@@ -344,6 +345,13 @@ def _compose(
     }
 
 
+#: Guards lazy attachment/replacement of per-engine memo caches.
+#: Module-wide (EngineBase has no ``__init__`` to own a per-instance
+#: lock): contention is limited to the instant a freshness token moves,
+#: never the memo hit path, which locks per cache instead.
+_CACHE_ATTACH_LOCK = threading.Lock()
+
+
 class EngineBase:
     """Shared high-level evaluation entry point for all engines.
 
@@ -390,12 +398,23 @@ class EngineBase:
         )
 
     def _token_cache(self, attr: str, capacity: int) -> LRUCache:
-        """The named LRU for this engine, rebuilt whenever the token moved."""
+        """The named LRU for this engine, rebuilt whenever the token moved.
+
+        Staleness is handled copy-on-write style: the outdated cache is
+        *replaced*, never cleared, so a reader that already fetched it
+        keeps a consistent snapshot whose results simply stop being
+        shared.  The replacement itself runs under a lock (double
+        checked) so concurrent readers racing past a token bump install
+        exactly one fresh cache between them.
+        """
         token = self._cache_token()
         cache: LRUCache | None = getattr(self, attr, None)
         if cache is None or cache.token != token:
-            cache = LRUCache(capacity, token)
-            setattr(self, attr, cache)
+            with _CACHE_ATTACH_LOCK:
+                cache = getattr(self, attr, None)
+                if cache is None or cache.token != token:
+                    cache = LRUCache(capacity, token)
+                    setattr(self, attr, cache)
         return cache
 
     def _result_cache(self) -> LRUCache:

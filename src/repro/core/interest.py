@@ -33,6 +33,7 @@ from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.maintenance import affected_pairs
 from repro.core.pairset import PairSet
+from repro.core.parallel import interest_relations_parallel, resolve_workers
 from repro.core.paths import sequence_relation_codes
 from repro.plan.planner import Splitter, interest_splitter
 
@@ -96,6 +97,7 @@ class InterestAwareIndex(EngineBase):
         graph: LabeledDigraph,
         k: int = 2,
         interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
+        workers: int | str = 1,
     ) -> "InterestAwareIndex":
         """Build iaCPQx for the given interest sequences.
 
@@ -103,9 +105,15 @@ class InterestAwareIndex(EngineBase):
         ``k`` are rejected (the paper instead registers their length-k
         prefixes — do that at workload level, see
         :func:`repro.query.workloads.workload_interests`).
+
+        ``workers`` > 1 (or ``"auto"``) shards the per-interest relation
+        sweep across a process pool by source vertex; the sharded
+        relation columns merge to exactly the serial sweep's sorted
+        columns, so the classing that follows is byte-identical.
         """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
+        num_workers = resolve_workers(workers)
         for seq in interests:
             if not seq:
                 raise IndexBuildError("empty interest sequence")
@@ -115,9 +123,21 @@ class InterestAwareIndex(EngineBase):
                 )
         full_interests = frozenset(set(interests) | _single_label_interests(graph))
 
+        if num_workers > 1 and full_interests:
+            relations = interest_relations_parallel(
+                graph, full_interests, num_workers
+            )
+
+            def relation_codes(seq: LabelSeq):
+                return relations.get(seq, ())
+        else:
+
+            def relation_codes(seq: LabelSeq):
+                return sequence_relation_codes(graph, seq).iter_codes()
+
         code_seqs: dict[int, set[LabelSeq]] = {}
         for seq in full_interests:
-            for code in sequence_relation_codes(graph, seq).iter_codes():
+            for code in relation_codes(seq):
                 entry = code_seqs.get(code)
                 if entry is None:
                     code_seqs[code] = {seq}

@@ -1,0 +1,391 @@
+"""Sharded parallel index construction along the source-vertex axis.
+
+The paper reports CPQx construction as the dominant cost (Table IV), and
+the per-source batched ``L≤k`` derivation of
+:func:`repro.core.paths.sequence_targets_from_source` made every builder
+in this package embarrassingly parallel along one axis: **the interned
+source-vertex id**.  Each s-t pair, label-sequence posting, and
+representative ``L≤k`` derivation is anchored at exactly one source, so
+partitioning the source ids partitions the work with no shared state —
+the same axis secondary-memory RDF indexing shards on.
+
+The scheme:
+
+1. the parent partitions sorted source ids round-robin into
+   ``workers × SHARDS_PER_WORKER`` shards (round-robin balances degree
+   skew better than contiguous ranges);
+2. a ``multiprocessing`` pool receives the graph once per worker
+   (pickled through the pool initializer, the interned adjacency
+   snapshot rebuilt worker-side) and maps the shard tasks;
+3. workers ship back per-shard results keyed by class id or label
+   sequence, with pair codes packed in ``array('q')`` columns — flat
+   64-bit buffers that pickle to raw bytes, not object graphs;
+4. the parent merges: shards anchor disjoint source ids, so per-key
+   columns concatenate duplicate-free and one C-level sort over the
+   pre-sorted runs restores the canonical sorted-column form.
+
+Merging is deterministic, so a sharded build is **pair-for-pair
+identical** to the serial build — asserted by ``bench-concurrent`` and
+property-tested in ``tests/test_parallel_build.py``.  Engines opt in
+through a ``workers`` build argument (default 1 = serial, ``"auto"`` =
+one worker per CPU), plumbed through
+:meth:`repro.db.GraphDatabase.build_index`, the engine registry, and the
+CLI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from array import array
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import IndexBuildError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.interner import ID_BITS, InternedView
+from repro.graph.labels import LabelSeq
+from repro.core.pairset import PairSet
+from repro.core.paths import (
+    sequence_codes_from_sources,
+    sequence_targets_from_source,
+)
+
+#: Shards handed out per worker — over-decomposition so a worker that
+#: drew a low-degree shard picks up another instead of idling.
+SHARDS_PER_WORKER = 4
+
+def _start_method() -> str:
+    """Pool start method for this build, chosen per call.
+
+    ``fork`` ships the parent's state to workers for free, but forking
+    a multi-threaded process is a deadlock hazard (and deprecated on
+    Python 3.12+) — e.g. an ``update()``-triggered parallel rebuild
+    while ``serve_batch`` reader threads are alive.  In that case fall
+    back to ``spawn`` (always available), which re-imports the package
+    in each worker and pickles the graph through the initializer.
+    """
+    if (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    ):
+        return "fork"
+    return "spawn"
+
+_T = TypeVar("_T")
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a ``workers`` build argument to a positive int.
+
+    ``None``/``1`` mean serial, ``"auto"`` means one worker per CPU.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise IndexBuildError(
+                f"workers must be a positive int or 'auto', got {workers!r}"
+            )
+        return os.cpu_count() or 1
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise IndexBuildError(
+            f"workers must be a positive int or 'auto', got {workers!r}"
+        )
+    return workers
+
+
+def shard_round_robin(items: Sequence[_T], num_shards: int) -> list[list[_T]]:
+    """Deal ``items`` round-robin into at most ``num_shards`` shards.
+
+    Input order should be deterministic (callers pass sorted ids);
+    empty shards are dropped so every task does work.
+    """
+    if num_shards < 1:
+        raise IndexBuildError(f"num_shards must be >= 1, got {num_shards}")
+    shards = [list(items[offset::num_shards]) for offset in range(num_shards)]
+    return [shard for shard in shards if shard]
+
+
+def merge_code_columns(parts: Iterable[array]) -> array:
+    """Concatenate disjoint shard columns and sort into one column.
+
+    Shards anchor disjoint source ids, so the concatenation is
+    duplicate-free; the single sort (C Timsort over pre-sorted runs)
+    restores the canonical form :class:`PairSet` stores.
+    """
+    merged = array("q")
+    for part in parts:
+        merged.extend(part)
+    if len(merged) > 1:
+        merged = array("q", sorted(merged))
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# worker-side state and task functions (top level: they must pickle)
+# ---------------------------------------------------------------------------
+
+#: The build graph, installed once per worker by the pool initializer.
+_WORKER_GRAPH: LabeledDigraph | None = None
+
+
+def _init_worker(graph: LabeledDigraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _worker_view() -> InternedView:
+    if _WORKER_GRAPH is None:  # pragma: no cover - initializer always ran
+        raise IndexBuildError("parallel build worker has no graph installed")
+    return _WORKER_GRAPH.interned()
+
+
+def derive_class_sequences(
+    view: InternedView,
+    k: int,
+    anchored_by_source: "Iterable[tuple[int, Iterable[tuple[int, int]]]]",
+) -> dict[int, frozenset[LabelSeq]]:
+    """CPQx representative ``L≤k`` derivation (Algorithm 2's loop).
+
+    ``anchored_by_source`` lists, per source vertex, the classes whose
+    representative pair is anchored there with the representative's
+    target id.  One per-source BFS table serves every class anchored at
+    that source (Def. 4.2 uniformity).  The single implementation
+    behind both the serial build (:meth:`CPQxIndex.build`) and the
+    sharded workers — the sharded == serial contract depends on them
+    never diverging.
+    """
+    sequences: dict[int, frozenset[LabelSeq]] = {}
+    for source, anchored in anchored_by_source:
+        table = sequence_targets_from_source(view, source, k)
+        rows = table.items()
+        for class_id, target in anchored:
+            sequences[class_id] = frozenset(
+                seq for seq, ids in rows if target in ids
+            )
+    return sequences
+
+
+def _class_sequences_shard(
+    task: tuple[int, list[tuple[int, list[tuple[int, int]]]]],
+) -> dict[int, tuple[LabelSeq, ...]]:
+    """Worker wrapper over :func:`derive_class_sequences` for one shard.
+
+    Task: ``(k, [(source, [(class_id, target), ...]), ...])``; the
+    frozensets are shipped back as tuples (smaller pickles).
+    """
+    k, anchored_by_source = task
+    derived = derive_class_sequences(_worker_view(), k, anchored_by_source)
+    return {class_id: tuple(seqs) for class_id, seqs in derived.items()}
+
+
+def _sequence_postings_shard(
+    task: tuple[int, list[int]],
+) -> dict[LabelSeq, array]:
+    """Path-index enumeration for one shard of source ids.
+
+    Task: ``(k, sources)``.  Returns sequence → column of pair codes
+    anchored at the shard's sources (each source's targets are a set,
+    and sources are disjoint across shards, so columns concatenate
+    duplicate-free in the parent).
+    """
+    k, sources = task
+    view = _worker_view()
+    columns: dict[LabelSeq, array] = {}
+    for source in sources:
+        v_high = source << ID_BITS
+        for seq, targets in sequence_targets_from_source(view, source, k).items():
+            column = columns.get(seq)
+            if column is None:
+                column = columns[seq] = array("q")
+            column.extend(v_high | target for target in targets)
+    return columns
+
+
+def _interest_relations_shard(
+    task: tuple[tuple[LabelSeq, ...], list[int]],
+) -> dict[LabelSeq, array]:
+    """iaCPQx/iaPath relation sweep for one shard of source ids.
+
+    Task: ``(interest sequences, sources)``.  Returns each interest's
+    relation column restricted to the shard's sources, via the same
+    traversal the serial sweep uses
+    (:func:`repro.core.paths.sequence_codes_from_sources`).
+    """
+    seqs, sources = task
+    view = _worker_view()
+    out: dict[LabelSeq, array] = {}
+    for seq in seqs:
+        column = sequence_codes_from_sources(view, sources, seq)
+        if column:
+            out[seq] = column
+    return out
+
+
+# ---------------------------------------------------------------------------
+# parent-side drivers
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    graph: LabeledDigraph,
+    worker: Callable,
+    tasks: list,
+    workers: int,
+) -> list:
+    """Map shard ``tasks`` over a worker pool sharing ``graph``.
+
+    The graph ships once per worker through the pool initializer (its
+    interned snapshot is dropped from the pickle and rebuilt
+    worker-side); results come back in task order, so downstream merges
+    are deterministic.
+    """
+    context = multiprocessing.get_context(_start_method())
+    with context.Pool(
+        processes=min(workers, len(tasks)) or 1,
+        initializer=_init_worker,
+        initargs=(graph,),
+    ) as pool:
+        return pool.map(worker, tasks)
+
+
+def _enumeration_sources(view: InternedView) -> list[int]:
+    """Live source ids with at least one extended out-edge, sorted."""
+    out = view.out
+    return [vid for vid in view.live_ids if out[vid]]
+
+
+def derive_class_sequences_parallel(
+    graph: LabeledDigraph,
+    k: int,
+    by_source: dict[int, list[tuple[int, int]]],
+    workers: int,
+) -> dict[int, frozenset[LabelSeq]]:
+    """Sharded CPQx ``class_sequences`` derivation (Algorithm 2's loop).
+
+    ``by_source`` groups ``(class_id, representative target)`` anchors
+    by representative source, exactly as the serial builder does; the
+    shards partition those groups.  Content-identical to the serial
+    loop: each class's sequences come from the same per-source table.
+    """
+    anchored = sorted((source, anchors) for source, anchors in by_source.items())
+    shards = shard_round_robin(
+        anchored, min(workers * SHARDS_PER_WORKER, len(anchored))
+    )
+    results = parallel_map(
+        graph, _class_sequences_shard, [(k, shard) for shard in shards], workers
+    )
+    merged: dict[int, frozenset[LabelSeq]] = {}
+    for part in results:
+        for class_id, seqs in part.items():
+            merged[class_id] = frozenset(seqs)
+    return merged
+
+
+def enumerate_sequences_codes_parallel(
+    graph: LabeledDigraph, k: int, workers: int
+) -> dict[LabelSeq, PairSet]:
+    """Sharded :func:`repro.core.paths.enumerate_sequences_codes`.
+
+    Every (sequence, pair) posting is anchored at the pair's source
+    vertex, so the union over per-source BFS tables equals the serial
+    frontier-extension enumeration, pair for pair.
+    """
+    view = graph.interned()
+    sources = _enumeration_sources(view)
+    if not sources:
+        return {}
+    shards = shard_round_robin(
+        sources, min(workers * SHARDS_PER_WORKER, len(sources))
+    )
+    parts = parallel_map(
+        graph, _sequence_postings_shard, [(k, shard) for shard in shards], workers
+    )
+    columns: dict[LabelSeq, list[array]] = {}
+    for part in parts:
+        for seq, column in part.items():
+            columns.setdefault(seq, []).append(column)
+    interner = graph.interner
+    return {
+        seq: PairSet.from_sorted_codes(merge_code_columns(cols), interner)
+        for seq, cols in columns.items()
+    }
+
+
+def interest_relations_parallel(
+    graph: LabeledDigraph,
+    interests: Iterable[LabelSeq],
+    workers: int,
+) -> dict[LabelSeq, array]:
+    """Sharded per-interest relation sweep for the ia* builders.
+
+    Returns each interest's full relation as a sorted code column —
+    byte-identical to ``sequence_relation_codes(graph, seq).codes`` —
+    assembled from per-shard columns restricted to disjoint source sets.
+    """
+    view = graph.interned()
+    sources = _enumeration_sources(view)
+    seqs = tuple(sorted(interests))
+    if not sources or not seqs:
+        return {}
+    shards = shard_round_robin(
+        sources, min(workers * SHARDS_PER_WORKER, len(sources))
+    )
+    parts = parallel_map(
+        graph,
+        _interest_relations_shard,
+        [(seqs, shard) for shard in shards],
+        workers,
+    )
+    columns: dict[LabelSeq, list[array]] = {}
+    for part in parts:
+        for seq, column in part.items():
+            columns.setdefault(seq, []).append(column)
+    return {seq: merge_code_columns(cols) for seq, cols in columns.items()}
+
+
+# ---------------------------------------------------------------------------
+# build-equivalence fingerprinting (bench + property tests)
+# ---------------------------------------------------------------------------
+
+
+def index_fingerprint(engine: object) -> tuple:
+    """A canonical, id-independent fingerprint of a built index.
+
+    Two builds of the same graph fingerprint equal iff they store the
+    same postings: class-based engines compare the *set* of classes
+    (member code column, uniform sequence set, loop flag) plus the
+    sequence → member-columns map, so renumbered-but-identical class
+    ids still compare equal; Path-family engines compare the sequence →
+    code-column map directly.
+    """
+    entries = getattr(engine, "_entries", None)
+    if entries is not None:  # Path / iaPath
+        return (
+            "path",
+            engine.k,  # type: ignore[attr-defined]
+            tuple(sorted(
+                (seq, tuple(stored.codes)) for seq, stored in entries.items()
+            )),
+        )
+    ic2p = getattr(engine, "_ic2p", None)
+    if ic2p is None:
+        raise IndexBuildError(
+            f"cannot fingerprint engine {type(engine).__name__}"
+        )
+    sequences = engine._class_sequences  # type: ignore[attr-defined]
+    loops = engine._loop_classes  # type: ignore[attr-defined]
+    classes = frozenset(
+        (
+            tuple(members.codes),
+            tuple(sorted(sequences[class_id])),
+            class_id in loops,
+        )
+        for class_id, members in ic2p.items()
+    )
+    il2c = frozenset(
+        (seq, frozenset(tuple(ic2p[c].codes) for c in posted))
+        for seq, posted in engine._il2c.items()  # type: ignore[attr-defined]
+    )
+    return ("classes", engine.k, classes, il2c)  # type: ignore[attr-defined]

@@ -22,6 +22,8 @@ Conventions:
 
 from __future__ import annotations
 
+from array import array
+
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, InternedView
@@ -147,23 +149,22 @@ def reachable_pairs(graph: LabeledDigraph, k: int) -> set[Pair]:
     return set(reachable_codes(graph, k))
 
 
-def sequence_relation_codes(graph: LabeledDigraph, seq: LabelSeq) -> PairSet:
-    """``⟦seq⟧G`` as a sorted code column (identity for the empty seq).
+def sequence_codes_from_sources(
+    view: InternedView, sources, seq: LabelSeq
+) -> array:
+    """``⟦seq⟧G`` restricted to paths starting in ``sources``, as a
+    sorted code column.
 
-    The columnar counterpart of
-    :meth:`repro.graph.digraph.LabeledDigraph.sequence_relation`, used
-    by the interest-aware builders.
+    The single traversal implementation behind both the full relation
+    (:func:`sequence_relation_codes`, ``sources = live ids``) and the
+    sharded parallel sweep (:mod:`repro.core.parallel`, ``sources`` =
+    one shard) — the sharded == serial contract depends on them never
+    diverging.  ``seq`` must be non-empty.
     """
-    view = graph.interned()
-    interner = graph.interner
-    if not seq:
-        return PairSet.from_codes(
-            ((vid << ID_BITS) | vid for vid in view.live_ids), interner
-        )
     out = view.out
-    codes: set[int] = set()
     first = seq[0]
-    for vid in view.live_ids:
+    codes: set[int] = set()
+    for vid in sources:
         targets = out[vid].get(first)
         if targets:
             v_high = vid << ID_BITS
@@ -180,7 +181,25 @@ def sequence_relation_codes(graph: LabeledDigraph, seq: LabelSeq) -> PairSet:
                 for uid in targets:
                     extended.add(v_high | uid)
         codes = extended
-    return PairSet.from_codes(codes, interner)
+    return array("q", sorted(codes))
+
+
+def sequence_relation_codes(graph: LabeledDigraph, seq: LabelSeq) -> PairSet:
+    """``⟦seq⟧G`` as a sorted code column (identity for the empty seq).
+
+    The columnar counterpart of
+    :meth:`repro.graph.digraph.LabeledDigraph.sequence_relation`, used
+    by the interest-aware builders.
+    """
+    view = graph.interned()
+    interner = graph.interner
+    if not seq:
+        return PairSet.from_codes(
+            ((vid << ID_BITS) | vid for vid in view.live_ids), interner
+        )
+    return PairSet.from_sorted_codes(
+        sequence_codes_from_sources(view, view.live_ids, seq), interner
+    )
 
 
 def sequence_targets_from_source(

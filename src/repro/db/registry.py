@@ -39,6 +39,9 @@ class EngineSpec:
     uses_interests: bool = False
     persistable: bool = False
     incremental: bool = False
+    #: Whether the builder accepts ``workers`` for sharded parallel
+    #: construction (:mod:`repro.core.parallel`).
+    parallelizable: bool = False
     description: str = ""
     aliases: tuple[str, ...] = field(default=())
 
@@ -47,13 +50,21 @@ class EngineSpec:
         graph: LabeledDigraph,
         k: int = 2,
         interests: Iterable[LabelSeq] = frozenset(),
+        workers: int | str = 1,
     ):
-        """Instantiate the engine over ``graph`` with the relevant knobs."""
-        kwargs = {}
+        """Instantiate the engine over ``graph`` with the relevant knobs.
+
+        ``workers`` is forwarded only to parallelizable builders (and
+        only when it asks for more than one worker), so serial-only
+        engines keep their original builder signatures.
+        """
+        kwargs: dict[str, object] = {}
         if self.uses_k:
             kwargs["k"] = k
         if self.uses_interests:
             kwargs["interests"] = frozenset(interests)
+        if self.parallelizable and workers not in (None, 1):
+            kwargs["workers"] = workers
         return self.builder(graph, **kwargs)
 
 
@@ -126,7 +137,7 @@ def _register_builtins() -> None:
     builtins = (
         EngineSpec(
             key="cpqx", display_name="CPQx", builder=CPQxIndex.build,
-            persistable=True, incremental=True,
+            persistable=True, incremental=True, parallelizable=True,
             description="CPQ-aware path index (Sec. IV): class-level "
                         "lookups over the CPQ_k partition",
         ),
@@ -134,17 +145,20 @@ def _register_builtins() -> None:
             key="iacpqx", display_name="iaCPQx",
             builder=InterestAwareIndex.build,
             uses_interests=True, persistable=True, incremental=True,
+            parallelizable=True,
             description="interest-aware CPQx (Sec. V): postings only for "
                         "interest sequences",
         ),
         EngineSpec(
             key="path", display_name="Path", builder=PathIndex.build,
+            parallelizable=True,
             description="language-unaware path index [14]: sequence -> "
                         "full pair lists",
         ),
         EngineSpec(
             key="iapath", display_name="iaPath",
             builder=InterestAwarePathIndex.build, uses_interests=True,
+            parallelizable=True,
             description="Path index restricted to interest sequences",
         ),
         EngineSpec(

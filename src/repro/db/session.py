@@ -32,10 +32,13 @@ The session life cycle:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 from repro.core.advisor import advise_k, recommend_interests
+from repro.core.concurrency import RWLock
 from repro.core.executor import ExecutionStats
+from repro.core.parallel import resolve_workers
 from repro.core.stats import IndexStats, stats_of
 from repro.db.auto import AutoSelection, default_workload, select_engine
 from repro.db.registry import EngineSpec, available_engines, engine_spec
@@ -88,6 +91,11 @@ class GraphDatabase:
         self._spec: EngineSpec | None = None
         self._build_args: dict = {}
         self._build_seconds = 0.0
+        #: Readers/writer lock serializing :meth:`update` against the
+        #: concurrent serving path (:meth:`serve_batch`): updates take
+        #: the exclusive side, each served query the shared side, so a
+        #: reader always observes the engine at an update boundary.
+        self._rwlock = RWLock()
         #: Populated when ``engine="auto"`` made the choice.
         self.selection: AutoSelection | None = None
 
@@ -153,6 +161,7 @@ class GraphDatabase:
         workload: list[CPQ] | None = None,
         budget_bytes: int | None = None,
         seed: int = 7,
+        workers: int | str = 1,
     ) -> "GraphDatabase":
         """Build (or replace) the session's engine; returns ``self``.
 
@@ -161,7 +170,15 @@ class GraphDatabase:
         still honours ``k="auto"`` / ``interests="auto"`` individually
         (each resolved from ``workload``, or from a synthesized template
         workload when none is given).
+
+        ``workers`` > 1 (or ``"auto"`` = one per CPU) builds the index
+        with the sharded parallel constructor on engines that support it
+        (CPQx, iaCPQx, Path, iaPath — see :mod:`repro.core.parallel`);
+        the result is pair-for-pair identical to the serial build.  The
+        worker count is remembered, so rebuilds triggered by
+        :meth:`update` on non-incremental engines stay parallel.
         """
+        num_workers = resolve_workers(workers)  # validates early
         auto_k = k == "auto"
         auto_interests = isinstance(interests, str) and interests == "auto"
         if not auto_k and (not isinstance(k, int) or k < 1):
@@ -215,10 +232,26 @@ class GraphDatabase:
         else:
             chosen_interests = frozenset()
 
-        start = time.perf_counter()
-        built = spec.build(self.graph, k=chosen_k, interests=chosen_interests)
-        self._build_seconds = time.perf_counter() - start
-        self._adopt(built, spec, {"k": chosen_k, "interests": chosen_interests})
+        # Build and adopt under the exclusive lock: a concurrent reader
+        # must never observe a half-installed engine (``_engine`` from
+        # the new build with ``_spec`` still describing the old one),
+        # and in-flight serve_batch evaluations finish first.
+        with self._rwlock.write():
+            start = time.perf_counter()
+            built = spec.build(
+                self.graph, k=chosen_k, interests=chosen_interests,
+                workers=num_workers,
+            )
+            self._build_seconds = time.perf_counter() - start
+            self._adopt(
+                built,
+                spec,
+                {
+                    "k": chosen_k,
+                    "interests": chosen_interests,
+                    "workers": num_workers,
+                },
+            )
         return self
 
     @property
@@ -267,15 +300,61 @@ class GraphDatabase:
             target_filter=target_filter,
         )
 
+    def _serve_one(self, query: CPQ, limit: int | None) -> ResultSet:
+        """Evaluate one resolved query under the shared lock.
+
+        The engine is looked up *inside* the critical section: a
+        concurrent :meth:`update` on a non-incremental engine swaps
+        ``self._engine`` for a rebuilt index, and binding earlier would
+        let an in-flight batch evaluate a stale index against the
+        already-mutated graph — a state matching no update boundary.
+        """
+        with self._rwlock.read():
+            result = ResultSet(self._engine, query, limit=limit)
+            result.pairs()
+        return result
+
     def execute_batch(
         self, queries: Iterable[CPQ | str], limit: int | None = None
     ) -> BatchResult:
         """Evaluate a workload eagerly, returning per-query results plus
-        merged operator counters — the serving-path entry point."""
-        results = [self.query(query, limit=limit) for query in queries]
+        merged operator counters — the single-threaded serving path."""
+        if not self.is_built:
+            self.build_index()  # engine="auto", outside the read lock
+        resolved = [self._resolve(query) for query in queries]
         start = time.perf_counter()
-        for result in results:
-            result.pairs()
+        results = [self._serve_one(query, limit) for query in resolved]
+        return BatchResult(results, time.perf_counter() - start)
+
+    def serve_batch(
+        self,
+        queries: Iterable[CPQ | str],
+        workers: int = 8,
+        limit: int | None = None,
+    ) -> BatchResult:
+        """Evaluate a workload on a thread pool — the concurrent
+        serving path.
+
+        ``workers`` threads drain the query list concurrently; each
+        query evaluates under the session's shared (read) lock, so a
+        concurrent :meth:`update` is serialized against in-flight
+        evaluations and every answer reflects the engine at an update
+        boundary.  Results keep the input order, and a batch served
+        under N threads returns exactly the answers of the serial
+        :meth:`execute_batch` on an unchanging graph (the engine-side
+        memo layers are individually thread-safe; see
+        ``docs/concurrency.md``).
+        """
+        if not self.is_built:
+            self.build_index()  # engine="auto" once, before threading
+        resolved = [self._resolve(query) for query in queries]
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            # list() keeps input order and propagates the first worker
+            # exception, if any.
+            results = list(
+                pool.map(lambda query: self._serve_one(query, limit), resolved)
+            )
         return BatchResult(results, time.perf_counter() - start)
 
     def explain(self, query: CPQ | str) -> str:
@@ -300,7 +379,26 @@ class GraphDatabase:
         the same build arguments.  Order: vertex additions, edge
         additions, edge removals, vertex removals (removing a vertex
         drops its incident edges, as the paper specifies).
+
+        The whole batch runs under the session's exclusive (write)
+        lock: in-flight :meth:`serve_batch` evaluations finish first,
+        and readers arriving during the batch observe only its final
+        state — copy-on-write semantics at the memo layer, where the
+        ``(graph.version, engine epoch)`` token retires every cache
+        populated against the pre-update engine.
         """
+        with self._rwlock.write():
+            return self._update_locked(
+                add_edges, remove_edges, add_vertices, remove_vertices
+            )
+
+    def _update_locked(
+        self,
+        add_edges: Iterable[Triple],
+        remove_edges: Iterable[Triple],
+        add_vertices: Iterable[Vertex],
+        remove_vertices: Iterable[Vertex],
+    ) -> "GraphDatabase":
         if self._engine is not None and self._spec is not None and self._spec.incremental:
             index = self._engine
             for v in add_vertices:

@@ -262,8 +262,12 @@ class LabeledDigraph:
         This is ``L≤1(v, u)`` minus the empty sequence; it contains negative
         ids for edges stored in the opposite direction.
         """
-        labels = [l for l, targets in self._out.get(v, {}).items() if u in targets]
-        labels += [-l for l, sources in self._in.get(v, {}).items() if u in sources]
+        labels = [
+            lab for lab, targets in self._out.get(v, {}).items() if u in targets
+        ]
+        labels += [
+            -lab for lab, sources in self._in.get(v, {}).items() if u in sources
+        ]
         return frozenset(labels)
 
     def out_degree(self, v: Vertex) -> int:
@@ -341,6 +345,17 @@ class LabeledDigraph:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the interned adjacency snapshot.
+
+        The snapshot is a pure cache, cheap to rebuild and a large share
+        of the payload when a parallel build ships the graph to its
+        worker processes (:mod:`repro.core.parallel`).
+        """
+        state = self.__dict__.copy()
+        state["_interned_cache"] = None
+        return state
+
     def copy(self) -> "LabeledDigraph":
         """Deep-copy the graph structure (shares the label registry)."""
         clone = LabeledDigraph(self.registry)

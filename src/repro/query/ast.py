@@ -200,7 +200,7 @@ def conjoin_all(parts: list[CPQ]) -> CPQ:
 
 def sequence_query(seq: LabelSeq) -> CPQ:
     """Build the chain query ``l1 ∘ l2 ∘ ... ∘ ln`` from a label sequence."""
-    return join_all([EdgeLabel(l) for l in seq])
+    return join_all([EdgeLabel(lab) for lab in seq])
 
 
 def resolve(query: CPQ, registry: LabelRegistry) -> CPQ:

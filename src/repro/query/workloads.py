@@ -39,7 +39,7 @@ class WorkloadQuery:
 def _extended_labels(graph: LabeledDigraph) -> list[int]:
     """Extended label population actually used by at least one edge."""
     forward = sorted(graph.labels_used())
-    return forward + [-l for l in forward]
+    return forward + [-lab for lab in forward]
 
 
 def subpaths_nonempty(query: CPQ, graph: LabeledDigraph) -> bool:
@@ -84,7 +84,7 @@ def random_template_queries(
     while len(queries) < count and attempts < max_attempts:
         attempts += 1
         chosen = tuple(rng.choice(population) for _ in range(spec.arity))
-        candidate = spec.instantiate([EdgeLabel(l) for l in chosen])
+        candidate = spec.instantiate([EdgeLabel(lab) for lab in chosen])
         candidate = resolve(candidate, graph.registry)
         if require_nonempty_subpaths and not subpaths_nonempty(candidate, graph):
             continue
