@@ -40,27 +40,9 @@ Sub-packages:
   and figure of the evaluation.
 """
 
-from repro.baselines import (
-    BFSEngine,
-    InterestAwarePathIndex,
-    PathIndex,
-    TentrisEngine,
-    TurboHomEngine,
-)
-from repro.core import (
-    CPQxIndex,
-    ExecutionStats,
-    InterestAwareIndex,
-    compute_partition,
-)
-from repro.db import (
-    BatchResult,
-    EngineSpec,
-    GraphDatabase,
-    ResultSet,
-    available_engines,
-    register_engine,
-)
+from repro.baselines import BFSEngine, InterestAwarePathIndex, PathIndex, TentrisEngine, TurboHomEngine
+from repro.core import CPQxIndex, ExecutionStats, InterestAwareIndex, compute_partition
+from repro.db import BatchResult, EngineSpec, GraphDatabase, ResultSet, available_engines, register_engine
 from repro.graph import LabeledDigraph, LabelRegistry
 from repro.graph.datasets import example_graph, load_dataset
 from repro.query import evaluate, label, parse

@@ -10,9 +10,9 @@ all methods" protocol.
 
 from __future__ import annotations
 
+from repro.core.executor import EngineBase, Result
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.labels import LabelSeq
-from repro.core.executor import EngineBase, Result
 from repro.plan.planner import Splitter
 
 

@@ -17,9 +17,6 @@ holds here by construction.
 
 from __future__ import annotations
 
-from repro.errors import IndexBuildError, QueryDiameterError
-from repro.graph.digraph import LabeledDigraph, Pair
-from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.pairset import PairSet
 from repro.core.parallel import (
@@ -28,6 +25,9 @@ from repro.core.parallel import (
     resolve_workers,
 )
 from repro.core.paths import enumerate_sequences_codes, sequence_relation_codes
+from repro.errors import IndexBuildError, QueryDiameterError
+from repro.graph.digraph import LabeledDigraph, Pair
+from repro.graph.labels import LabelSeq
 from repro.plan.planner import Splitter, greedy_splitter, interest_splitter
 
 
@@ -57,7 +57,7 @@ class PathIndex(EngineBase):
     @classmethod
     def build(
         cls, graph: LabeledDigraph, k: int = 2, workers: int | str = 1
-    ) -> "PathIndex":
+    ) -> PathIndex:
         """Enumerate all ≤k label sequences and their pair columns.
 
         ``workers`` > 1 (or ``"auto"``) shards the enumeration across a
@@ -156,7 +156,7 @@ class InterestAwarePathIndex(PathIndex):
         k: int = 2,
         interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
         workers: int | str = 1,
-    ) -> "InterestAwarePathIndex":
+    ) -> InterestAwarePathIndex:
         """Index only the interest sequences (plus all single labels).
 
         ``workers`` > 1 (or ``"auto"``) shards the per-interest relation

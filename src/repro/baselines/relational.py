@@ -23,7 +23,7 @@ class RelationalEngine(PathIndex):
         super().__init__(graph, k, entries)
 
     @classmethod
-    def build(cls, graph: LabeledDigraph, k: int = 1) -> "RelationalEngine":
+    def build(cls, graph: LabeledDigraph, k: int = 1) -> RelationalEngine:
         """Build the single-label edge index; ``k`` other than 1 is ignored
         (a relation over label sequences *is* the Path index)."""
         base = PathIndex.build(graph, k=1)

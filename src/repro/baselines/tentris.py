@@ -23,10 +23,10 @@ TurboHom++ from the shared-plan protocol).
 
 from __future__ import annotations
 
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
-from repro.core.executor import ExecutionStats
-from repro.query.ast import CPQ, is_resolved, resolve
 from repro.baselines.pattern import cpq_to_pattern
+from repro.core.executor import ExecutionStats
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.query.ast import CPQ, is_resolved, resolve
 
 
 class HyperTrie:
@@ -41,7 +41,7 @@ class HyperTrie:
         self._size = 0
 
     @classmethod
-    def from_graph(cls, graph: LabeledDigraph) -> "HyperTrie":
+    def from_graph(cls, graph: LabeledDigraph) -> HyperTrie:
         """Load every forward edge of a graph as one triple."""
         trie = cls()
         for s, o, p in graph.triples():

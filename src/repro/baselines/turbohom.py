@@ -23,10 +23,10 @@ Faithful-in-spirit ingredients:
 
 from __future__ import annotations
 
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
-from repro.core.executor import ExecutionStats
-from repro.query.ast import CPQ, is_resolved, resolve
 from repro.baselines.pattern import PatternGraph, cpq_to_pattern
+from repro.core.executor import ExecutionStats
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.query.ast import CPQ, is_resolved, resolve
 
 
 class _StopSearch(Exception):

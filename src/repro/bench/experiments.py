@@ -40,7 +40,7 @@ from repro.core.stats import dataset_stats
 from repro.graph.datasets import REGISTRY, gmark_interests
 from repro.graph.generators import preferential_attachment_graph, relabel_graph
 from repro.graph.schema import citation_schema, lubm_schema, watdiv_schema
-from repro.query.templates import template_names, lubm_queries, watdiv_queries, yago2_queries
+from repro.query.templates import lubm_queries, template_names, watdiv_queries, yago2_queries
 from repro.query.workloads import split_by_emptiness, workload_interests
 
 #: Small, fast dataset subset used by default in the per-dataset sweeps.

@@ -29,11 +29,7 @@ from repro.db import GraphDatabase
 from repro.errors import DatasetError, UnknownEngineError
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.labels import LabelSeq
-from repro.query.workloads import (
-    WorkloadQuery,
-    random_template_queries,
-    workload_interests,
-)
+from repro.query.workloads import WorkloadQuery, random_template_queries, workload_interests
 
 #: All method names in the paper's reporting order.
 ALL_METHODS = ("CPQx", "iaCPQx", "Path", "iaPath", "TurboHom", "Tentris", "BFS")

@@ -54,7 +54,7 @@ EXPERIMENTS = {
 }
 
 
-def _workers_arg(raw: str) -> "int | str":
+def _workers_arg(raw: str) -> int | str:
     """argparse type for worker counts: a positive int or 'auto'."""
     if raw == "auto":
         return "auto"
@@ -160,8 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--labels", type=int, default=3)
     concurrent.add_argument(
         "--k", type=int, default=3,
-        help="path-length bound (default 3: the derivation-dominant "
-             "regime where the sharded build step is >half the work)",
+        help="path-length bound (default 3: the regime where both "
+             "sharded CPQx stages — partition and derivation — carry "
+             "real work)",
     )
     concurrent.add_argument("--seed", type=int, default=7)
     concurrent.add_argument("--repeats", type=int, default=3)

@@ -1,13 +1,9 @@
 """The paper's primary contribution: CPQx, iaCPQx, and their machinery."""
 
-from repro.core.advisor import (
-    InterestRecommendation,
-    advise_k,
-    recommend_interests,
-    sequence_frequencies,
-)
+from repro.core.advisor import InterestRecommendation, advise_k, recommend_interests, sequence_frequencies
 from repro.core.bisimulation import bisimulation_classes, k_path_bisimilar
-from repro.core.cpqx import CPQxIndex
+from repro.core.cache import LRUCache
+from repro.core.concurrency import RWLock
 from repro.core.costmodel import (
     construction_estimate,
     explain_index,
@@ -15,21 +11,12 @@ from repro.core.costmodel import (
     query_estimate,
     update_estimate,
 )
-from repro.core.cq import (
-    ConjunctiveQuery,
-    TriplePattern,
-    collapse_chains,
-    evaluate_cq,
-    parse_bgp,
-)
-from repro.core.validate import ValidationReport, quick_verify, verify_index
-from repro.core.cache import LRUCache
-from repro.core.concurrency import RWLock
-from repro.core.parallel import index_fingerprint, resolve_workers
+from repro.core.cpqx import CPQxIndex
+from repro.core.cq import ConjunctiveQuery, TriplePattern, collapse_chains, evaluate_cq, parse_bgp
 from repro.core.executor import EngineBase, ExecutionStats, Result, execute_plan
 from repro.core.interest import InterestAwareIndex
 from repro.core.pairset import PairSet
-from repro.core.persistence import PersistenceError, load_index, save_index
+from repro.core.parallel import index_fingerprint, resolve_workers
 from repro.core.partition import (
     CodePartition,
     PathPartition,
@@ -49,6 +36,7 @@ from repro.core.paths import (
     reachable_pairs,
     sequence_relation_codes,
 )
+from repro.core.persistence import PersistenceError, load_index, save_index
 from repro.core.stats import (
     DatasetStats,
     IndexStats,
@@ -57,6 +45,7 @@ from repro.core.stats import (
     format_bytes,
     stats_of,
 )
+from repro.core.validate import ValidationReport, quick_verify, verify_index
 
 __all__ = [
     "CPQxIndex",

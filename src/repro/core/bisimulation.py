@@ -32,8 +32,8 @@ formal development in Fletcher et al. [13].
 
 from __future__ import annotations
 
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 from repro.core.paths import reachable_pairs
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 
 
 def _connected_within(graph: LabeledDigraph, pairs: set[Pair], v: Vertex, u: Vertex) -> bool:

@@ -19,7 +19,7 @@ dict mutation that the concurrent serving path
 from __future__ import annotations
 
 import threading
-from typing import Hashable, Iterator
+from collections.abc import Hashable, Iterator
 
 
 class LRUCache:

@@ -16,8 +16,8 @@ lock is not reentrant, which the session facade never needs.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Iterator
 
 
 class RWLock:

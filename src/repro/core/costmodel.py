@@ -23,8 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.query.ast import CPQ, count_operations, is_resolved, label_sequences_in, resolve
 from repro.plan.planner import greedy_splitter
+from repro.query.ast import CPQ, count_operations, is_resolved, label_sequences_in, resolve
 
 
 def _log2(value: float) -> float:

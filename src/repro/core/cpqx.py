@@ -28,19 +28,15 @@ maintenance (Sec. IV-E) through :meth:`insert_edge` / :meth:`delete_edge`.
 
 from __future__ import annotations
 
+from repro.core.executor import EngineBase, Result
+from repro.core.pairset import PairSet
+from repro.core.parallel import derive_class_sequences, derive_class_sequences_parallel, resolve_workers
+from repro.core.partition import compute_partition_codes
+from repro.core.paths import enumerate_sequences_codes, invert_sequences_codes
 from repro.errors import IndexBuildError, QueryDiameterError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 from repro.graph.interner import ID_BITS, ID_MASK
 from repro.graph.labels import LabelSeq
-from repro.core.executor import EngineBase, Result
-from repro.core.pairset import PairSet
-from repro.core.parallel import (
-    derive_class_sequences,
-    derive_class_sequences_parallel,
-    resolve_workers,
-)
-from repro.core.partition import compute_partition_codes
-from repro.core.paths import enumerate_sequences_codes, invert_sequences_codes
 from repro.plan.planner import Splitter, greedy_splitter
 
 
@@ -103,19 +99,23 @@ class CPQxIndex(EngineBase):
         k: int = 2,
         il2c_method: str = "representative",
         workers: int | str = 1,
-    ) -> "CPQxIndex":
+    ) -> CPQxIndex:
         """Build CPQx over ``graph`` with path-length bound ``k``.
 
         Runs Algorithm 1 (partition) then Algorithm 2 (index assembly),
         entirely in the interned code space.  ``workers`` > 1 (or
-        ``"auto"``) shards the dominant step — the per-representative
-        ``L≤k`` derivation — across a process pool by source vertex,
-        producing an identical index (see :mod:`repro.core.parallel`).
+        ``"auto"``) shards *both* stages along the interned
+        source-vertex axis — the per-level k-path-bisimulation
+        refinement over persistent shard workers
+        (:func:`repro.core.partition.compute_partition_codes`, serial
+        below its pair-count threshold) and the per-representative
+        ``L≤k`` derivation over a process pool
+        (:mod:`repro.core.parallel`) — producing an identical index.
         """
         if k < 1:
             raise IndexBuildError(f"k must be >= 1, got {k}")
         num_workers = resolve_workers(workers)
-        partition = compute_partition_codes(graph, k)
+        partition = compute_partition_codes(graph, k, workers=num_workers)
         ic2p = partition.blocks
         view = graph.interned()
 

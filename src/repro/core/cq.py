@@ -55,7 +55,7 @@ class TriplePattern:
     predicate: int
     object: Term
 
-    def normalized(self) -> "TriplePattern":
+    def normalized(self) -> TriplePattern:
         """Flip inverse predicates so stored patterns are forward-labeled."""
         if self.predicate < 0:
             return TriplePattern(self.object, -self.predicate, self.subject)

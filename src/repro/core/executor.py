@@ -41,15 +41,16 @@ for all methods" protocol.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Protocol, runtime_checkable
 
+from repro.core.cache import LRUCache
+from repro.core.pairset import PairSet
 from repro.errors import QuerySyntaxError
 from repro.graph.digraph import LabeledDigraph, Pair
 from repro.graph.interner import ID_BITS
 from repro.graph.labels import LabelSeq
-from repro.core.cache import LRUCache
-from repro.core.pairset import PairSet
 from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, PlanNode
 from repro.plan.planner import Splitter, build_plan
 from repro.query.ast import CPQ, is_resolved, resolve
@@ -73,7 +74,7 @@ class ExecutionStats:
     pair_conjunctions: int = 0
     joins: int = 0
 
-    def merge(self, other: "ExecutionStats") -> None:
+    def merge(self, other: ExecutionStats) -> None:
         """Accumulate another run's counters into this one."""
         self.lookups += other.lookups
         self.classes_touched += other.classes_touched
@@ -82,7 +83,7 @@ class ExecutionStats:
         self.pair_conjunctions += other.pair_conjunctions
         self.joins += other.joins
 
-    def snapshot(self) -> "ExecutionStats":
+    def snapshot(self) -> ExecutionStats:
         """An independent copy (cached alongside memoized results)."""
         return replace(self)
 
@@ -105,14 +106,14 @@ class Result:
             raise QuerySyntaxError("Result must carry exactly one of pairs/classes")
 
     @staticmethod
-    def of_pairs(pairs: Iterable[Pair]) -> "Result":
+    def of_pairs(pairs: Iterable[Pair]) -> Result:
         """Wrap a pair collection (kept columnar if already a PairSet)."""
         if isinstance(pairs, PairSet):
             return Result(pairs=pairs)
         return Result(pairs=frozenset(pairs))
 
     @staticmethod
-    def of_classes(classes: Iterable[int]) -> "Result":
+    def of_classes(classes: Iterable[int]) -> Result:
         """Wrap a class-id set."""
         return Result(classes=frozenset(classes))
 
@@ -126,7 +127,7 @@ class LookupProvider(Protocol):
     def lookup(self, seq: LabelSeq) -> Result:
         """Result of a label-sequence LOOKUP (classes or pairs)."""
 
-    def expand_classes(self, classes: frozenset[int]) -> "frozenset[Pair] | PairSet":
+    def expand_classes(self, classes: frozenset[int]) -> frozenset[Pair] | PairSet:
         """Union of ``Ic2p(c)`` over ``classes`` (pair engines never call this)."""
 
     def loop_classes_of(self, classes: frozenset[int]) -> frozenset[int]:
@@ -143,7 +144,7 @@ def execute_plan(
     provider: LookupProvider,
     stats: ExecutionStats | None = None,
     limit: int | None = None,
-    memo: "Memo | None" = None,
+    memo: Memo | None = None,
 ) -> frozenset[Pair]:
     """Run Algorithm 3: evaluate ``plan`` and materialize the root result.
 
@@ -178,7 +179,7 @@ def _execute(
     plan: PlanNode,
     provider: LookupProvider,
     stats: ExecutionStats | None,
-    memo: "Memo | None" = None,
+    memo: Memo | None = None,
 ) -> Result:
     if memo is not None:
         hit = memo.get(plan)
@@ -206,7 +207,7 @@ def _execute_uncached(
     plan: PlanNode,
     provider: LookupProvider,
     stats: ExecutionStats | None,
-    memo: "Memo | None",
+    memo: Memo | None,
 ) -> Result:
     if isinstance(plan, Lookup):
         result = provider.lookup(plan.seq)
@@ -286,7 +287,7 @@ def _materialize(
     provider: LookupProvider,
     stats: ExecutionStats | None,
     limit: int | None,
-) -> "frozenset[Pair] | PairSet":
+) -> frozenset[Pair] | PairSet:
     """Turn a result into explicit pairs (root of Algorithm 3).
 
     Returns a columnar :class:`PairSet` whenever the producing engine is
@@ -315,10 +316,10 @@ def _materialize(
 
 
 def _compose(
-    left: "frozenset[Pair] | PairSet",
-    right: "frozenset[Pair] | PairSet",
+    left: frozenset[Pair] | PairSet,
+    right: frozenset[Pair] | PairSet,
     loops_only: bool,
-) -> "set[Pair] | PairSet":
+) -> set[Pair] | PairSet:
     """Join two pair collections on the shared middle vertex.
 
     Columnar operands run the O(n log n + m + output) sort-merge of

@@ -26,15 +26,15 @@ sequence) insertion/deletion (Sec. V-C).
 
 from __future__ import annotations
 
-from repro.errors import IndexBuildError, MaintenanceError
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
-from repro.graph.interner import ID_BITS, ID_MASK
-from repro.graph.labels import LabelSeq
 from repro.core.executor import EngineBase, Result
 from repro.core.maintenance import affected_pairs
 from repro.core.pairset import PairSet
 from repro.core.parallel import interest_relations_parallel, resolve_workers
 from repro.core.paths import sequence_relation_codes
+from repro.errors import IndexBuildError, MaintenanceError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.interner import ID_BITS, ID_MASK
+from repro.graph.labels import LabelSeq
 from repro.plan.planner import Splitter, interest_splitter
 
 
@@ -98,7 +98,7 @@ class InterestAwareIndex(EngineBase):
         k: int = 2,
         interests: set[LabelSeq] | frozenset[LabelSeq] = frozenset(),
         workers: int | str = 1,
-    ) -> "InterestAwareIndex":
+    ) -> InterestAwareIndex:
         """Build iaCPQx for the given interest sequences.
 
         Length-1 sequences are added automatically; interests longer than

@@ -27,12 +27,12 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import MaintenanceError
-from repro.graph.digraph import LabeledDigraph, Pair, Vertex
-from repro.graph.labels import LabelSeq
 from repro.core.cpqx import CPQxIndex
 from repro.core.pairset import PairSet
 from repro.core.paths import label_sequences_for_pair
+from repro.errors import MaintenanceError
+from repro.graph.digraph import LabeledDigraph, Pair, Vertex
+from repro.graph.labels import LabelSeq
 
 
 def insert_edge(index: CPQxIndex, v: Vertex, u: Vertex, label: object) -> None:

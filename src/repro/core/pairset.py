@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.graph.digraph import Pair
 from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, VertexInterner
@@ -178,29 +178,29 @@ class PairSet:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def empty(cls, interner: VertexInterner) -> "PairSet":
+    def empty(cls, interner: VertexInterner) -> PairSet:
         """The empty pair set."""
         return cls(_EMPTY, interner)
 
     @classmethod
-    def from_codes(cls, codes: Iterable[int], interner: VertexInterner) -> "PairSet":
+    def from_codes(cls, codes: Iterable[int], interner: VertexInterner) -> PairSet:
         """Build a frozen column from arbitrary codes (sorts + dedups)."""
         return cls(array("q", sorted(set(codes))), interner)
 
     @classmethod
-    def from_sorted_codes(cls, codes: array, interner: VertexInterner) -> "PairSet":
+    def from_sorted_codes(cls, codes: array, interner: VertexInterner) -> PairSet:
         """Adopt an already sorted duplicate-free column (no copy)."""
         return cls(codes, interner)
 
     @classmethod
-    def from_code_set(cls, codes: set[int], interner: VertexInterner) -> "PairSet":
+    def from_code_set(cls, codes: set[int], interner: VertexInterner) -> PairSet:
         """Adopt a code set lazily — the column sorts on first demand."""
         return cls(None, interner, codeset=codes)
 
     @classmethod
     def from_vertex_pairs(
         cls, pairs: Iterable[Pair], interner: VertexInterner
-    ) -> "PairSet":
+    ) -> PairSet:
         """Encode original-vertex pairs through the interner."""
         id_of = interner.id_of
         return cls.from_codes(
@@ -210,7 +210,7 @@ class PairSet:
     @classmethod
     def union_disjoint(
         cls, parts: Iterable["PairSet"], interner: VertexInterner
-    ) -> "PairSet":
+    ) -> PairSet:
         """K-way union of pairwise-disjoint frozen sets (``Ic2p`` classes).
 
         Disjointness (classes partition the pair universe) means no
@@ -249,7 +249,7 @@ class PairSet:
             return self._codeset
         return set(self._codes)
 
-    def _any_codes(self) -> "set[int] | array":
+    def _any_codes(self) -> set[int] | array:
         """Whichever representation exists, for order-free scans."""
         return self._codeset if self._codeset is not None else self._codes
 
@@ -327,15 +327,15 @@ class PairSet:
     # set algebra — merge-based on frozen columns, hash-based when an
     # operand is still a lazy code set
     # ------------------------------------------------------------------
-    def _coerce(self, other: object) -> "PairSet | None":
+    def _coerce(self, other: object) -> PairSet | None:
         if isinstance(other, PairSet) and other._interner is self._interner:
             return other
         return None
 
-    def _both_frozen(self, peer: "PairSet") -> bool:
+    def _both_frozen(self, peer: PairSet) -> bool:
         return self._codes is not None and peer._codes is not None
 
-    def __and__(self, other: object) -> "PairSet | frozenset[Pair]":
+    def __and__(self, other: object) -> PairSet | frozenset[Pair]:
         peer = self._coerce(other)
         if peer is not None:
             if self._both_frozen(peer):
@@ -353,7 +353,7 @@ class PairSet:
 
     __rand__ = __and__
 
-    def __or__(self, other: object) -> "PairSet | frozenset[Pair]":
+    def __or__(self, other: object) -> PairSet | frozenset[Pair]:
         peer = self._coerce(other)
         if peer is not None:
             if self._both_frozen(peer):
@@ -371,7 +371,7 @@ class PairSet:
 
     __ror__ = __or__
 
-    def __sub__(self, other: object) -> "PairSet | frozenset[Pair]":
+    def __sub__(self, other: object) -> PairSet | frozenset[Pair]:
         peer = self._coerce(other)
         if peer is not None:
             if self._both_frozen(peer):
@@ -392,19 +392,19 @@ class PairSet:
             return frozenset(other) - self.to_set()
         return NotImplemented
 
-    def intersection(self, other: "PairSet") -> "PairSet":
+    def intersection(self, other: PairSet) -> PairSet:
         """Intersection (alias of ``&`` for PairSets)."""
         result = self & other
         assert isinstance(result, PairSet)
         return result
 
-    def union(self, other: "PairSet") -> "PairSet":
+    def union(self, other: PairSet) -> PairSet:
         """Union (alias of ``|`` for PairSets)."""
         result = self | other
         assert isinstance(result, PairSet)
         return result
 
-    def difference(self, other: "PairSet") -> "PairSet":
+    def difference(self, other: PairSet) -> PairSet:
         """Difference (alias of ``-`` for PairSets)."""
         result = self - other
         assert isinstance(result, PairSet)
@@ -413,7 +413,7 @@ class PairSet:
     # ------------------------------------------------------------------
     # point updates (persistent: return a new column)
     # ------------------------------------------------------------------
-    def with_code(self, code: int) -> "PairSet":
+    def with_code(self, code: int) -> PairSet:
         """A new set with ``code`` inserted (no-op copy if present)."""
         codes = self.codes
         pos = bisect_left(codes, code)
@@ -424,7 +424,7 @@ class PairSet:
         updated.extend(codes[pos:])
         return PairSet(updated, self._interner)
 
-    def without_code(self, code: int) -> "PairSet":
+    def without_code(self, code: int) -> PairSet:
         """A new set with ``code`` removed; raises KeyError if absent."""
         codes = self.codes
         pos = bisect_left(codes, code)
@@ -435,7 +435,7 @@ class PairSet:
     # ------------------------------------------------------------------
     # relational operators
     # ------------------------------------------------------------------
-    def loops(self) -> "PairSet":
+    def loops(self) -> PairSet:
         """The subset with ``v == u`` (the ``∩ id`` filter)."""
         if self._codeset is not None:
             return PairSet.from_code_set(
@@ -450,7 +450,7 @@ class PairSet:
             self._interner,
         )
 
-    def compose(self, other: "PairSet", loops_only: bool = False) -> "PairSet":
+    def compose(self, other: PairSet, loops_only: bool = False) -> PairSet:
         """Relational composition ``{(v, u) | (v, m) ∈ self, (m, u) ∈ other}``.
 
         A single-pass hash join on the *packed ids*: the right column is

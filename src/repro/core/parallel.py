@@ -39,21 +39,22 @@ import multiprocessing
 import os
 import threading
 from array import array
-from typing import Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from contextlib import contextmanager
+from multiprocessing.connection import Connection
+from typing import TypeVar
 
+from repro.core.pairset import PairSet
+from repro.core.paths import sequence_codes_from_sources, sequence_targets_from_source
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.interner import ID_BITS, InternedView
 from repro.graph.labels import LabelSeq
-from repro.core.pairset import PairSet
-from repro.core.paths import (
-    sequence_codes_from_sources,
-    sequence_targets_from_source,
-)
 
 #: Shards handed out per worker — over-decomposition so a worker that
 #: drew a low-degree shard picks up another instead of idling.
 SHARDS_PER_WORKER = 4
+
 
 def _start_method() -> str:
     """Pool start method for this build, chosen per call.
@@ -72,6 +73,7 @@ def _start_method() -> str:
         return "fork"
     return "spawn"
 
+
 _T = TypeVar("_T")
 
 
@@ -84,14 +86,10 @@ def resolve_workers(workers: int | str | None) -> int:
         return 1
     if isinstance(workers, str):
         if workers != "auto":
-            raise IndexBuildError(
-                f"workers must be a positive int or 'auto', got {workers!r}"
-            )
+            raise IndexBuildError(f"workers must be a positive int or 'auto', got {workers!r}")
         return os.cpu_count() or 1
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-        raise IndexBuildError(
-            f"workers must be a positive int or 'auto', got {workers!r}"
-        )
+        raise IndexBuildError(f"workers must be a positive int or 'auto', got {workers!r}")
     return workers
 
 
@@ -144,7 +142,7 @@ def _worker_view() -> InternedView:
 def derive_class_sequences(
     view: InternedView,
     k: int,
-    anchored_by_source: "Iterable[tuple[int, Iterable[tuple[int, int]]]]",
+    anchored_by_source: Iterable[tuple[int, Iterable[tuple[int, int]]]],
 ) -> dict[int, frozenset[LabelSeq]]:
     """CPQx representative ``L≤k`` derivation (Algorithm 2's loop).
 
@@ -161,9 +159,7 @@ def derive_class_sequences(
         table = sequence_targets_from_source(view, source, k)
         rows = table.items()
         for class_id, target in anchored:
-            sequences[class_id] = frozenset(
-                seq for seq, ids in rows if target in ids
-            )
+            sequences[class_id] = frozenset(seq for seq, ids in rows if target in ids)
     return sequences
 
 
@@ -250,6 +246,57 @@ def parallel_map(
         return pool.map(worker, tasks)
 
 
+@contextmanager
+def shard_processes(
+    worker: Callable,
+    tasks: list,
+) -> Iterator[list[Connection]]:
+    """Persistent pipe-connected shard workers for level-synchronized maps.
+
+    Where :func:`parallel_map` fits one-shot shard tasks, some
+    algorithms — the parallel k-path-bisimulation refinement
+    (:func:`repro.core.partition.compute_partition_codes`) — alternate
+    per-level local work with a global merge, and re-shipping worker
+    state every level would swamp the compute it saves.  This starts one
+    **persistent** process per task (each task ships once, through the
+    process arguments — the analog of :func:`parallel_map`'s
+    initializer) and yields one duplex pipe per worker, in task order,
+    over which the caller runs its per-level exchange.
+
+    ``worker(task, connection)`` owns the child side; it must close the
+    connection when done (and should ship failures through it — an
+    unexpectedly closed pipe surfaces parent-side as ``EOFError``).  On
+    exit the parent ends are closed first, so workers still blocked in
+    ``recv`` unblock with ``EOFError`` instead of deadlocking, then
+    every process is joined (and terminated if it outlives the grace
+    period).
+    """
+    context = multiprocessing.get_context(_start_method())
+    connections: list[Connection] = []
+    processes = []
+    try:
+        for task in tasks:
+            parent_end, child_end = context.Pipe(duplex=True)
+            process = context.Process(target=worker, args=(task, child_end), daemon=True)
+            process.start()
+            child_end.close()
+            connections.append(parent_end)
+            processes.append(process)
+        yield connections
+    finally:
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        for process in processes:
+            process.join(timeout=10.0)
+        for process in processes:  # pragma: no cover - crash-path cleanup
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+
 def _enumeration_sources(view: InternedView) -> list[int]:
     """Live source ids with at least one extended out-edge, sorted."""
     out = view.out
@@ -270,12 +317,8 @@ def derive_class_sequences_parallel(
     loop: each class's sequences come from the same per-source table.
     """
     anchored = sorted((source, anchors) for source, anchors in by_source.items())
-    shards = shard_round_robin(
-        anchored, min(workers * SHARDS_PER_WORKER, len(anchored))
-    )
-    results = parallel_map(
-        graph, _class_sequences_shard, [(k, shard) for shard in shards], workers
-    )
+    shards = shard_round_robin(anchored, min(workers * SHARDS_PER_WORKER, len(anchored)))
+    results = parallel_map(graph, _class_sequences_shard, [(k, shard) for shard in shards], workers)
     merged: dict[int, frozenset[LabelSeq]] = {}
     for part in results:
         for class_id, seqs in part.items():
@@ -296,12 +339,8 @@ def enumerate_sequences_codes_parallel(
     sources = _enumeration_sources(view)
     if not sources:
         return {}
-    shards = shard_round_robin(
-        sources, min(workers * SHARDS_PER_WORKER, len(sources))
-    )
-    parts = parallel_map(
-        graph, _sequence_postings_shard, [(k, shard) for shard in shards], workers
-    )
+    shards = shard_round_robin(sources, min(workers * SHARDS_PER_WORKER, len(sources)))
+    parts = parallel_map(graph, _sequence_postings_shard, [(k, shard) for shard in shards], workers)
     columns: dict[LabelSeq, list[array]] = {}
     for part in parts:
         for seq, column in part.items():
@@ -329,9 +368,7 @@ def interest_relations_parallel(
     seqs = tuple(sorted(interests))
     if not sources or not seqs:
         return {}
-    shards = shard_round_robin(
-        sources, min(workers * SHARDS_PER_WORKER, len(sources))
-    )
+    shards = shard_round_robin(sources, min(workers * SHARDS_PER_WORKER, len(sources)))
     parts = parallel_map(
         graph,
         _interest_relations_shard,
@@ -365,15 +402,11 @@ def index_fingerprint(engine: object) -> tuple:
         return (
             "path",
             engine.k,  # type: ignore[attr-defined]
-            tuple(sorted(
-                (seq, tuple(stored.codes)) for seq, stored in entries.items()
-            )),
+            tuple(sorted((seq, tuple(stored.codes)) for seq, stored in entries.items())),
         )
     ic2p = getattr(engine, "_ic2p", None)
     if ic2p is None:
-        raise IndexBuildError(
-            f"cannot fingerprint engine {type(engine).__name__}"
-        )
+        raise IndexBuildError(f"cannot fingerprint engine {type(engine).__name__}")
     sequences = engine._class_sequences  # type: ignore[attr-defined]
     loops = engine._loop_classes  # type: ignore[attr-defined]
     classes = frozenset(

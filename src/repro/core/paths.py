@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from array import array
 
+from repro.core.pairset import PairSet
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
 from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, InternedView
 from repro.graph.labels import LabelSeq
-from repro.core.pairset import PairSet
 
 
 

@@ -17,11 +17,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
 from repro.errors import ReproError
 from repro.graph.digraph import LabeledDigraph, Vertex
 from repro.graph.labels import LabelRegistry
-from repro.core.cpqx import CPQxIndex
-from repro.core.interest import InterestAwareIndex
 
 FORMAT_NAME = "repro-index"
 FORMAT_VERSION = 1
@@ -117,7 +117,7 @@ def save_index(index: CPQxIndex | InterestAwareIndex, path: str | Path) -> None:
 
 def load_index(path: str | Path) -> CPQxIndex | InterestAwareIndex:
     """Load an index saved by :func:`save_index`."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     if document.get("format") != FORMAT_NAME:
         raise PersistenceError(f"{path}: not a {FORMAT_NAME} file")

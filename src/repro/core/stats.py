@@ -16,8 +16,8 @@ entry counts, and ``size_bytes``).
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.graph.digraph import LabeledDigraph
 

@@ -21,8 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.cpqx import CPQxIndex
 from repro.core.interest import InterestAwareIndex
-from repro.core.paths import invert_sequences, enumerate_sequences
-from repro.core.paths import label_sequences_for_pair
+from repro.core.paths import enumerate_sequences, invert_sequences, label_sequences_for_pair
 
 
 @dataclass
@@ -83,7 +82,7 @@ def verify_index(index: CPQxIndex | InterestAwareIndex) -> ValidationReport:
             report.problems.append(f"class {class_id} mixes loops and non-loops")
         elif (class_id in index._loop_classes) != loop_flags.pop():
             report.problems.append(f"class {class_id} loop registry mismatch")
-        for code, pair in zip(members.iter_codes(), members):
+        for code, pair in zip(members.iter_codes(), members, strict=True):
             if index._class_of.get(code) != class_id:
                 report.problems.append(
                     f"pair {pair!r} listed in class {class_id} but mapped elsewhere"

@@ -20,8 +20,8 @@ Keys are case-insensitive (``"CPQx"``, ``"cpqx"`` and ``"iaCPQx"``,
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
 
 from repro.errors import UnknownEngineError
 from repro.graph.digraph import LabeledDigraph
@@ -40,7 +40,8 @@ class EngineSpec:
     persistable: bool = False
     incremental: bool = False
     #: Whether the builder accepts ``workers`` for sharded parallel
-    #: construction (:mod:`repro.core.parallel`).
+    #: construction (:mod:`repro.core.parallel`; on CPQx this includes
+    #: the Algorithm 1 partition, :mod:`repro.core.partition`).
     parallelizable: bool = False
     description: str = ""
     aliases: tuple[str, ...] = field(default=())

@@ -23,7 +23,7 @@ Two consumers get extra laziness:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.core.executor import ExecutionStats
 from repro.graph.digraph import Pair

@@ -32,8 +32,8 @@ The session life cycle:
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
 
 from repro.core.advisor import advise_k, recommend_interests
 from repro.core.concurrency import RWLock
@@ -103,7 +103,7 @@ class GraphDatabase:
     # opening a session
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: LabeledDigraph, name: str = "graph") -> "GraphDatabase":
+    def from_graph(cls, graph: LabeledDigraph, name: str = "graph") -> GraphDatabase:
         """Wrap an existing graph in a session."""
         return cls(graph, name=name)
 
@@ -113,7 +113,7 @@ class GraphDatabase:
         triples: Iterable[Triple],
         labels: Iterable[str] | None = None,
         name: str = "graph",
-    ) -> "GraphDatabase":
+    ) -> GraphDatabase:
         """Start a session from ``(source, target, label)`` triples.
 
         ``labels`` optionally pre-registers label names so their ids are
@@ -127,14 +127,14 @@ class GraphDatabase:
     @classmethod
     def from_dataset(
         cls, name: str, scale: float = 0.25, seed: int = 7
-    ) -> "GraphDatabase":
+    ) -> GraphDatabase:
         """Start a session over a registry dataset stand-in."""
         from repro.graph.datasets import load_dataset
 
         return cls(load_dataset(name, scale=scale, seed=seed), name=name)
 
     @classmethod
-    def open(cls, path, name: str | None = None) -> "GraphDatabase":
+    def open(cls, path, name: str | None = None) -> GraphDatabase:
         """Resume a session from a saved index file (graph included)."""
         from repro.core.interest import InterestAwareIndex
         from repro.core.persistence import load_index
@@ -162,7 +162,7 @@ class GraphDatabase:
         budget_bytes: int | None = None,
         seed: int = 7,
         workers: int | str = 1,
-    ) -> "GraphDatabase":
+    ) -> GraphDatabase:
         """Build (or replace) the session's engine; returns ``self``.
 
         ``engine="auto"`` routes the choice of engine, ``k``, and
@@ -174,7 +174,10 @@ class GraphDatabase:
         ``workers`` > 1 (or ``"auto"`` = one per CPU) builds the index
         with the sharded parallel constructor on engines that support it
         (CPQx, iaCPQx, Path, iaPath — see :mod:`repro.core.parallel`);
-        the result is pair-for-pair identical to the serial build.  The
+        on CPQx this covers both build stages, including the
+        k-path-bisimulation partition of Algorithm 1
+        (:func:`repro.core.partition.compute_partition_codes`).  The
+        result is pair-for-pair identical to the serial build.  The
         worker count is remembered, so rebuilds triggered by
         :meth:`update` on non-incremental engines stay parallel.
         """
@@ -329,13 +332,14 @@ class GraphDatabase:
     def serve_batch(
         self,
         queries: Iterable[CPQ | str],
-        workers: int = 8,
+        workers: int | str = 8,
         limit: int | None = None,
     ) -> BatchResult:
         """Evaluate a workload on a thread pool — the concurrent
         serving path.
 
-        ``workers`` threads drain the query list concurrently; each
+        ``workers`` threads (``"auto"`` = one per CPU, the same sentinel
+        :meth:`build_index` accepts) drain the query list concurrently; each
         query evaluates under the session's shared (read) lock, so a
         concurrent :meth:`update` is serialized against in-flight
         evaluations and every answer reflects the engine at an update
@@ -345,11 +349,14 @@ class GraphDatabase:
         memo layers are individually thread-safe; see
         ``docs/concurrency.md``).
         """
+        num_workers = (
+            resolve_workers(workers) if isinstance(workers, str) else workers
+        )
         if not self.is_built:
             self.build_index()  # engine="auto" once, before threading
         resolved = [self._resolve(query) for query in queries]
         start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+        with ThreadPoolExecutor(max_workers=max(1, num_workers)) as pool:
             # list() keeps input order and propagates the first worker
             # exception, if any.
             results = list(
@@ -370,7 +377,7 @@ class GraphDatabase:
         remove_edges: Iterable[Triple] = (),
         add_vertices: Iterable[Vertex] = (),
         remove_vertices: Iterable[Vertex] = (),
-    ) -> "GraphDatabase":
+    ) -> GraphDatabase:
         """Apply graph updates and keep the engine consistent.
 
         Incremental engines (CPQx, iaCPQx) take each change through the
@@ -398,7 +405,7 @@ class GraphDatabase:
         remove_edges: Iterable[Triple],
         add_vertices: Iterable[Vertex],
         remove_vertices: Iterable[Vertex],
-    ) -> "GraphDatabase":
+    ) -> GraphDatabase:
         if self._engine is not None and self._spec is not None and self._spec.incremental:
             index = self._engine
             for v in add_vertices:

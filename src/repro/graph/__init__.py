@@ -2,7 +2,6 @@
 
 from repro.graph.digraph import LabeledDigraph, Pair, Triple, Vertex
 from repro.graph.interner import InternedView, VertexInterner
-from repro.graph.metrics import degree_summary, density, label_skew, summarize
 from repro.graph.labels import (
     Label,
     LabelRegistry,
@@ -12,6 +11,7 @@ from repro.graph.labels import (
     inverse_sequence,
     is_inverse,
 )
+from repro.graph.metrics import degree_summary, density, label_skew, summarize
 
 __all__ = [
     "InternedView",

@@ -19,8 +19,8 @@ iaPath on them, mirroring the paper's reporting.
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import DatasetError
 from repro.graph.digraph import LabeledDigraph

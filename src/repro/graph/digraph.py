@@ -13,7 +13,7 @@ integers, while the running example graph uses strings (user names).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 from repro.errors import GraphError, UnknownVertexError
 from repro.graph.interner import InternedView, VertexInterner
@@ -63,7 +63,7 @@ class LabeledDigraph:
         cls,
         triples: Iterable[tuple[Vertex, Vertex, object]],
         registry: LabelRegistry | None = None,
-    ) -> "LabeledDigraph":
+    ) -> LabeledDigraph:
         """Build a graph from ``(source, target, label)`` triples.
 
         Labels may be names (strings, auto-registered) or integer ids.
@@ -356,7 +356,7 @@ class LabeledDigraph:
         state["_interned_cache"] = None
         return state
 
-    def copy(self) -> "LabeledDigraph":
+    def copy(self) -> LabeledDigraph:
         """Deep-copy the graph structure (shares the label registry)."""
         clone = LabeledDigraph(self.registry)
         for v in self._out:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import DatasetError
 from repro.graph.digraph import LabeledDigraph

@@ -22,7 +22,7 @@ Two pieces live here:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.errors import GraphError, UnknownVertexError
 

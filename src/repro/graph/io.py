@@ -12,8 +12,8 @@ Two interchange formats are supported:
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterable
 
 from repro.errors import GraphError
 from repro.graph.digraph import LabeledDigraph
@@ -34,7 +34,7 @@ def load_tsv(path: str | Path) -> LabeledDigraph:
     Blank lines and ``#`` comment lines are ignored.
     """
     graph = LabeledDigraph()
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_no, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
@@ -61,7 +61,7 @@ def save_tsv(graph: LabeledDigraph, path: str | Path) -> None:
 
 def load_json(path: str | Path) -> LabeledDigraph:
     """Load a graph from the JSON document format (see module docstring)."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     return graph_from_document(document)
 

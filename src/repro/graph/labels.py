@@ -17,7 +17,7 @@ hot loops free of string handling; names only matter at the API boundary.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import UnknownLabelError
 

@@ -17,8 +17,8 @@ and city; edge labels ``cites``, ``supervises``, ``livesIn``, ``worksIn``,
 from __future__ import annotations
 
 import random
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 from repro.errors import DatasetError
 from repro.graph.digraph import LabeledDigraph

@@ -20,7 +20,7 @@ costs; the test-suite checks both.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.graph.labels import LabelSeq
 from repro.plan.planner import Splitter, greedy_splitter

@@ -18,7 +18,7 @@ in the given label sequences").
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import QueryDiameterError, QuerySyntaxError
 from repro.graph.labels import LabelSeq

@@ -2,9 +2,9 @@
 
 from repro.query.ast import (
     CPQ,
+    ID,
     Conjunction,
     EdgeLabel,
-    ID,
     Identity,
     Join,
     as_label_sequence,

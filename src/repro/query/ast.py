@@ -20,8 +20,8 @@ into the id-form required by all evaluation engines.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.errors import QuerySyntaxError
 from repro.graph.labels import LabelRegistry, LabelSeq
@@ -40,11 +40,11 @@ class CPQ:
         """Direct sub-expressions (empty for atoms)."""
         return ()
 
-    def __rshift__(self, other: "CPQ") -> "Join":
+    def __rshift__(self, other: CPQ) -> Join:
         """``q1 >> q2`` builds the join ``q1 ∘ q2``."""
         return Join(self, _as_cpq(other))
 
-    def __and__(self, other: "CPQ") -> "Conjunction":
+    def __and__(self, other: CPQ) -> Conjunction:
         """``q1 & q2`` builds the conjunction ``q1 ∩ q2``."""
         return Conjunction(self, _as_cpq(other))
 
@@ -104,7 +104,7 @@ class EdgeLabel(CPQ):
     def diameter(self) -> int:
         return 1
 
-    def inverse(self) -> "EdgeLabel":
+    def inverse(self) -> EdgeLabel:
         """The inverse atom ``l⁻¹`` (an involution)."""
         return EdgeLabel(self.label, not self.inverted)
 

@@ -18,7 +18,7 @@ chains are left intact for the planner's sequence recognition.
 
 from __future__ import annotations
 
-from repro.query.ast import CPQ, Conjunction, EdgeLabel, ID, Identity, Join, conjoin_all
+from repro.query.ast import CPQ, ID, Conjunction, EdgeLabel, Identity, Join, conjoin_all
 
 
 def normalize(query: CPQ) -> CPQ:

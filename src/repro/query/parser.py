@@ -22,7 +22,7 @@ import re
 
 from repro.errors import QuerySyntaxError
 from repro.graph.labels import LabelRegistry
-from repro.query.ast import CPQ, EdgeLabel, ID, conjoin_all, join_all, resolve
+from repro.query.ast import CPQ, ID, EdgeLabel, conjoin_all, join_all, resolve
 
 _TOKEN = re.compile(
     r"\s*(?:"

@@ -25,11 +25,11 @@ into CPQs with keeping query shapes and their edge labels" (Sec. VI-A).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 from repro.errors import QuerySyntaxError
-from repro.query.ast import CPQ, EdgeLabel, ID, conjoin_all, label
+from repro.query.ast import CPQ, ID, EdgeLabel, conjoin_all, label
 
 
 def c2(l1: EdgeLabel, l2: EdgeLabel) -> CPQ:

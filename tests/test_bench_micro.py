@@ -35,6 +35,10 @@ class TestRunMicro:
             for value in result[section].values():
                 assert value is not None
         assert result["cpqx_build"]["speedup"] > 0
+        host = result["host"]
+        assert host["cpus"] >= 1
+        for key in ("python", "implementation", "platform", "machine"):
+            assert isinstance(host[key], str) and host[key]
         json.dumps(result)  # must be JSON-serializable as-is
 
     def test_cli_writes_json_file(self, tmp_path, capsys):

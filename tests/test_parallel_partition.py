@@ -1,0 +1,244 @@
+"""The parallel k-path-bisimulation partition equals the serial one.
+
+PR 4's contract is stronger than fingerprint equality: the sharded
+refinement of :func:`repro.core.partition.compute_partition_codes` must
+return a :class:`~repro.core.partition.CodePartition` *identical* to the
+serial build — class ids included (both paths renumber canonically by
+smallest member code).  These tests check that contract by property over
+random graphs, k values, and shard counts; on degenerate graphs; through
+every engine's fingerprint; and for the serial-fallback threshold and
+the worker-failure path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.partition as partition_module
+from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.parallel import _start_method, index_fingerprint
+from repro.core.partition import compute_partition_codes, refines
+from repro.db import GraphDatabase
+from repro.errors import IndexBuildError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.generators import random_graph
+
+
+def assert_partitions_match(graph, serial, sharded) -> None:
+    """The full PR-4 contract plus the weaker invariants it implies."""
+    # Identity: same classes, same numbering, same diagnostics.
+    assert sharded.class_of == serial.class_of
+    assert sharded.loop_classes == serial.loop_classes
+    assert sharded.level_class_counts == serial.level_class_counts
+    # Class-block equality, member for member.
+    assert {
+        class_id: tuple(members.codes)
+        for class_id, members in sharded.blocks.items()
+    } == {
+        class_id: tuple(members.codes)
+        for class_id, members in serial.blocks.items()
+    }
+    # Mutual refinement on the decoded pairs (partition equality even if
+    # the numbering contract ever weakens).
+    decode = graph.interner.decode_pair
+    fine = {decode(code): cid for code, cid in sharded.class_of.items()}
+    coarse = {decode(code): cid for code, cid in serial.class_of.items()}
+    assert refines(fine, coarse)
+    assert refines(coarse, fine)
+
+
+class TestParallelEqualsSerial:
+    """The property the parallel partition stands on."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.sampled_from([1, 2, 3]),
+        workers=st.sampled_from([2, 3, 5]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs(self, seed, k, workers):
+        graph = random_graph(30, 140, 3, seed=seed)
+        serial = compute_partition_codes(graph, k)
+        sharded = compute_partition_codes(graph, k, workers=workers, min_pairs=0)
+        assert_partitions_match(graph, serial, sharded)
+
+    def test_larger_graph_k3(self):
+        graph = random_graph(60, 420, 3, seed=99)
+        serial = compute_partition_codes(graph, 3)
+        sharded = compute_partition_codes(graph, 3, workers=3, min_pairs=0)
+        assert_partitions_match(graph, serial, sharded)
+
+
+class TestDegenerateGraphs:
+    """Empty, single-edge, and single-label graphs survive sharding."""
+
+    def test_empty_graph(self):
+        empty = LabeledDigraph()
+        for k in (1, 2, 3):
+            sharded = compute_partition_codes(empty, k, workers=4, min_pairs=0)
+            assert sharded == compute_partition_codes(empty, k)
+            assert sharded.num_pairs == 0
+            assert sharded.num_classes == 0
+
+    def test_single_edge(self):
+        graph = LabeledDigraph.from_triples([("a", "b", "f")])
+        for k in (1, 2, 3):
+            serial = compute_partition_codes(graph, k)
+            sharded = compute_partition_codes(graph, k, workers=4, min_pairs=0)
+            assert_partitions_match(graph, serial, sharded)
+            if k == 1:
+                # the forward pair and its virtual inverse
+                assert serial.num_pairs == 2
+            else:
+                # plus the (a,a)/(b,b) loops that f·f⁻ composes at level 2
+                assert serial.num_pairs == 4
+
+    def test_all_same_label(self):
+        chain = [(i, i + 1, "a") for i in range(8)]
+        cycle = [(f"c{i}", f"c{(i + 1) % 5}", "a") for i in range(5)]
+        loop = [("x", "x", "a")]
+        graph = LabeledDigraph.from_triples(chain + cycle + loop)
+        for k in (2, 3):
+            serial = compute_partition_codes(graph, k)
+            sharded = compute_partition_codes(graph, k, workers=3, min_pairs=0)
+            assert_partitions_match(graph, serial, sharded)
+
+    def test_star_graph_skewed_sources(self):
+        # One hub anchors most pairs: round-robin sharding must still
+        # cover every source and merge back losslessly.
+        triples = [("hub", f"s{i}", "a") for i in range(20)]
+        triples += [(f"s{i}", f"s{i + 1}", "b") for i in range(19)]
+        graph = LabeledDigraph.from_triples(triples)
+        serial = compute_partition_codes(graph, 2)
+        sharded = compute_partition_codes(graph, 2, workers=4, min_pairs=0)
+        assert_partitions_match(graph, serial, sharded)
+
+
+class TestFallbackAndValidation:
+    """Threshold fallback, argument validation, failure propagation."""
+
+    def test_small_graphs_fall_back_to_serial(self, monkeypatch):
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("parallel refinement ran below the threshold")
+
+        monkeypatch.setattr(partition_module, "_parallel_refinement", forbidden)
+        graph = random_graph(30, 120, 2, seed=1)
+        # far below PARALLEL_MIN_PAIRS: workers must be quietly ignored
+        result = compute_partition_codes(graph, 2, workers=4)
+        assert result == compute_partition_codes(graph, 2)
+
+    def test_min_pairs_zero_forces_parallel(self, monkeypatch):
+        calls = []
+        original = partition_module._parallel_refinement
+
+        def recording(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(partition_module, "_parallel_refinement", recording)
+        graph = random_graph(30, 120, 2, seed=1)
+        compute_partition_codes(graph, 2, workers=2, min_pairs=0)
+        assert calls
+
+    def test_k_one_never_shards(self, monkeypatch):
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("k=1 has no refinement levels to shard")
+
+        monkeypatch.setattr(partition_module, "_parallel_refinement", forbidden)
+        graph = random_graph(20, 80, 2, seed=3)
+        parallel = compute_partition_codes(graph, 1, workers=4, min_pairs=0)
+        assert parallel == compute_partition_codes(graph, 1)
+
+    def test_invalid_workers_rejected(self):
+        graph = LabeledDigraph.from_triples([("a", "b", "f")])
+        for bad in (0, -1, "four"):
+            with pytest.raises(IndexBuildError):
+                compute_partition_codes(graph, 2, workers=bad)
+
+    def test_worker_failure_surfaces_as_build_error(self, monkeypatch):
+        if _start_method() != "fork":  # pragma: no cover - fork-only check
+            pytest.skip("worker-side monkeypatching needs fork inheritance")
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(partition_module, "_refine_level", broken)
+        graph = random_graph(30, 120, 2, seed=5)
+        with pytest.raises(IndexBuildError, match="partition worker"):
+            compute_partition_codes(graph, 2, workers=2, min_pairs=0)
+
+
+class TestEngineIntegration:
+    """The parallel partition reaches the engines and changes nothing."""
+
+    BUILDERS = [
+        ("cpqx", lambda g, w: CPQxIndex.build(g, k=2, workers=w)),
+        ("path", lambda g, w: PathIndex.build(g, k=2, workers=w)),
+        (
+            "iacpqx",
+            lambda g, w: InterestAwareIndex.build(
+                g, k=2, interests={(1, 2), (2, -1)}, workers=w
+            ),
+        ),
+        (
+            "iapath",
+            lambda g, w: InterestAwarePathIndex.build(
+                g, k=2, interests={(1, 2), (2, -1)}, workers=w
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("key,build", BUILDERS, ids=[k for k, _ in BUILDERS])
+    def test_fingerprints_identical_with_forced_parallel_partition(
+        self, key, build, monkeypatch
+    ):
+        # Drop the threshold so the CPQx builds below actually exercise
+        # the sharded partition (test graphs sit under the default).
+        monkeypatch.setattr(partition_module, "PARALLEL_MIN_PAIRS", 0)
+        graph = random_graph(50, 260, 3, seed=11)
+        serial = build(graph, 1)
+        sharded = build(graph, 2)
+        assert index_fingerprint(serial) == index_fingerprint(sharded)
+
+    def test_session_build_index_uses_parallel_partition(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "PARALLEL_MIN_PAIRS", 0)
+        calls = []
+        original = partition_module._parallel_refinement
+
+        def recording(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(partition_module, "_parallel_refinement", recording)
+        graph = random_graph(40, 200, 3, seed=4)
+        sharded = GraphDatabase.from_graph(graph.copy()).build_index(
+            engine="cpqx", k=2, workers=2
+        )
+        assert calls
+        serial = GraphDatabase.from_graph(graph.copy()).build_index(
+            engine="cpqx", k=2
+        )
+        assert index_fingerprint(sharded.engine) == index_fingerprint(serial.engine)
+        assert sharded.query("l1 & l2").pairs() == serial.query("l1 & l2").pairs()
+
+
+class TestServeBatchAutoWorkers:
+    """serve_batch accepts the same "auto" sentinel as build_index."""
+
+    def test_auto_matches_serial_answers(self):
+        graph = random_graph(30, 150, 3, seed=2)
+        db = GraphDatabase.from_graph(graph).build_index(engine="cpqx", k=2)
+        queries = ["l1 & l2", "l1 . l2", "(l1 . l2) & id"]
+        serial = db.execute_batch(queries)
+        auto = db.serve_batch(queries, workers="auto")
+        assert [r.pairs() for r in auto] == [r.pairs() for r in serial]
+
+    def test_bad_sentinel_rejected(self):
+        db = GraphDatabase.from_triples([("a", "b", "l1")])
+        db.build_index(engine="cpqx", k=2)
+        with pytest.raises(IndexBuildError):
+            db.serve_batch(["l1"], workers="all")
