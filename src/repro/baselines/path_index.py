@@ -175,17 +175,16 @@ class InterestAwarePathIndex(PathIndex):
             full.add((label,))
             full.add((-label,))
         interner = graph.interner
-        if num_workers > 1 and full:
-            entries = {
+        entries = (
+            {
                 seq: PairSet.from_sorted_codes(column, interner)
                 for seq, column in interest_relations_parallel(
                     graph, full, num_workers
                 ).items()
             }
-        else:
-            entries = {
-                seq: sequence_relation_codes(graph, seq) for seq in full
-            }
+            if num_workers > 1 and full
+            else {seq: sequence_relation_codes(graph, seq) for seq in full}
+        )
         entries = {seq: pairs for seq, pairs in entries.items() if pairs}
         return cls(graph=graph, k=k, entries=entries, interests=frozenset(full))
 

@@ -23,6 +23,8 @@ TurboHom++ from the shared-plan protocol).
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.baselines.pattern import cpq_to_pattern
 from repro.core.executor import ExecutionStats
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
@@ -142,10 +144,8 @@ class TentrisEngine:
                 bind(depth + 1)
             binding.pop(var, None)
 
-        try:
+        with contextlib.suppress(_StopSearch):
             bind(0)
-        except _StopSearch:
-            pass
         return frozenset(results)
 
     def _variable_order(self, pattern) -> list[int]:

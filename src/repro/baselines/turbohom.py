@@ -23,6 +23,8 @@ Faithful-in-spirit ingredients:
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.baselines.pattern import PatternGraph, cpq_to_pattern
 from repro.core.executor import ExecutionStats
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
@@ -83,10 +85,8 @@ class TurboHomEngine:
                 backtrack(depth + 1)
             assignment.pop(var, None)
 
-        try:
+        with contextlib.suppress(_StopSearch):
             backtrack(0)
-        except _StopSearch:
-            pass
         return frozenset(results)
 
     # ------------------------------------------------------------------

@@ -152,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     concurrent = sub.add_parser(
         "bench-concurrent",
-        help="time sharded parallel build + threaded serving vs the "
-             "serial paths and emit machine-readable JSON",
+        aliases=["serve-bench"],
+        help="time sharded parallel build + threaded and process-based "
+             "serving vs the serial paths and emit machine-readable JSON",
     )
     concurrent.add_argument("--vertices", type=int, default=250)
     concurrent.add_argument("--edges", type=int, default=2000)
@@ -173,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument(
         "--serve-threads", type=int, default=8,
         help="reader threads for the concurrent serving measurement",
+    )
+    concurrent.add_argument(
+        "--serve-procs", type=int, default=None,
+        help="worker processes for the GIL-free serving measurement "
+             "(mode='process'; default: same as --serve-threads)",
     )
     concurrent.add_argument(
         "--out", default=None, help="write JSON here instead of stdout"
@@ -326,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "bench-micro": cmd_bench_micro,
         "bench-concurrent": cmd_bench_concurrent,
+        "serve-bench": cmd_bench_concurrent,
     }
     try:
         return handlers[args.command](args)

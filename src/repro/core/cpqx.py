@@ -130,14 +130,11 @@ class CPQxIndex(EngineBase):
                 by_source.setdefault(rep >> ID_BITS, []).append(
                     (class_id, rep & ID_MASK)
                 )
-            if num_workers > 1 and len(by_source) > 1:
-                class_sequences = derive_class_sequences_parallel(
-                    graph, k, by_source, num_workers
-                )
-            else:
-                class_sequences = derive_class_sequences(
-                    view, k, by_source.items()
-                )
+            class_sequences = (
+                derive_class_sequences_parallel(graph, k, by_source, num_workers)
+                if num_workers > 1 and len(by_source) > 1
+                else derive_class_sequences(view, k, by_source.items())
+            )
         elif il2c_method == "per-pair":
             per_code = invert_sequences_codes(enumerate_sequences_codes(graph, k))
             class_of = partition.class_of

@@ -256,7 +256,7 @@ def evaluate_cq(cq: ConjunctiveQuery, engine) -> frozenset[tuple]:
             elif right == variable and not (is_variable(left) and left not in binding):
                 source = value_of(left)
                 values = {u for v, u in pairs if v == source}
-            elif left == variable or right == variable:
+            elif variable in (left, right):
                 side = 0 if left == variable else 1
                 values = {pair[side] for pair in pairs}
             else:
@@ -267,10 +267,10 @@ def evaluate_cq(cq: ConjunctiveQuery, engine) -> frozenset[tuple]:
         return found
 
     def satisfied() -> bool:
-        for left, right, pairs in materialized:
-            if (value_of(left), value_of(right)) not in pairs:
-                return False
-        return True
+        return all(
+            (value_of(left), value_of(right)) in pairs
+            for left, right, pairs in materialized
+        )
 
     def backtrack(depth: int) -> None:
         if depth == len(variables):

@@ -40,6 +40,7 @@ for all methods" protocol.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections.abc import Iterable
 from dataclasses import dataclass, replace
@@ -383,6 +384,24 @@ class EngineBase:
         """The sequence splitter used when planning queries."""
         raise NotImplementedError
 
+    def __getstate__(self) -> dict:
+        """Pickle without the lock-bearing memo caches — the **engine
+        snapshot** invariant.
+
+        The cross-query LRUs (:class:`repro.core.cache.LRUCache`) carry
+        per-instance mutexes, which cannot cross a process boundary; and
+        they are pure caches, rebuilt lazily (and token-checked) on first
+        use.  Dropping them makes every engine picklable after build,
+        which is what lets the process-based serving path
+        (:mod:`repro.serve`) ship an engine snapshot to its worker
+        processes — guarded by ``tests/test_procserve.py``'s round-trip
+        test over every registered engine.
+        """
+        state = self.__dict__.copy()
+        state.pop("_memo_results", None)
+        state.pop("_memo_subplans", None)
+        return state
+
     def plan(self, query: CPQ) -> PlanNode:
         """Plan a (possibly name-form) CPQ against this engine."""
         if not is_resolved(query):
@@ -571,7 +590,7 @@ class EngineBase:
             ),
         ]
         if hasattr(self, "expand_classes") and hasattr(self, "num_classes"):
-            try:
+            with contextlib.suppress(QuerySyntaxError):
                 from repro.core.costmodel import query_estimate
 
                 estimate = query_estimate(query, self)
@@ -580,8 +599,6 @@ class EngineBase:
                     f"(α1={estimate.inputs['alpha1']}, "
                     f"α2={estimate.inputs['alpha2']})"
                 )
-            except QuerySyntaxError:
-                pass
         return "\n".join(lines)
 
     # Default implementations for pair-based engines; class-based engines

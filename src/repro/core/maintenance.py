@@ -84,7 +84,7 @@ def delete_vertex(index, v: Vertex) -> None:
     incident = [
         (a, b, label)
         for a, b, label in graph.triples()
-        if a == v or b == v
+        if v in (a, b)
     ]
     for a, b, label in incident:
         index.delete_edge(a, b, label)

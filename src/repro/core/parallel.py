@@ -35,6 +35,7 @@ CLI.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import threading
@@ -57,7 +58,7 @@ SHARDS_PER_WORKER = 4
 
 
 def _start_method() -> str:
-    """Pool start method for this build, chosen per call.
+    """Pool start method for a :func:`parallel_map` build, chosen per call.
 
     ``fork`` ships the parent's state to workers for free, but forking
     a multi-threaded process is a deadlock hazard (and deprecated on
@@ -65,6 +66,13 @@ def _start_method() -> str:
     while ``serve_batch`` reader threads are alive.  In that case fall
     back to ``spawn`` (always available), which re-imports the package
     in each worker and pickles the graph through the initializer.
+
+    The thread-count check is inherently racy (a reader thread may start
+    between the check and the fork), so this heuristic is only used for
+    the one-shot build pools, which sessions construct under the
+    exclusive side of their RWLock — never with readers in flight.
+    :class:`WorkerPool`, which *is* constructed under live readers by
+    the process-serving path, always uses ``spawn`` instead.
     """
     if (
         "fork" in multiprocessing.get_all_start_methods()
@@ -246,6 +254,86 @@ def parallel_map(
         return pool.map(worker, tasks)
 
 
+class WorkerPool:
+    """Persistent pipe-connected worker processes, safe under live readers.
+
+    The reusable machinery behind both level-synchronized builds
+    (:func:`shard_processes`, used by the parallel k-path-bisimulation
+    refinement of :func:`repro.core.partition.compute_partition_codes`)
+    and the process-based serving pool
+    (:class:`repro.serve.ProcessServingPool`): one **persistent**
+    process per task (each task ships once, through the process
+    arguments) with a duplex pipe per worker, in task order, over which
+    the caller runs its message exchange.
+
+    ``target(task, connection)`` owns the child side; it must close the
+    connection when done (and should ship failures through it — an
+    unexpectedly closed pipe surfaces parent-side as ``EOFError``).
+
+    The pool always uses the ``spawn`` start context, explicitly: it is
+    constructed at arbitrary points of a session's life — including
+    under live ``serve_batch`` reader threads — where forking a
+    multi-threaded process would be a deadlock hazard, and any
+    thread-count heuristic (see :func:`_start_method`) is racy.
+    ``spawn`` re-imports the package in each worker and pickles the
+    task through the process arguments, which is deterministic and
+    fork-safe everywhere.
+
+    :meth:`close` (or exiting the context manager) closes the parent
+    pipe ends first, so workers still blocked in ``recv`` unblock with
+    ``EOFError`` instead of deadlocking, then joins every process (and
+    terminates stragglers after a grace period).
+    """
+
+    def __init__(
+        self,
+        target: Callable,
+        tasks: Sequence[object],
+        join_timeout: float = 10.0,
+    ) -> None:
+        self._join_timeout = join_timeout
+        context = multiprocessing.get_context("spawn")
+        #: One duplex parent-side connection per worker, in task order.
+        self.connections: list[Connection] = []
+        self._processes: list = []
+        try:
+            for task in tasks:
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(target=target, args=(task, child_end), daemon=True)
+                process.start()
+                child_end.close()
+                self.connections.append(parent_end)
+                self._processes.append(process)
+        except Exception:  # pragma: no cover - spawn failure is environmental
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def alive(self) -> bool:
+        """Whether every worker process is still running."""
+        return all(process.is_alive() for process in self._processes)
+
+    def close(self) -> None:
+        """Unblock, join, and (if need be) terminate every worker."""
+        for connection in self.connections:
+            with contextlib.suppress(OSError):  # close is best-effort
+                connection.close()
+        for process in self._processes:
+            process.join(timeout=self._join_timeout)
+        for process in self._processes:  # pragma: no cover - crash-path cleanup
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __enter__(self) -> WorkerPool:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 @contextmanager
 def shard_processes(
     worker: Callable,
@@ -257,44 +345,15 @@ def shard_processes(
     algorithms — the parallel k-path-bisimulation refinement
     (:func:`repro.core.partition.compute_partition_codes`) — alternate
     per-level local work with a global merge, and re-shipping worker
-    state every level would swamp the compute it saves.  This starts one
-    **persistent** process per task (each task ships once, through the
-    process arguments — the analog of :func:`parallel_map`'s
-    initializer) and yields one duplex pipe per worker, in task order,
-    over which the caller runs its per-level exchange.
-
-    ``worker(task, connection)`` owns the child side; it must close the
-    connection when done (and should ship failures through it — an
-    unexpectedly closed pipe surfaces parent-side as ``EOFError``).  On
-    exit the parent ends are closed first, so workers still blocked in
-    ``recv`` unblock with ``EOFError`` instead of deadlocking, then
-    every process is joined (and terminated if it outlives the grace
-    period).
+    state every level would swamp the compute it saves.  A thin
+    context-manager view over :class:`WorkerPool` yielding the duplex
+    pipes, one per worker, in task order.
     """
-    context = multiprocessing.get_context(_start_method())
-    connections: list[Connection] = []
-    processes = []
+    pool = WorkerPool(worker, tasks)
     try:
-        for task in tasks:
-            parent_end, child_end = context.Pipe(duplex=True)
-            process = context.Process(target=worker, args=(task, child_end), daemon=True)
-            process.start()
-            child_end.close()
-            connections.append(parent_end)
-            processes.append(process)
-        yield connections
+        yield pool.connections
     finally:
-        for connection in connections:
-            try:
-                connection.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
-        for process in processes:
-            process.join(timeout=10.0)
-        for process in processes:  # pragma: no cover - crash-path cleanup
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
+        pool.close()
 
 
 def _enumeration_sources(view: InternedView) -> list[int]:

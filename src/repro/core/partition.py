@@ -44,6 +44,7 @@ whose per-level cost is smaller than the worker round-trip.
 
 from __future__ import annotations
 
+import contextlib
 import traceback
 from array import array
 from dataclasses import dataclass
@@ -331,10 +332,8 @@ def _partition_shard_worker(
             current = {code: remap[sig_id] for code, sig_id in current.items()}
         conn.send(("blocks", array("q", current.keys()), array("q", current.values())))
     except Exception:  # pragma: no cover - ship the failure, don't hang
-        try:
+        with contextlib.suppress(OSError):
             conn.send(("error", traceback.format_exc()))
-        except OSError:
-            pass
     finally:
         conn.close()
 

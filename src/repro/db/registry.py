@@ -43,6 +43,15 @@ class EngineSpec:
     #: construction (:mod:`repro.core.parallel`; on CPQx this includes
     #: the Algorithm 1 partition, :mod:`repro.core.partition`).
     parallelizable: bool = False
+    #: Whether built engines satisfy the snapshot invariant — picklable
+    #: after build (minus memo caches; ``EngineBase.__getstate__``) with
+    #: served answers identical to the original — and may therefore be
+    #: shipped to the process-based serving pool
+    #: (:meth:`repro.db.GraphDatabase.serve_batch` with
+    #: ``mode="process"``).  Every built-in engine qualifies; a
+    #: third-party engine holding unpicklable state opts out here and
+    #: ``mode="auto"`` falls back to thread serving.
+    process_servable: bool = True
     description: str = ""
     aliases: tuple[str, ...] = field(default=())
 

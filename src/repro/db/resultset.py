@@ -23,7 +23,7 @@ Two consumers get extra laziness:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.core.executor import ExecutionStats
 from repro.graph.digraph import Pair
@@ -51,6 +51,27 @@ class ResultSet:
         self._pairs: frozenset[Pair] | None = None
         #: Operator counters of the evaluation (filled on materialization).
         self.stats = ExecutionStats()
+
+    @classmethod
+    def from_answers(
+        cls,
+        engine,
+        query: CPQ,
+        limit: int | None,
+        pairs: Iterable[Pair],
+        stats: ExecutionStats,
+    ) -> ResultSet:
+        """A pre-materialized result set.
+
+        Used by the process-based serving path: the answers (and the
+        run's operator counters) were computed in a worker process, so
+        the result set arrives already evaluated — consuming it never
+        touches the engine.
+        """
+        result = cls(engine, query, limit=limit)
+        result._pairs = frozenset(pairs)
+        result._record(stats)
+        return result
 
     # ------------------------------------------------------------------
     # lazy core

@@ -31,6 +31,8 @@ The session life cycle:
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -48,8 +50,17 @@ from repro.graph.digraph import LabeledDigraph, Vertex
 from repro.graph.labels import LabelSeq
 from repro.query.ast import CPQ, is_resolved, resolve
 from repro.query.parser import parse
+from repro.serve import (
+    PROCESS_MODE_MIN_QUERIES,
+    ProcessServingPool,
+    ServeToken,
+    session_token,
+)
 
 Triple = tuple[Vertex, Vertex, object]
+
+#: Serving modes accepted by :meth:`GraphDatabase.serve_batch`.
+SERVE_MODES = ("thread", "process", "auto")
 
 
 class BatchResult(Sequence):
@@ -96,6 +107,17 @@ class GraphDatabase:
         #: the exclusive side, each served query the shared side, so a
         #: reader always observes the engine at an update boundary.
         self._rwlock = RWLock()
+        #: Counts engine adoptions (builds, rebuilds, opens).  Part of
+        #: the serve token: a rebuild on an unchanged graph swaps the
+        #: engine object without moving the graph version or the new
+        #: engine's epoch, and only this counter tells the process
+        #: serving pool its shipped snapshots are stale.
+        self._engine_gen = 0
+        #: Lazily created by the first ``serve_batch(mode="process")``;
+        #: guarded by ``_pool_lock`` (always acquired *after* the
+        #: RWLock, never holding it while evaluating).
+        self._proc_pool: ProcessServingPool | None = None
+        self._pool_lock = threading.Lock()
         #: Populated when ``engine="auto"`` made the choice.
         self.selection: AutoSelection | None = None
 
@@ -125,9 +147,7 @@ class GraphDatabase:
         return cls(LabeledDigraph.from_triples(triples, registry), name=name)
 
     @classmethod
-    def from_dataset(
-        cls, name: str, scale: float = 0.25, seed: int = 7
-    ) -> GraphDatabase:
+    def from_dataset(cls, name: str, scale: float = 0.25, seed: int = 7) -> GraphDatabase:
         """Start a session over a registry dataset stand-in."""
         from repro.graph.datasets import load_dataset
 
@@ -149,6 +169,7 @@ class GraphDatabase:
         self._engine = engine
         self._spec = spec
         self._build_args = build_args
+        self._engine_gen += 1
 
     # ------------------------------------------------------------------
     # building
@@ -186,6 +207,7 @@ class GraphDatabase:
         auto_interests = isinstance(interests, str) and interests == "auto"
         if not auto_k and (not isinstance(k, int) or k < 1):
             raise SessionError(f"k must be a positive int or 'auto', got {k!r}")
+        fixed_k = k if isinstance(k, int) else None
         if isinstance(interests, str) and not auto_interests:
             # A stray string would be character-split by frozenset() below.
             raise SessionError(
@@ -204,7 +226,7 @@ class GraphDatabase:
             )
             self.selection = selection
             spec = engine_spec(selection.engine)
-            chosen_k = selection.k if auto_k else k
+            chosen_k = selection.k if fixed_k is None else fixed_k
             resolved_auto_interests = selection.interests
         else:
             # Named engine: resolve k/interests individually from the
@@ -212,28 +234,28 @@ class GraphDatabase:
             spec = engine_spec(engine)
             queries: list[CPQ] | None = None
             if (auto_k and spec.uses_k) or (auto_interests and spec.uses_interests):
-                queries = workload if workload else default_workload(
-                    self.graph, seed=seed
-                )
-            if auto_k:
-                chosen_k = advise_k(queries) if queries is not None else 2
-            else:
-                chosen_k = k
+                queries = workload if workload else default_workload(self.graph, seed=seed)
+            chosen_k = (advise_k(queries) if queries is not None else 2) if fixed_k is None else fixed_k
             resolved_auto_interests = (
                 recommend_interests(
-                    self.graph, queries, k=chosen_k, budget_bytes=budget_bytes
+                    self.graph,
+                    queries,
+                    k=chosen_k,
+                    budget_bytes=budget_bytes,
                 ).interests
                 if queries is not None and spec.uses_interests and auto_interests
                 else frozenset()
             )
 
-        if spec.uses_interests:
-            chosen_interests = (
-                resolved_auto_interests if auto_interests
+        chosen_interests = (
+            (
+                resolved_auto_interests
+                if auto_interests
                 else frozenset(interests)  # type: ignore[arg-type]
             )
-        else:
-            chosen_interests = frozenset()
+            if spec.uses_interests
+            else frozenset()
+        )
 
         # Build and adopt under the exclusive lock: a concurrent reader
         # must never observe a half-installed engine (``_engine`` from
@@ -241,10 +263,7 @@ class GraphDatabase:
         # and in-flight serve_batch evaluations finish first.
         with self._rwlock.write():
             start = time.perf_counter()
-            built = spec.build(
-                self.graph, k=chosen_k, interests=chosen_interests,
-                workers=num_workers,
-            )
+            built = spec.build(self.graph, k=chosen_k, interests=chosen_interests, workers=num_workers)
             self._build_seconds = time.perf_counter() - start
             self._adopt(
                 built,
@@ -255,6 +274,7 @@ class GraphDatabase:
                     "workers": num_workers,
                 },
             )
+            self._invalidate_serving_snapshots()
         return self
 
     @property
@@ -317,9 +337,7 @@ class GraphDatabase:
             result.pairs()
         return result
 
-    def execute_batch(
-        self, queries: Iterable[CPQ | str], limit: int | None = None
-    ) -> BatchResult:
+    def execute_batch(self, queries: Iterable[CPQ | str], limit: int | None = None) -> BatchResult:
         """Evaluate a workload eagerly, returning per-query results plus
         merged operator counters — the single-threaded serving path."""
         if not self.is_built:
@@ -334,35 +352,144 @@ class GraphDatabase:
         queries: Iterable[CPQ | str],
         workers: int | str = 8,
         limit: int | None = None,
+        mode: str = "thread",
     ) -> BatchResult:
-        """Evaluate a workload on a thread pool — the concurrent
-        serving path.
+        """Evaluate a workload concurrently — the serving path.
 
-        ``workers`` threads (``"auto"`` = one per CPU, the same sentinel
-        :meth:`build_index` accepts) drain the query list concurrently; each
-        query evaluates under the session's shared (read) lock, so a
-        concurrent :meth:`update` is serialized against in-flight
-        evaluations and every answer reflects the engine at an update
-        boundary.  Results keep the input order, and a batch served
-        under N threads returns exactly the answers of the serial
-        :meth:`execute_batch` on an unchanging graph (the engine-side
-        memo layers are individually thread-safe; see
-        ``docs/concurrency.md``).
+        ``workers`` (``"auto"`` = one per CPU, the same sentinel
+        :meth:`build_index` accepts) sets the concurrency; ``mode``
+        selects the execution substrate:
+
+        * ``"thread"`` (default) — a thread pool drains the query list;
+          each query evaluates under the session's shared (read) lock,
+          so a concurrent :meth:`update` is serialized against in-flight
+          evaluations and every answer reflects the engine at an update
+          boundary.  Correct under concurrency, but CPU-bound
+          throughput stays GIL-bounded.
+        * ``"process"`` — the batch is dispatched over a persistent pool
+          of worker *processes* (:mod:`repro.serve`), each holding a
+          picklable engine snapshot shipped once and refreshed through a
+          version-token handshake whenever :meth:`update` (or a rebuild)
+          retires it — true parallel reads.  The pool is created lazily,
+          reused across batches, and torn down by :meth:`close` (or
+          automatically on worker failure).
+        * ``"auto"`` — ``"process"`` when the engine is process-servable
+          (:attr:`EngineSpec.process_servable`), more than one worker
+          and CPU are available, and the batch has at least
+          :data:`~repro.serve.PROCESS_MODE_MIN_QUERIES` queries;
+          ``"thread"`` otherwise.
+
+        Results keep the input order, and a served batch returns exactly
+        the answers of the serial :meth:`execute_batch` on an unchanging
+        graph, in every mode (see ``docs/concurrency.md``).
         """
-        num_workers = (
-            resolve_workers(workers) if isinstance(workers, str) else workers
-        )
+        if mode not in SERVE_MODES:
+            raise SessionError(f"mode must be one of {', '.join(SERVE_MODES)}, got {mode!r}")
+        num_workers = resolve_workers(workers) if isinstance(workers, str) else workers
+        num_workers = max(1, num_workers)
         if not self.is_built:
-            self.build_index()  # engine="auto" once, before threading
+            self.build_index()  # engine="auto" once, before going concurrent
         resolved = [self._resolve(query) for query in queries]
+        chosen = self._resolve_serve_mode(mode, num_workers, len(resolved))
         start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=max(1, num_workers)) as pool:
-            # list() keeps input order and propagates the first worker
-            # exception, if any.
-            results = list(
-                pool.map(lambda query: self._serve_one(query, limit), resolved)
-            )
+        if chosen == "process":
+            results = self._serve_batch_process(resolved, num_workers, limit)
+        else:
+            with ThreadPoolExecutor(max_workers=num_workers) as pool:
+                # list() keeps input order and propagates the first worker
+                # exception, if any.
+                results = list(pool.map(lambda query: self._serve_one(query, limit), resolved))
         return BatchResult(results, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # process-based serving (mode="process"; see repro.serve)
+    # ------------------------------------------------------------------
+    def _resolve_serve_mode(self, mode: str, workers: int, queries: int) -> str:
+        """Resolve ``"auto"`` and validate ``"process"`` eligibility."""
+        servable = self._spec is not None and self._spec.process_servable
+        if mode == "process":
+            if not servable:
+                raise SessionError(
+                    f"engine {self.engine_name!r} is not process-servable "
+                    f"(EngineSpec.process_servable is False); use "
+                    f"mode='thread'"
+                )
+            return "process"
+        if (
+            mode == "auto"
+            and servable
+            and workers > 1
+            and (os.cpu_count() or 1) > 1
+            and queries >= PROCESS_MODE_MIN_QUERIES
+        ):
+            return "process"
+        return "thread"
+
+    def _serve_token(self) -> ServeToken:
+        """The freshness token process workers validate queries against."""
+        return session_token(self._engine, self._engine_gen)
+
+    def _ensure_process_pool(self, workers: int) -> ProcessServingPool:
+        """The session's serving pool, (re)built to the asked worker count."""
+        with self._pool_lock:
+            pool = self._proc_pool
+            if pool is not None and (pool.closed or pool.workers != workers):
+                pool.close()
+                pool = None
+            if pool is None:
+                pool = self._proc_pool = ProcessServingPool(workers)
+            return pool
+
+    def _serve_batch_process(
+        self, resolved: list[CPQ], workers: int, limit: int | None
+    ) -> list[ResultSet]:
+        """Dispatch one resolved batch over the worker-process pool.
+
+        The whole dispatch runs under the shared lock: a concurrent
+        :meth:`update` drains it first (writer preference), then moves
+        the serve token, so the next batch re-ships fresh snapshots —
+        no answer in this batch can mix pre- and post-update state.
+        Pool creation/replacement happens *before* the lock is taken:
+        it is engine-independent (the token handshake covers an update
+        landing in between), and spawning or joining worker processes
+        under the shared side would stall a queued writer — and, via
+        writer preference, every other reader — for the whole pool
+        lifecycle.
+        """
+        pool = self._ensure_process_pool(workers)
+        with self._rwlock.read():
+            engine = self._engine
+            outcomes = pool.serve(engine, self._serve_token(), resolved, limit)
+        return [
+            ResultSet.from_answers(engine, query, limit, answers, run)
+            for query, (answers, run) in zip(resolved, outcomes, strict=True)
+        ]
+
+    def _invalidate_serving_snapshots(self) -> None:
+        """Retire shipped worker snapshots (called under the write lock)."""
+        with self._pool_lock:
+            if self._proc_pool is not None and not self._proc_pool.closed:
+                self._proc_pool.invalidate()
+
+    def close(self) -> None:
+        """Shut down the process-serving pool, if one was created.
+
+        The session itself stays usable — querying, updating, and even
+        process-mode serving (which simply builds a fresh pool) all
+        still work.  Worker processes are daemonic, so an unclosed
+        session cannot outlive the interpreter; ``close()`` just frees
+        them eagerly.
+        """
+        with self._pool_lock:
+            if self._proc_pool is not None:
+                self._proc_pool.close()
+                self._proc_pool = None
+
+    def __enter__(self) -> GraphDatabase:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def explain(self, query: CPQ | str) -> str:
         """The current engine's plan/profile report for ``query``."""
@@ -392,12 +519,16 @@ class GraphDatabase:
         and readers arriving during the batch observe only its final
         state — copy-on-write semantics at the memo layer, where the
         ``(graph.version, engine epoch)`` token retires every cache
-        populated against the pre-update engine.
+        populated against the pre-update engine.  The process-serving
+        pool (if any) is drained the same way — its dispatch holds the
+        shared lock — and its shipped worker snapshots are invalidated
+        before the lock drops, so the next process-served batch
+        re-ships fresh snapshots (see :mod:`repro.serve`).
         """
         with self._rwlock.write():
-            return self._update_locked(
-                add_edges, remove_edges, add_vertices, remove_vertices
-            )
+            updated = self._update_locked(add_edges, remove_edges, add_vertices, remove_vertices)
+            self._invalidate_serving_snapshots()
+            return updated
 
     def _update_locked(
         self,
@@ -436,7 +567,11 @@ class GraphDatabase:
             start = time.perf_counter()
             built = self._spec.build(self.graph, **self._build_args)
             self._build_seconds = time.perf_counter() - start
-            self._engine = built
+            # Re-adopt (rather than assign) so the engine generation
+            # moves: the graph version alone may not change for a
+            # rebuild, and process-serving snapshots of the old engine
+            # must read as stale.
+            self._adopt(built, self._spec, self._build_args)
         return self
 
     # ------------------------------------------------------------------
@@ -464,17 +599,14 @@ class GraphDatabase:
         """Multi-line session summary: graph, engine, stats, selection."""
         lines = [f"graph: {self.graph}"]
         if self._engine is None:
-            lines.append("engine: none built (available: "
-                         + ", ".join(available_engines()) + ")")
+            lines.append("engine: none built (available: " + ", ".join(available_engines()) + ")")
         else:
             lines.append(f"engine: {self.engine_name}")
             lines.append(self.stats.describe())
             interests = getattr(self._engine, "interests", None)
             if interests is not None:
                 multi = sorted(s for s in interests if len(s) > 1)
-                lines.append(
-                    f"interests: {len(interests)} ({len(multi)} multi-label)"
-                )
+                lines.append(f"interests: {len(interests)} ({len(multi)} multi-label)")
         if self.selection is not None:
             lines.append(self.selection.describe())
         return "\n".join(lines)

@@ -76,3 +76,9 @@ class UnknownEngineError(ReproError):
 class SessionError(ReproError):
     """Raised by :class:`repro.db.GraphDatabase` for invalid session usage
     (saving before an index is built, persisting a non-persistable engine...)."""
+
+
+class ServingError(ReproError):
+    """Raised by the process-based serving path (:mod:`repro.serve`) when a
+    worker process fails — an evaluation error shipped back over the pipe,
+    or a worker that died without reporting."""

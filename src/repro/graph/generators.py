@@ -218,10 +218,8 @@ def knowledge_graph(
     num_hubs = max(1, int(num_entities * hub_fraction))
     for _ in range(num_edges):
         v = rng.randrange(num_entities)
-        if rng.random() < 0.3:
-            u = rng.randrange(num_hubs)  # hub target (instance-of, country...)
-        else:
-            u = rng.randrange(num_entities)
+        # 30% of targets are hubs (instance-of, country...).
+        u = rng.randrange(num_hubs) if rng.random() < 0.3 else rng.randrange(num_entities)
         # Zipf-ish predicate usage over a large vocabulary.
         label = min(int(rng.paretovariate(0.8)), num_labels)
         graph.add_edge(v, u, label)

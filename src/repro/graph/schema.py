@@ -128,10 +128,11 @@ class GraphSchema:
             for v in sources:
                 degree = et.out_degree(rng)
                 for _ in range(degree):
-                    if et.popular_targets:
-                        index = min(int(rng.paretovariate(1.1)) - 1, len(targets) - 1)
-                    else:
-                        index = rng.randrange(len(targets))
+                    index = (
+                        min(int(rng.paretovariate(1.1)) - 1, len(targets) - 1)
+                        if et.popular_targets
+                        else rng.randrange(len(targets))
+                    )
                     u = targets[index]
                     if u != v:
                         graph.add_edge(v, u, et.label)

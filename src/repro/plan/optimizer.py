@@ -20,6 +20,7 @@ costs; the test-suite checks both.
 
 from __future__ import annotations
 
+import contextlib
 from collections.abc import Callable
 
 from repro.graph.labels import LabelSeq
@@ -49,18 +50,15 @@ def index_estimator(index) -> CardinalityEstimator:
         except Exception:
             cache[chunk] = 1 << 30
             return 1 << 30
-        if result.classes is not None:
-            if hasattr(index, "class_size"):
-                size = sum(
-                    index.class_size(class_id) for class_id in result.classes
-                )
-            else:
-                size = sum(
-                    len(index.pairs_of_class(class_id))
-                    for class_id in result.classes
-                )
-        else:
+        if result.classes is None:
             size = len(result.pairs or ())
+        elif hasattr(index, "class_size"):
+            size = sum(index.class_size(class_id) for class_id in result.classes)
+        else:
+            size = sum(
+                len(index.pairs_of_class(class_id))
+                for class_id in result.classes
+            )
         cache[chunk] = size
         return size
 
@@ -131,10 +129,8 @@ def enable_optimizer(index) -> None:
 
 def disable_optimizer(index) -> None:
     """Undo :func:`enable_optimizer` (restore the class's splitter)."""
-    try:
+    with contextlib.suppress(AttributeError):
         del index.splitter
-    except AttributeError:
-        pass
 
 
 def split_cost(chunks: list[LabelSeq], estimate: CardinalityEstimator) -> int:

@@ -48,14 +48,11 @@ def subpaths_nonempty(query: CPQ, graph: LabeledDigraph) -> bool:
     For each maximal label sequence in the query, every window of length 2
     (and every single label) must have a non-empty relation on ``graph``.
     """
-    for seq in label_sequences_in(query):
-        for i in range(len(seq)):
-            if not graph.sequence_relation(seq[i:i + 1]):
-                return False
-        for i in range(len(seq) - 1):
-            if not graph.sequence_relation(seq[i:i + 2]):
-                return False
-    return True
+    return all(
+        all(graph.sequence_relation(seq[i:i + 1]) for i in range(len(seq)))
+        and all(graph.sequence_relation(seq[i:i + 2]) for i in range(len(seq) - 1))
+        for seq in label_sequences_in(query)
+    )
 
 
 def random_template_queries(

@@ -1,0 +1,22 @@
+"""Process-based serving subsystem: GIL-free parallel reads.
+
+Public surface of :mod:`repro.serve.procserve` — the engine-snapshot
+protocol, the persistent worker pool, and the serve-token helpers used
+by :meth:`repro.db.GraphDatabase.serve_batch` with ``mode="process"``.
+"""
+
+from repro.serve.procserve import (
+    PROCESS_MODE_MIN_QUERIES,
+    ProcessServingPool,
+    ServeToken,
+    session_token,
+    snapshot_bytes,
+)
+
+__all__ = [
+    "PROCESS_MODE_MIN_QUERIES",
+    "ProcessServingPool",
+    "ServeToken",
+    "session_token",
+    "snapshot_bytes",
+]

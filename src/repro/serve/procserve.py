@@ -1,0 +1,321 @@
+"""Process-based query serving — a GIL-free read path over engine snapshots.
+
+The thread-pool serving path (``GraphDatabase.serve_batch`` with
+``mode="thread"``) is correct under concurrency but CPU-bound evaluation
+throughput stays GIL-bounded: N reader threads time-slice one
+interpreter.  Related structural-index work (Riveros et al.'s structural
+indexing for free-connex acyclic CQs, Fletcher & Beck's secondary-memory
+RDF indexing) treats a built index as an **immutable artifact served by
+independent readers** — exactly the shape that lets evaluation fan out
+across worker *processes* instead.
+
+This module is that fan-out:
+
+* an **engine snapshot** — the engine pickled *minus* its lock-bearing
+  memo caches (``EngineBase.__getstate__`` drops them; they are pure
+  caches, rebuilt lazily worker-side) — ships once per worker over the
+  persistent pipe-connected machinery of
+  :class:`repro.core.parallel.WorkerPool`;
+* a **work-queue dispatcher** (:meth:`ProcessServingPool.serve`) hands
+  resolved queries to idle workers one at a time and reassembles the
+  answers in submission order, so a process-served batch returns exactly
+  the serial ``execute_batch`` answers;
+* a **version-token handshake** keeps snapshots fresh: every snapshot
+  and every query carries the session's serve token
+  (:func:`session_token` — engine generation, graph version, engine
+  epoch).  The dispatcher re-ships the snapshot to a worker whose last
+  shipped token is out of date, and the worker *independently* rejects a
+  query whose token does not match its snapshot (replying ``stale``,
+  which triggers a re-ship and a retry) — so even an invalidation the
+  parent's bookkeeping missed cannot serve answers computed against an
+  older engine;
+* **worker failures surface, never hang**: an evaluation error is
+  shipped back as a traceback and re-raised parent-side as
+  :class:`~repro.errors.ServingError`; a worker that dies without
+  reporting closes its pipe, which the dispatcher turns into a
+  ``ServingError`` after tearing the pool down (the session then builds
+  a fresh pool on the next process-mode batch).
+
+The pool is constructed lazily by the session on the first
+``serve_batch(..., mode="process")`` call and reused across batches —
+worker processes are the expensive part, snapshots are the cheap part —
+and ``GraphDatabase.update()`` invalidates shipped snapshots under the
+session's exclusive lock (draining in-flight readers first).
+
+See ``docs/concurrency.md`` ("Process-based serving") for the protocol
+diagram and the thread-vs-process decision guide.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import threading
+from collections import deque
+from collections.abc import Sequence
+from multiprocessing.connection import Connection, wait
+from typing import cast
+
+from repro.core.executor import ExecutionStats
+from repro.core.parallel import WorkerPool
+from repro.errors import ServingError
+from repro.graph.digraph import Pair
+from repro.query.ast import CPQ
+
+#: ``mode="auto"`` only picks process serving for batches at least this
+#: large: below it, snapshot shipping and pipe round-trips dominate any
+#: parallel gain even on a many-core host.
+PROCESS_MODE_MIN_QUERIES = 8
+
+#: A serve token: ``(engine generation, graph version, engine epoch)``.
+#: Equality means "the same engine state"; any update, rebuild, or
+#: engine swap moves at least one component.
+ServeToken = tuple[int, int, int]
+
+#: One served query's outcome: the answer set plus its operator counters.
+ServeOutcome = tuple[frozenset[Pair], ExecutionStats]
+
+
+def session_token(engine: object, generation: int) -> ServeToken:
+    """The freshness token for ``engine`` as the ``generation``-th engine
+    adopted by its session.
+
+    Extends the engine-level ``(graph version, epoch)`` memo token with
+    the session's adoption counter: a rebuild on an unchanged graph
+    swaps the engine object without moving either engine-level
+    component, and only the generation tells the two apart.
+    """
+    graph = getattr(engine, "graph", None)
+    return (
+        generation,
+        getattr(graph, "version", 0),
+        getattr(engine, "_cache_epoch", 0),
+    )
+
+
+def snapshot_bytes(engine: object) -> bytes:
+    """Pickle ``engine`` as a shippable snapshot.
+
+    Relies on the snapshot invariant: every registered engine pickles
+    after build once its lock-bearing memo caches are dropped
+    (``EngineBase.__getstate__``; the graph likewise drops its interned
+    adjacency snapshot).  Guarded by the per-engine round-trip test in
+    ``tests/test_procserve.py``.  An engine that breaks the invariant —
+    a third-party engine left at the default
+    ``EngineSpec(process_servable=True)`` while holding unpicklable
+    state — surfaces here as :class:`~repro.errors.ServingError` with
+    the fix spelled out, not as a raw pickling ``TypeError``.
+    """
+    try:
+        return pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ServingError(
+            f"engine {type(engine).__name__!r} cannot be snapshotted for "
+            f"process serving ({exc}); register it with "
+            f"EngineSpec(process_servable=False) or serve with "
+            f"mode='thread'"
+        ) from exc
+
+
+def _serve_worker(task: int, conn: Connection) -> None:
+    """Worker-process loop: install snapshots, answer queries.
+
+    Messages from the parent: ``("snapshot", blob, token)`` installs a
+    new engine snapshot; ``("query", job, query, limit, token)``
+    evaluates — answered with ``("result", job, answers, stats)``,
+    ``("stale", job)`` when ``token`` does not match the installed
+    snapshot (the handshake's worker-side check), or ``("error", job,
+    reason)`` when evaluation raises; ``("stop",)`` (or a closed pipe)
+    ends the loop.  The memo caches the snapshot was stripped of rebuild
+    here lazily, so repeated queries within one worker still hit the
+    engine's cross-query LRUs.
+    """
+    import traceback
+
+    engine: object | None = None
+    token: ServeToken | None = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "snapshot":
+                engine = pickle.loads(message[1])
+                token = message[2]
+            elif kind == "query":
+                _, job, query, limit, expected = message
+                if engine is None or token != expected:
+                    conn.send(("stale", job))
+                    continue
+                try:
+                    run = ExecutionStats()
+                    evaluate = engine.evaluate  # type: ignore[attr-defined]
+                    answers = evaluate(query, stats=run, limit=limit)
+                    conn.send(("result", job, frozenset(answers), run))
+                except Exception:
+                    conn.send(("error", job, traceback.format_exc()))
+            else:  # pragma: no cover - protocol misuse guard
+                conn.send(("error", None, f"unknown message kind {kind!r}"))
+    except Exception:  # pragma: no cover - crash-path reporting
+        import traceback as _tb
+
+        with contextlib.suppress(OSError):
+            conn.send(("error", None, _tb.format_exc()))
+    finally:
+        conn.close()
+
+
+class ProcessServingPool:
+    """A persistent pool of serving worker processes for one session.
+
+    Wraps a :class:`~repro.core.parallel.WorkerPool` (``spawn`` context,
+    so construction is safe under live reader threads) with the
+    snapshot-shipping dispatcher described in the module docstring.
+    One batch runs at a time (an internal mutex serializes concurrent
+    :meth:`serve` calls); the session's RWLock already serializes
+    batches against updates.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = WorkerPool(_serve_worker, list(range(workers)))
+        self._lock = threading.Lock()
+        #: Last token shipped to each worker connection.
+        self._worker_tokens: dict[Connection, ServeToken] = {}
+        self._snapshot_token: ServeToken | None = None
+        self._snapshot_blob: bytes | None = None
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    def _snapshot(self, engine: object, token: ServeToken) -> bytes:
+        """The pickled snapshot for ``token``, serialized at most once."""
+        if self._snapshot_token != token or self._snapshot_blob is None:
+            self._snapshot_blob = snapshot_bytes(engine)
+            self._snapshot_token = token
+        return self._snapshot_blob
+
+    def invalidate(self) -> None:
+        """Retire every shipped snapshot (the update-side hook).
+
+        Called by ``GraphDatabase.update()`` under the exclusive lock —
+        after in-flight readers drained — so the next batch re-ships
+        fresh snapshots even before any token comparison runs, and the
+        stale blob's memory is released immediately.
+        """
+        self._snapshot_token = None
+        self._snapshot_blob = None
+        self._worker_tokens.clear()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        engine: object,
+        token: ServeToken,
+        queries: Sequence[CPQ],
+        limit: int | None = None,
+    ) -> list[ServeOutcome]:
+        """Evaluate ``queries`` across the workers; outcomes keep input order.
+
+        A work-queue dispatcher: every idle worker holds exactly one
+        in-flight query, finished workers immediately draw the next one,
+        so a slow query never stalls the rest of the batch behind a
+        static pre-partition.  Any failure tears the pool down before
+        the :class:`~repro.errors.ServingError` propagates — a broken
+        pipe cannot be rejoined mid-batch — and the owning session
+        simply builds a fresh pool on its next process-mode batch.
+        """
+        with self._lock:
+            if self.closed:
+                raise ServingError("serving pool is closed")
+            try:
+                return self._serve_locked(engine, token, queries, limit)
+            except BaseException:
+                self._close_locked()
+                raise
+
+    def _serve_locked(
+        self,
+        engine: object,
+        token: ServeToken,
+        queries: Sequence[CPQ],
+        limit: int | None,
+    ) -> list[ServeOutcome]:
+        jobs = deque(enumerate(queries))
+        outcomes: list[ServeOutcome | None] = [None] * len(queries)
+        in_flight: dict[Connection, tuple[int, CPQ]] = {}
+
+        def dispatch(conn: Connection, job: tuple[int, CPQ]) -> None:
+            if self._worker_tokens.get(conn) != token:
+                conn.send(("snapshot", self._snapshot(engine, token), token))
+                self._worker_tokens[conn] = token
+            conn.send(("query", job[0], job[1], limit, token))
+            in_flight[conn] = job
+
+        try:
+            for conn in self._pool.connections:
+                if not jobs:
+                    break
+                dispatch(conn, jobs.popleft())
+            while in_flight:
+                for ready in wait(list(in_flight)):
+                    conn = cast(Connection, ready)
+                    job = in_flight.pop(conn)
+                    message = conn.recv()
+                    kind = message[0]
+                    if kind == "result":
+                        outcomes[message[1]] = (message[2], message[3])
+                        if jobs:
+                            dispatch(conn, jobs.popleft())
+                    elif kind == "stale":
+                        # The worker-side token check tripped: its
+                        # snapshot predates ours.  Forget what we think
+                        # we shipped, re-ship, retry the same query.
+                        self._worker_tokens.pop(conn, None)
+                        dispatch(conn, job)
+                    else:
+                        reason = message[2] if kind == "error" else f"bad message {kind!r}"
+                        raise ServingError(f"serving worker failed on query {job[1]!r}:\n{reason}")
+        except (EOFError, OSError):
+            raise ServingError(
+                "serving worker exited unexpectedly (killed or crashed); "
+                "the pool has been shut down"
+            ) from None
+        # Every job was dispatched and either resolved or raised.
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def _close_locked(self) -> None:
+        if not self.closed:
+            self.closed = True
+            for conn in self._pool.connections:
+                with contextlib.suppress(OSError):
+                    conn.send(("stop",))
+            self._pool.close()
+            self.invalidate()
+
+    def close(self) -> None:
+        """Stop and join every worker; idempotent."""
+        with self._lock:
+            self._close_locked()
+
+    def __enter__(self) -> ProcessServingPool:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"ProcessServingPool(workers={self.workers}, {state})"

@@ -20,12 +20,19 @@ import repro.core.partition as partition_module
 from repro.baselines.path_index import InterestAwarePathIndex, PathIndex
 from repro.core.cpqx import CPQxIndex
 from repro.core.interest import InterestAwareIndex
-from repro.core.parallel import _start_method, index_fingerprint
+from array import array
+
+from repro.core.parallel import index_fingerprint, shard_processes
 from repro.core.partition import compute_partition_codes, refines
 from repro.db import GraphDatabase
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.generators import random_graph
+
+
+def _exit_silently(task, conn) -> None:
+    """A worker that dies without reporting (for the EOF-surfacing test)."""
+    conn.close()
 
 
 def assert_partitions_match(graph, serial, sharded) -> None:
@@ -159,17 +166,25 @@ class TestFallbackAndValidation:
             with pytest.raises(IndexBuildError):
                 compute_partition_codes(graph, 2, workers=bad)
 
-    def test_worker_failure_surfaces_as_build_error(self, monkeypatch):
-        if _start_method() != "fork":  # pragma: no cover - fork-only check
-            pytest.skip("worker-side monkeypatching needs fork inheritance")
+    def test_worker_failure_surfaces_as_build_error(self):
+        # Spawn-compatible failure injection (workers re-import the
+        # package, so monkeypatching the parent cannot reach them): a
+        # malformed task — mismatched level-1 columns — makes the worker
+        # raise mid-protocol, and the shipped ("error", traceback)
+        # message must surface parent-side as IndexBuildError.
+        bad_task = (2, [0], 4, array("q", [1, 2, 3]), array("q", [0]))
+        with shard_processes(
+            partition_module._partition_shard_worker, [bad_task]
+        ) as connections:
+            with pytest.raises(IndexBuildError, match="partition worker"):
+                partition_module._recv_payload(connections[0])
 
-        def broken(*args, **kwargs):
-            raise RuntimeError("injected worker failure")
-
-        monkeypatch.setattr(partition_module, "_refine_level", broken)
-        graph = random_graph(30, 120, 2, seed=5)
-        with pytest.raises(IndexBuildError, match="partition worker"):
-            compute_partition_codes(graph, 2, workers=2, min_pairs=0)
+    def test_dead_worker_surfaces_as_build_error(self):
+        # A worker that dies without reporting closes its pipe; the
+        # parent must turn the EOF into IndexBuildError, not hang.
+        with shard_processes(_exit_silently, [0]) as connections:
+            with pytest.raises(IndexBuildError, match="exited unexpectedly"):
+                partition_module._recv_payload(connections[0])
 
 
 class TestEngineIntegration:
