@@ -1,0 +1,41 @@
+"""``repro lint`` — project-specific static analysis.
+
+An AST-based analyzer (stdlib ``ast`` only, no runtime deps) that
+enforces the concurrency, determinism, and snapshot-safety invariants
+this project's correctness arguments rest on:
+
+* **RPR001** — lock discipline: memo caches and session state are
+  touched only through their sanctioned accessors;
+* **RPR002** — spawn safety: no ``os.fork``, worker processes only via
+  an explicit ``multiprocessing.get_context(...)``;
+* **RPR003** — snapshot safety: engine classes drop lock-bearing
+  attributes in ``__getstate__`` so process-serving snapshots pickle;
+* **RPR004** — determinism: no unsorted set iteration escapes into
+  ordered artifacts on the build/partition/parallel path;
+* **RPR005** — sorted-column integrity: packed ``array('q')`` pair
+  columns are created and mutated only in their sanctioned homes.
+
+See ``docs/static-analysis.md`` for the rule-by-rule rationale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, subtract_baseline, write_baseline
+from repro.analysis.engine import discover_files, parse_modules, run_lint, run_rules
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Rule",
+    "discover_files",
+    "load_baseline",
+    "parse_modules",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "run_rules",
+    "subtract_baseline",
+    "write_baseline",
+]

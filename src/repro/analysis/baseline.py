@@ -1,0 +1,65 @@
+"""Baseline files: a committed allowance of pre-existing findings.
+
+A baseline lets the analyzer gate *new* violations while a legacy
+finding is being burned down: ``repro lint --write-baseline`` records
+the current findings, and later runs subtract them.  Matching is by
+``(rule, path, message)`` with multiplicity — line numbers are excluded
+on purpose, so unrelated edits that shift a finding do not punch holes
+in the allowance (see :meth:`repro.analysis.findings.Finding.key`).
+
+The repository's own policy is an **empty baseline**: every invariant
+rule runs clean on the real tree (asserted by the self-check test in
+``tests/test_lint_cli.py``), and the baseline machinery exists for
+downstream forks and for staging future, stricter rules.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+#: Schema marker for the JSON file, bumped on incompatible changes.
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Record ``findings`` as the committed allowance at ``path``."""
+    entries = [
+        {"rule": rule, "path": file_path, "message": message}
+        for rule, file_path, message in sorted(f.key() for f in findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline as a multiset of finding keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read lint baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ReproError(
+            f"lint baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    allowance: Counter = Counter()
+    for entry in payload.get("findings", ()):
+        allowance[(entry["rule"], entry["path"], entry["message"])] += 1
+    return allowance
+
+
+def subtract_baseline(findings: list[Finding], allowance: Counter) -> list[Finding]:
+    """Drop findings covered by the baseline (one allowance per entry)."""
+    remaining = Counter(allowance)
+    kept: list[Finding] = []
+    for finding in sorted(findings):
+        if remaining[finding.key()] > 0:
+            remaining[finding.key()] -= 1
+        else:
+            kept.append(finding)
+    return kept

@@ -1,0 +1,132 @@
+"""Shared analysis context: parsed modules and the two-pass project view.
+
+The analyzer parses every file once (:class:`ParsedModule`) and then
+builds a :class:`ProjectContext` over the whole file set before any rule
+runs.  Two cross-module facts the per-file rules need live here:
+
+* the **class hierarchy by name**, so a rule can ask whether a class
+  transitively derives from ``EngineBase`` without importing anything
+  (engine subclasses are spread over ``core/`` and ``baselines/``);
+* the **function/method return-kind map**, a coarse classification of
+  annotated return types into "returns a set" / "returns a dict whose
+  values are sets", which lets the determinism rule (RPR004) type a
+  call like ``sequence_targets_from_source(...)`` across module
+  boundaries.
+
+Everything works on names, not imports: the analyzer never executes the
+analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Annotation heads treated as set-like for the determinism analysis.
+SET_HEADS = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"})
+
+#: Annotation heads treated as dict-like containers.
+DICT_HEADS = frozenset({"dict", "Dict", "defaultdict", "DefaultDict", "Mapping", "MutableMapping"})
+
+#: The classification values used throughout: "set" means the value
+#: iterates in hash order; "dict_of_sets" means the value is a mapping
+#: whose *values* iterate in hash order.
+KIND_SET = "set"
+KIND_DICT_OF_SETS = "dict_of_sets"
+
+
+def _head_name(node: ast.expr) -> str | None:
+    """The rightmost simple name of an annotation head (``t.Set`` → Set)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def classify_annotation(node: ast.expr | None) -> str | None:
+    """Coarsely classify a type annotation for order-sensitivity.
+
+    Returns :data:`KIND_SET`, :data:`KIND_DICT_OF_SETS`, or None.  Union
+    annotations (``X | Y``, ``Optional[X]``) classify as their non-None
+    members when those agree.
+    """
+    if node is None:
+        return None
+    head = _head_name(node)
+    if head in SET_HEADS:
+        return KIND_SET
+    if isinstance(node, ast.Subscript):
+        value_head = _head_name(node.value)
+        if value_head in SET_HEADS:
+            return KIND_SET
+        if value_head in DICT_HEADS:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                if classify_annotation(inner.elts[1]) == KIND_SET:
+                    return KIND_DICT_OF_SETS
+            return None
+        if value_head == "Optional":
+            return classify_annotation(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        kinds = {
+            classify_annotation(side)
+            for side in (node.left, node.right)
+            if not (isinstance(side, ast.Constant) and side.value is None)
+        }
+        if len(kinds) == 1:
+            return kinds.pop()
+    return None
+
+
+@dataclass
+class ParsedModule:
+    """One analyzed source file: its path, AST, and raw lines."""
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+
+
+@dataclass
+class ProjectContext:
+    """Cross-module facts collected before any rule runs."""
+
+    #: class name → tuple of base-class simple names, project-wide.
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: function/method simple name → return kind (see module docstring).
+    return_kinds: dict[str, str] = field(default_factory=dict)
+
+    def is_engine_class(self, name: str, root: str = "EngineBase") -> bool:
+        """Does ``name`` transitively derive from ``root`` (by name)?"""
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current == root:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.class_bases.get(current, ()))
+        return False
+
+
+def build_project_context(modules: list[ParsedModule]) -> ProjectContext:
+    """Run the project-wide collection pass over every parsed module."""
+    context = ProjectContext()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = tuple(
+                    base_name
+                    for base in node.bases
+                    if (base_name := _head_name(base)) is not None
+                )
+                context.class_bases.setdefault(node.name, bases)
+            elif isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef):
+                kind = classify_annotation(node.returns)
+                if kind is not None:
+                    context.return_kinds.setdefault(node.name, kind)
+    return context

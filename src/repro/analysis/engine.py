@@ -1,0 +1,102 @@
+"""Driver for the ``repro lint`` analyzer.
+
+Discovers ``.py`` files, parses each once, builds the project-wide
+context (class hierarchy, return-type kinds), dispatches every
+applicable rule, and filters findings through inline suppressions:
+
+    risky_call()  # repro-lint: disable=RPR004
+    other_call()  # repro-lint: disable=RPR001,RPR004
+    anything()    # repro-lint: disable=all
+
+A suppression comment applies to findings anchored on its own line.
+Baseline handling (the *other* suppression mechanism, for adopting the
+analyzer on a tree with pre-existing findings) lives in
+:mod:`repro.analysis.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.context import ParsedModule, ProjectContext, build_project_context
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.errors import ReproError
+
+#: Inline suppression: ``# repro-lint: disable=RPR001,RPR004`` (or ``all``).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise ReproError(f"lint path does not exist: {path}")
+    return sorted(files)
+
+
+def parse_modules(files: list[Path]) -> list[ParsedModule]:
+    """Parse each file once; syntax errors become :class:`ReproError`."""
+    modules: list[ParsedModule] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:  # noqa: PERF203 - per-file error context
+            raise ReproError(f"cannot parse {path}: {exc}") from exc
+        modules.append(
+            ParsedModule(path=path.as_posix(), tree=tree, lines=source.splitlines())
+        )
+    return modules
+
+
+def suppressed_rules(module: ParsedModule, line: int) -> frozenset[str]:
+    """Rule ids suppressed by an inline comment on ``line`` (1-based)."""
+    if not 1 <= line <= len(module.lines):
+        return frozenset()
+    match = _SUPPRESS_RE.search(module.lines[line - 1])
+    if match is None:
+        return frozenset()
+    return frozenset(token.strip() for token in match.group(1).split(",") if token.strip())
+
+
+def _is_suppressed(module: ParsedModule, finding: Finding) -> bool:
+    tokens = suppressed_rules(module, finding.line)
+    return finding.rule in tokens or "all" in tokens
+
+
+def run_rules(
+    modules: list[ParsedModule],
+    project: ProjectContext,
+    rules: tuple[type[Rule], ...] = ALL_RULES,
+) -> list[Finding]:
+    """Run every applicable rule over every module; honor suppressions."""
+    findings: list[Finding] = []
+    instances = [rule_cls() for rule_cls in rules]
+    for module in modules:
+        for rule in instances:
+            if not rule.applies_to(module.path):
+                continue
+            findings.extend(
+                finding
+                for finding in rule.check(module, project)
+                if not _is_suppressed(module, finding)
+            )
+    return sorted(findings)
+
+
+def run_lint(
+    paths: list[str | Path], rules: tuple[type[Rule], ...] = ALL_RULES
+) -> list[Finding]:
+    """Full pipeline: discover → parse → project context → rules."""
+    modules = parse_modules(discover_files(paths))
+    project = build_project_context(modules)
+    return run_rules(modules, project, rules)

@@ -1,0 +1,46 @@
+"""Finding records produced by the ``repro lint`` static analyzer.
+
+A finding pins one rule violation to a file position.  Paths are stored
+in posix form relative to the lint invocation's working directory, so
+findings render as the familiar clickable ``path:line:col`` prefix and
+compare stably across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def key(self) -> tuple[str, str, str]:
+        """The baseline identity: rule + path + message (line-insensitive).
+
+        Line numbers churn with every unrelated edit, so a committed
+        baseline matches findings on what was reported and where, not on
+        the exact line it happened to sit at when baselined.
+        """
+        return (self.rule, self.path, self.message)
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Render findings one per line, sorted by position."""
+    return "\n".join(f.render() for f in sorted(findings))
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Render findings as a JSON array (machine-readable CI output)."""
+    return json.dumps([asdict(f) for f in sorted(findings)], indent=2)

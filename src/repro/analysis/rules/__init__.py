@@ -1,0 +1,29 @@
+"""Rule registry for the ``repro lint`` analyzer."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.rpr001_locks import LockDisciplineRule
+from repro.analysis.rules.rpr002_spawn import SpawnSafetyRule
+from repro.analysis.rules.rpr003_snapshot import SnapshotSafetyRule
+from repro.analysis.rules.rpr004_determinism import DeterminismRule
+from repro.analysis.rules.rpr005_pairset import PairSetIntegrityRule
+
+#: Every rule, in id order.  Instantiated fresh per run by the engine.
+ALL_RULES: tuple[type[Rule], ...] = (
+    LockDisciplineRule,
+    SpawnSafetyRule,
+    SnapshotSafetyRule,
+    DeterminismRule,
+    PairSetIntegrityRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "LockDisciplineRule",
+    "PairSetIntegrityRule",
+    "Rule",
+    "SnapshotSafetyRule",
+    "SpawnSafetyRule",
+]

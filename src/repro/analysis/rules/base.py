@@ -1,0 +1,56 @@
+"""Rule base class for the ``repro lint`` analyzer.
+
+A rule encodes one project invariant as a per-file AST check.  Rules
+declare *where* they apply through posix path suffixes:
+
+* ``scope`` — when set, the rule only runs on files whose posix path
+  ends with one of the suffixes (e.g. the determinism rule only covers
+  the build/partition/parallel modules whose sharded == serial
+  fingerprint identity depends on iteration order);
+* ``exempt`` — files that are the invariant's *sanctioned home* (e.g.
+  ``core/executor.py`` owns the memo-cache accessors that RPR001 bans
+  everywhere else).
+
+Suffix matching (rather than absolute paths) keeps the rules testable:
+fixture trees under a tmp directory scope exactly like the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ParsedModule, ProjectContext
+from repro.analysis.findings import Finding
+
+
+class Rule:
+    """One invariant check; subclasses implement :meth:`check`."""
+
+    rule_id: str = "RPR000"
+    title: str = ""
+    #: Posix path suffixes the rule is limited to (None = every file).
+    scope: tuple[str, ...] | None = None
+    #: Posix path suffixes exempt from the rule (sanctioned homes).
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` (posix form)."""
+        if any(path.endswith(suffix) for suffix in self.exempt):
+            return False
+        if self.scope is None:
+            return True
+        return any(path.endswith(suffix) for suffix in self.scope)
+
+    def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
+        """Return every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )

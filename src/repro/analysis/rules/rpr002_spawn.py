@@ -1,0 +1,123 @@
+"""RPR002 — spawn safety: no fork, no unsanctioned process creation.
+
+Forking a multi-threaded Python process is a deadlock hazard (another
+thread may hold an internal lock at fork time), and the serving path
+keeps reader threads alive exactly when pools get built.  The project
+therefore creates worker processes only through an explicit
+``multiprocessing.get_context(...)`` — the heuristic one-shot build
+pools of ``core/parallel.py`` and the always-``spawn`` ``WorkerPool``
+used by process serving.
+
+This rule flags:
+
+* any use of ``os.fork`` / ``os.forkpty`` (including ``from os import
+  fork``);
+* ``Pool``/``Process`` created directly on the ``multiprocessing``
+  module (or imported from it), bypassing an explicit start context.
+  Calls on a variable assigned from ``multiprocessing.get_context(...)``
+  are the sanctioned pattern and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ParsedModule, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: os functions that fork the interpreter.
+FORK_NAMES = frozenset({"fork", "forkpty"})
+
+#: multiprocessing entry points that pick the *default* start method.
+POOL_NAMES = frozenset({"Pool", "Process"})
+
+
+class SpawnSafetyRule(Rule):
+    """Worker processes only via an explicit multiprocessing context."""
+
+    rule_id = "RPR002"
+    title = "spawn safety (no fork, explicit start contexts)"
+
+    def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
+        os_aliases: set[str] = set()
+        mp_aliases: set[str] = set()
+        fork_names: dict[str, str] = {}
+        pool_names: dict[str, str] = {}
+        findings: list[Finding] = []
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        os_aliases.add(alias.asname or "os")
+                    elif alias.name == "multiprocessing":
+                        mp_aliases.add(alias.asname or "multiprocessing")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os":
+                    for alias in node.names:
+                        if alias.name in FORK_NAMES:
+                            fork_names[alias.asname or alias.name] = alias.name
+                elif node.module == "multiprocessing":
+                    for alias in node.names:
+                        if alias.name in POOL_NAMES:
+                            pool_names[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(module.tree):
+            fork_name = self._fork_use(node, os_aliases, fork_names)
+            if fork_name is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"os.{fork_name} forks the interpreter; forking with "
+                        f"serving threads alive deadlocks — use the spawn-context "
+                        f"WorkerPool (core/parallel.py) instead",
+                    )
+                )
+                continue
+            if isinstance(node, ast.Call):
+                target = self._unsanctioned_target(node, mp_aliases, pool_names)
+                if target is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"multiprocessing.{target} created without an explicit "
+                            f"start context; use "
+                            f"multiprocessing.get_context('spawn').{target}(...) "
+                            f"(or parallel_map/WorkerPool, which do)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _fork_use(
+        node: ast.AST, os_aliases: set[str], fork_names: dict[str, str]
+    ) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in FORK_NAMES
+            and isinstance(node.value, ast.Name)
+            and node.value.id in os_aliases
+        ):
+            return node.attr
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return fork_names.get(node.func.id)
+        return None
+
+    @staticmethod
+    def _unsanctioned_target(
+        node: ast.Call, mp_aliases: set[str], pool_names: dict[str, str]
+    ) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in pool_names:
+            return pool_names[func.id]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in POOL_NAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in mp_aliases
+        ):
+            return func.attr
+        return None

@@ -1,0 +1,139 @@
+"""RPR003 — snapshot/pickle safety for engine classes.
+
+Process serving ships an **engine snapshot** — the engine pickled minus
+its lock-bearing caches — to worker processes.  ``EngineBase`` drops
+its two memo LRUs in ``__getstate__``; an engine subclass that attaches
+its *own* lock (or lock-bearing cache) in ``__init__`` must likewise
+drop it, or every process-mode batch dies with an unpicklable-state
+error (or worse, ships a lock silently re-armed in the worker).
+
+The rule scopes itself to classes that matter for pickling:
+
+* any class transitively deriving from ``EngineBase`` (resolved by name
+  through the project-wide class hierarchy) that assigns a lock-bearing
+  attribute in ``__init__`` must define a ``__getstate__`` that drops
+  that attribute;
+* any class defining its own ``__getstate__`` is checked the same way —
+  a lock-bearing attribute it assigns but never drops is a latent
+  pickling failure regardless of the hierarchy.
+
+Classes that are never pickled (pools, locks themselves, the session)
+carry locks legitimately and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ParsedModule, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Constructor names whose instances cannot cross a process boundary.
+LOCKISH_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+        "RWLock",
+        "LRUCache",
+    }
+)
+
+
+def _lockish_attrs(init: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, ast.AST]:
+    """``self.X = Lock()``-style assignments in ``__init__``: attr → node."""
+    attrs: dict[str, ast.AST] = {}
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name not in LOCKISH_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs[target.attr] = node
+    return attrs
+
+
+def _dropped_attrs(getstate: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Attribute names a ``__getstate__`` body mentions as string keys.
+
+    Covers the project's drop idioms — ``state.pop("_attr", None)``,
+    ``del state["_attr"]``, ``state["_attr"] = None`` — by collecting
+    every string constant in the body; mentioning the attribute at all
+    is taken as handling it.
+    """
+    mentioned: set[str] = set()
+    for node in ast.walk(getstate):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mentioned.add(node.value)
+    return mentioned
+
+
+class SnapshotSafetyRule(Rule):
+    """Engine classes must drop lock-bearing state in ``__getstate__``."""
+
+    rule_id = "RPR003"
+    title = "snapshot/pickle safety (locks dropped in __getstate__)"
+
+    def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, project, node))
+        return findings
+
+    def _check_class(
+        self, module: ParsedModule, project: ProjectContext, class_node: ast.ClassDef
+    ) -> list[Finding]:
+        init = None
+        getstate = None
+        for item in class_node.body:
+            if isinstance(item, ast.FunctionDef | ast.AsyncFunctionDef):
+                if item.name == "__init__":
+                    init = item
+                elif item.name == "__getstate__":
+                    getstate = item
+        if init is None:
+            return []
+        lockish = _lockish_attrs(init)
+        if not lockish:
+            return []
+        is_engine = project.is_engine_class(class_node.name)
+        if getstate is None and not is_engine:
+            return []
+
+        if getstate is None:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"engine class {class_node.name!r} assigns lock-bearing "
+                    f"attribute {attr!r} in __init__ but defines no "
+                    f"__getstate__ dropping it; process-serving snapshots "
+                    f"of this engine will fail to pickle",
+                )
+                for attr, node in lockish.items()
+            ]
+        dropped = _dropped_attrs(getstate)
+        return [
+            self.finding(
+                module,
+                node,
+                f"{class_node.name!r} assigns lock-bearing attribute "
+                f"{attr!r} in __init__ but its __getstate__ never drops "
+                f"it (expected state.pop({attr!r}, None) or equivalent)",
+            )
+            for attr, node in lockish.items()
+            if attr not in dropped
+        ]

@@ -1,0 +1,144 @@
+"""RPR005 — sorted-column integrity for packed pair columns.
+
+Every index stores its pair relations as sorted, duplicate-free
+``array('q')`` columns of packed codes (``v_id << 32 | u_id``) — the
+representation the merge-join executor, ``merge_code_columns``, and
+``index_fingerprint`` all assume.  ``core/pairset.py`` owns that
+invariant: ``PairSet.from_codes`` sorts and dedupes, ``PairSet``
+instances are immutable views, and the few build helpers that
+construct raw columns (paths/partition/parallel) hand them straight to
+the canonicalizing assemblers.
+
+Outside those sanctioned homes this rule flags:
+
+* access to ``PairSet`` internals (``._codes`` / ``._codeset``) — the
+  public iteration/membership API is the contract, the internals are
+  representation;
+* direct ``PairSet(...)`` construction — only ``from_codes`` /
+  ``from_pairs`` guarantee the sorted-unique invariant;
+* mutation of a ``codes`` / ``_codes`` column (``.append`` /
+  ``.extend`` / ``.insert`` / ``.remove`` / ``.pop`` / ``.sort`` or a
+  subscript store) — a sorted column mutated in place silently breaks
+  binary-search lookups;
+* raw ``array("q", ...)`` construction — packed-code columns are born
+  only in the sanctioned build modules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ParsedModule, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: PairSet representation internals.
+PRIVATE_ATTRS = frozenset({"_codes", "_codeset"})
+
+#: In-place mutators that break a sorted column.
+MUTATORS = frozenset({"append", "extend", "insert", "remove", "pop", "sort"})
+
+#: Attribute names that hold packed-code columns.
+COLUMN_ATTRS = frozenset({"codes", "_codes"})
+
+#: Files allowed to construct raw array("q") pair columns.
+ARRAY_ALLOWED = (
+    "repro/core/pairset.py",
+    "repro/core/paths.py",
+    "repro/core/parallel.py",
+    "repro/core/partition.py",
+)
+
+
+class PairSetIntegrityRule(Rule):
+    """Packed pair columns created and mutated only in sanctioned homes."""
+
+    rule_id = "RPR005"
+    title = "sorted-column integrity (PairSet internals, array('q') columns)"
+    exempt = ("repro/core/pairset.py",)
+
+    def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
+        findings: list[Finding] = []
+        array_ok = any(module.path.endswith(suffix) for suffix in ARRAY_ALLOWED)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in PRIVATE_ATTRS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"PairSet internal {node.attr!r} accessed outside "
+                        f"core/pairset.py; use the public iteration/membership "
+                        f"API — the packed representation is private",
+                    )
+                )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, array_ok))
+            elif isinstance(node, ast.Assign | ast.AugAssign):
+                findings.extend(self._check_store(module, node))
+        return findings
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, array_ok: bool
+    ) -> list[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "PairSet":
+            return [
+                self.finding(
+                    module,
+                    node,
+                    "direct PairSet(...) construction outside core/pairset.py; "
+                    "use PairSet.from_codes/from_pairs, which enforce the "
+                    "sorted duplicate-free column invariant",
+                )
+            ]
+        if (
+            not array_ok
+            and isinstance(func, ast.Name)
+            and func.id == "array"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "q"
+        ):
+            return [
+                self.finding(
+                    module,
+                    node,
+                    "raw array('q') packed-code column constructed outside the "
+                    "sanctioned build modules (pairset/paths/partition/parallel); "
+                    "build pairs there and go through PairSet.from_codes",
+                )
+            ]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATORS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr in COLUMN_ATTRS
+        ):
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"in-place .{func.attr}(...) on packed column "
+                    f"'.{func.value.attr}'; sorted columns are immutable once "
+                    f"assembled — rebuild via PairSet.from_codes",
+                )
+            ]
+        return []
+
+    def _check_store(
+        self, module: ParsedModule, node: ast.Assign | ast.AugAssign
+    ) -> list[Finding]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        return [
+            self.finding(
+                module,
+                target,
+                f"subscript store into packed column "
+                f"'.{target.value.attr}'; sorted columns are immutable "
+                f"once assembled — rebuild via PairSet.from_codes",
+            )
+            for target in targets
+            if isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr in COLUMN_ATTRS
+        ]

@@ -183,7 +183,7 @@ class InterestAwarePathIndex(PathIndex):
                 ).items()
             }
             if num_workers > 1 and full
-            else {seq: sequence_relation_codes(graph, seq) for seq in full}
+            else {seq: sequence_relation_codes(graph, seq) for seq in sorted(full)}
         )
         entries = {seq: pairs for seq, pairs in entries.items() if pairs}
         return cls(graph=graph, k=k, entries=entries, interests=frozenset(full))

@@ -111,9 +111,9 @@ class TurboHomEngine:
                 continue
             seen.add(var)
             order.append(var)
-            for other, _, _ in adjacency[var]:
-                if other not in seen:
-                    frontier.append(other)
+            frontier.extend(
+                other for other, _, _ in adjacency[var] if other not in seen
+            )
         return order
 
     def _candidates(

@@ -183,6 +183,36 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument(
         "--out", default=None, help="write JSON here instead of stdout"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analyzer "
+             "(concurrency/determinism/snapshot invariants)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON whose findings are tolerated (see docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit nonzero when findings remain (the default, made explicit for CI)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format",
+        help="findings output format",
+    )
     return parser
 
 
@@ -309,6 +339,35 @@ def cmd_bench_concurrent(args) -> int:
     return main_bench_concurrent(args)
 
 
+def cmd_lint(args) -> int:
+    from repro import analysis
+
+    if args.list_rules:
+        for rule_cls in analysis.ALL_RULES:
+            print(f"{rule_cls.rule_id}  {rule_cls.title}")
+        return 0
+    findings = analysis.run_lint(args.paths)
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return 2
+        analysis.write_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+    if args.baseline is not None:
+        findings = analysis.subtract_baseline(
+            findings, analysis.load_baseline(args.baseline)
+        )
+    if args.output_format == "json":
+        print(analysis.render_json(findings))
+    elif findings:
+        print(analysis.render_text(findings))
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.name]()
     print(result.render())
@@ -333,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-micro": cmd_bench_micro,
         "bench-concurrent": cmd_bench_concurrent,
         "serve-bench": cmd_bench_concurrent,
+        "lint": cmd_lint,
     }
     try:
         return handlers[args.command](args)

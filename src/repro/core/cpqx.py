@@ -152,7 +152,7 @@ class CPQxIndex(EngineBase):
 
         il2c: dict[LabelSeq, set[int]] = {}
         for class_id, seqs in class_sequences.items():
-            for seq in seqs:
+            for seq in sorted(seqs):
                 il2c.setdefault(seq, set()).add(class_id)
 
         return cls(

@@ -146,11 +146,10 @@ def collapse_chains(cq: ConjunctiveQuery) -> list[_Relation]:
     projected = set(cq.projection)
 
     def occurrences(rels: list[_Relation], term: Term) -> list[int]:
-        found = []
-        for idx, rel in enumerate(rels):
-            if rel.left == term or rel.right == term:
-                found.append(idx)
-        return found
+        return [
+            idx for idx, rel in enumerate(rels)
+            if rel.left == term or rel.right == term
+        ]
 
     changed = True
     while changed:

@@ -56,6 +56,7 @@ from repro.plan.nodes import ConjNode, IdentityAll, JoinNode, Lookup, PlanNode
 from repro.plan.planner import Splitter, build_plan
 from repro.query.ast import CPQ, is_resolved, resolve
 
+
 @dataclass
 class ExecutionStats:
     """Operation counters collected during one query evaluation.
@@ -137,7 +138,7 @@ class LookupProvider(Protocol):
 
 #: A memo table for plan-node results: the per-evaluation dict or the
 #: engine's cross-query LRU — both map plan node → (Result, stats delta).
-Memo = "dict | LRUCache"
+Memo = dict | LRUCache
 
 
 def execute_plan(
@@ -226,12 +227,8 @@ def _execute_uncached(
         return Result(pairs=_all_loops(provider.graph))
 
     if isinstance(plan, JoinNode):
-        left = _materialize(
-            _execute(plan.left, provider, stats, memo), provider, stats, None
-        )
-        right = _materialize(
-            _execute(plan.right, provider, stats, memo), provider, stats, None
-        )
+        left = _materialize(_execute(plan.left, provider, stats, memo), provider, stats, None)
+        right = _materialize(_execute(plan.right, provider, stats, memo), provider, stats, None)
         if stats is not None:
             stats.joins += 1
             stats.pairs_touched += len(left) + len(right)
@@ -334,17 +331,8 @@ def _compose(
     for m, u in right:
         by_source.setdefault(m, []).append(u)
     if loops_only:
-        return {
-            (v, u)
-            for v, m in left
-            for u in by_source.get(m, ())
-            if v == u
-        }
-    return {
-        (v, u)
-        for v, m in left
-        for u in by_source.get(m, ())
-    }
+        return {(v, u) for v, m in left for u in by_source.get(m, ()) if v == u}
+    return {(v, u) for v, m in left for u in by_source.get(m, ())}
 
 
 #: Guards lazy attachment/replacement of per-engine memo caches.
@@ -485,7 +473,10 @@ class EngineBase:
             return answers
         run = ExecutionStats()
         answers = execute_plan(
-            self.plan(query), self, stats=run, limit=limit,
+            self.plan(query),
+            self,
+            stats=run,
+            limit=limit,
             memo=self._subplan_cache(),
         )
         if stats is not None:
@@ -516,14 +507,12 @@ class EngineBase:
         if source_filter is None and target_filter is None:
             return answers
         graph = self.graph
-        filtered = []
-        for v, u in answers:
-            if source_filter is not None and not source_filter(graph.vertex_data(v)):
-                continue
-            if target_filter is not None and not target_filter(graph.vertex_data(u)):
-                continue
-            filtered.append((v, u))
-        return frozenset(filtered)
+        return frozenset(
+            (v, u)
+            for v, u in answers
+            if (source_filter is None or source_filter(graph.vertex_data(v)))
+            and (target_filter is None or target_filter(graph.vertex_data(u)))
+        )
 
     def count(self, query: CPQ, stats: ExecutionStats | None = None) -> int:
         """Answer cardinality, avoiding materialization where possible.
@@ -552,12 +541,12 @@ class EngineBase:
         plan = self.plan(query)
         memo = self._subplan_cache() if caching else {}
         result = _execute(plan, self, run, memo)
-        if result.classes is not None and hasattr(self, "class_size"):
-            counted = sum(self.class_size(class_id) for class_id in result.classes)
-        elif result.classes is not None and hasattr(self, "pairs_of_class"):
-            counted = sum(
-                len(self.pairs_of_class(class_id)) for class_id in result.classes
-            )
+        class_size = getattr(self, "class_size", None)
+        pairs_of_class = getattr(self, "pairs_of_class", None)
+        if result.classes is not None and class_size is not None:
+            counted = sum(class_size(class_id) for class_id in result.classes)
+        elif result.classes is not None and pairs_of_class is not None:
+            counted = sum(len(pairs_of_class(class_id)) for class_id in result.classes)
         else:
             counted = len(_materialize(result, self, run, None))
         if caching:

@@ -136,7 +136,9 @@ class InterestAwareIndex(EngineBase):
                 return sequence_relation_codes(graph, seq).iter_codes()
 
         code_seqs: dict[int, set[LabelSeq]] = {}
-        for seq in full_interests:
+        # Sorted so class ids (assigned first-seen below) are identical
+        # across runs regardless of set hash order.
+        for seq in sorted(full_interests):
             for code in relation_codes(seq):
                 entry = code_seqs.get(code)
                 if entry is None:
@@ -159,7 +161,7 @@ class InterestAwareIndex(EngineBase):
                 class_sequences[class_id] = signature[1]
                 if signature[0]:
                     loop_classes.add(class_id)
-                for seq in signature[1]:
+                for seq in sorted(signature[1]):
                     il2c.setdefault(seq, set()).add(class_id)
             else:
                 bucket.append(code)
@@ -361,7 +363,10 @@ class InterestAwareIndex(EngineBase):
     def _reclassify(self, pairs: set[Pair]) -> None:
         encode = self.graph.interner.encode_pair
         regrouped: dict[tuple[frozenset[LabelSeq], bool], list[int]] = {}
-        for pair in pairs:
+        # Vertex pairs hash by string, so set order is salted per run;
+        # sort (key=repr: vertices are only Hashable) so regrouped's
+        # group order — and the fresh class ids — are deterministic.
+        for pair in sorted(pairs, key=repr):
             new_seqs = frozenset(
                 seq
                 for seq in self.interests
@@ -411,7 +416,7 @@ class InterestAwareIndex(EngineBase):
             self._class_of[code] = class_id
         if is_loop:
             self._loop_classes.add(class_id)
-        for seq in seqs:
+        for seq in sorted(seqs):
             self._il2c.setdefault(seq, set()).add(class_id)
         return class_id
 

@@ -158,7 +158,10 @@ def reclassify(index: CPQxIndex, pairs: set[Pair]) -> None:
     graph = index.graph
     encode = graph.interner.encode_pair
     regrouped: dict[tuple[frozenset[LabelSeq], bool], list[int]] = {}
-    for pair in pairs:
+    # Vertex pairs hash by string, so set order is salted per run; sort
+    # (key=repr: vertices are only Hashable) so fresh class ids assigned
+    # per group below are deterministic.
+    for pair in sorted(pairs, key=repr):
         code = encode(pair)
         new_seqs = label_sequences_for_pair(graph, pair[0], pair[1], index.k)
         old_class = index._class_of.get(code)

@@ -203,7 +203,9 @@ def _sequence_postings_shard(
             column = columns.get(seq)
             if column is None:
                 column = columns[seq] = array("q")
-            column.extend(v_high | target for target in targets)
+            # Shard-local order is irrelevant: merge_code_columns sorts
+            # and dedupes every merged column before assembly.
+            column.extend(v_high | target for target in targets)  # repro-lint: disable=RPR004
     return columns
 
 

@@ -79,9 +79,8 @@ def _graph_from_document(document: dict) -> LabeledDigraph:
 
 
 def _classes_document(index) -> list[dict]:
-    documents = []
-    for class_id in sorted(index._ic2p):
-        documents.append({
+    return [
+        {
             "id": class_id,
             "pairs": [
                 [encode_vertex(v), encode_vertex(u)]
@@ -89,8 +88,9 @@ def _classes_document(index) -> list[dict]:
             ],
             "sequences": sorted(index._class_sequences[class_id]),
             "loop": class_id in index._loop_classes,
-        })
-    return documents
+        }
+        for class_id in sorted(index._ic2p)
+    ]
 
 
 def save_index(index: CPQxIndex | InterestAwareIndex, path: str | Path) -> None:

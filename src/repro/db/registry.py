@@ -114,7 +114,8 @@ def unregister_engine(name: str) -> None:
     spec = engine_spec(name)
     key = _normalize(spec.key)
     del _REGISTRY[key]
-    for alias, target in list(_ALIASES.items()):
+    # list() copy is load-bearing: the loop deletes from _ALIASES.
+    for alias, target in list(_ALIASES.items()):  # noqa: PERF101
         if target == key:
             del _ALIASES[alias]
 

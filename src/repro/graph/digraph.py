@@ -122,11 +122,13 @@ class LabeledDigraph:
         """Remove ``v`` and every edge incident to it."""
         if v not in self._out:
             raise UnknownVertexError(v)
-        for label, targets in list(self._out[v].items()):
-            for u in list(targets):
+        # The list() copies are load-bearing: remove_edge mutates the
+        # adjacency dicts being iterated.
+        for label, targets in list(self._out[v].items()):  # noqa: PERF101
+            for u in list(targets):  # noqa: PERF101
                 self.remove_edge(v, u, label)
-        for label, sources in list(self._in[v].items()):
-            for w in list(sources):
+        for label, sources in list(self._in[v].items()):  # noqa: PERF101
+            for w in list(sources):  # noqa: PERF101
                 self.remove_edge(w, v, label)
         del self._out[v]
         del self._in[v]

@@ -138,7 +138,7 @@ def _serve_worker(task: int, conn: Connection) -> None:
         while True:
             try:
                 message = conn.recv()
-            except (EOFError, OSError):
+            except (EOFError, OSError):  # noqa: PERF203 - per-message shutdown guard
                 break
             kind = message[0]
             if kind == "stop":
@@ -156,7 +156,7 @@ def _serve_worker(task: int, conn: Connection) -> None:
                     evaluate = engine.evaluate  # type: ignore[attr-defined]
                     answers = evaluate(query, stats=run, limit=limit)
                     conn.send(("result", job, frozenset(answers), run))
-                except Exception:
+                except Exception:  # noqa: PERF203 - per-query fault isolation
                     conn.send(("error", job, traceback.format_exc()))
             else:  # pragma: no cover - protocol misuse guard
                 conn.send(("error", None, f"unknown message kind {kind!r}"))

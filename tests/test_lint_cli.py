@@ -1,0 +1,118 @@
+"""CLI surface and self-check tests for ``repro lint``.
+
+The self-check is the PR's quality gate: the real tree must report
+zero findings with no baseline — the repository's own policy (see
+``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro import cli
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+VIOLATING = {
+    "repro/core/cpqx.py": """
+        def collect():
+            members = {1, 2, 3}
+            return list(members)
+    """,
+}
+
+
+def make_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "proj"
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return root
+
+
+def test_self_check_real_tree_is_clean():
+    """`repro lint src/repro` reports zero findings — the CI invariant."""
+    assert cli.main(["lint", str(REPO_SRC), "--fail-on-findings"]) == 0
+
+
+def test_violations_exit_nonzero(tmp_path, capsys):
+    root = make_tree(tmp_path, VIOLATING)
+    assert cli.main(["lint", str(root)]) == 1
+    out = capsys.readouterr()
+    assert "RPR004" in out.out
+    assert "1 finding(s)" in out.err
+
+
+def test_fail_on_findings_flag(tmp_path):
+    root = make_tree(tmp_path, VIOLATING)
+    assert cli.main(["lint", str(root), "--fail-on-findings"]) == 1
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    root = make_tree(tmp_path, {
+        "repro/core/cpqx.py": """
+            def collect():
+                members = {1, 2, 3}
+                return sorted(members)
+        """,
+    })
+    assert cli.main(["lint", str(root)]) == 0
+
+
+def test_json_format(tmp_path, capsys):
+    root = make_tree(tmp_path, VIOLATING)
+    assert cli.main(["lint", str(root), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    assert payload[0]["rule"] == "RPR004"
+    assert payload[0]["path"].endswith("repro/core/cpqx.py")
+    assert payload[0]["line"] >= 1
+
+
+def test_list_rules(capsys):
+    assert cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out
+
+
+def test_write_baseline_then_enforce(tmp_path, capsys):
+    root = make_tree(tmp_path, VIOLATING)
+    baseline = tmp_path / "baseline.json"
+    assert cli.main([
+        "lint", str(root), "--baseline", str(baseline), "--write-baseline",
+    ]) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().out
+    # Baselined findings are tolerated ...
+    assert cli.main(["lint", str(root), "--baseline", str(baseline)]) == 0
+    # ... but a new violation still fails.
+    (root / "repro/core/partition.py").write_text(
+        textwrap.dedent(
+            """
+            def collect(pairs: set) -> list:
+                return [p for p in pairs]
+            """
+        ),
+        encoding="utf-8",
+    )
+    assert cli.main(["lint", str(root), "--baseline", str(baseline)]) == 1
+
+
+def test_write_baseline_requires_baseline_path(tmp_path, capsys):
+    root = make_tree(tmp_path, VIOLATING)
+    assert cli.main(["lint", str(root), "--write-baseline"]) == 2
+    assert "--write-baseline requires --baseline" in capsys.readouterr().err
+
+
+def test_missing_path_is_repro_error(tmp_path, capsys):
+    assert cli.main(["lint", str(tmp_path / "nowhere")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_syntax_error_is_repro_error(tmp_path, capsys):
+    root = make_tree(tmp_path, {"repro/core/broken.py": "def broken(:\n"})
+    assert cli.main(["lint", str(root)]) == 1
+    assert "cannot parse" in capsys.readouterr().err

@@ -1,0 +1,507 @@
+"""Per-rule golden tests for the ``repro lint`` static analyzer.
+
+Each rule gets a violating fixture and a clean fixture, written as
+miniature trees under ``tmp_path`` whose *relative* layout mirrors the
+real package (``repro/core/...``, ``repro/db/...``): rules scope by
+posix path suffix, so the fixtures scope exactly like the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import load_baseline, subtract_baseline, write_baseline
+from repro.errors import ReproError
+
+
+def make_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "proj"
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return root
+
+
+def rules_hit(tmp_path: Path, files: dict[str, str]) -> list[str]:
+    return [f.rule for f in run_lint([make_tree(tmp_path, files)])]
+
+
+# ----------------------------------------------------------------------
+# RPR001 — lock discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_memo_attr_outside_executor_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/other.py": """
+                def steal(engine):
+                    return engine._memo_results
+            """,
+        })
+        assert hits == ["RPR001"]
+
+    def test_token_cache_call_outside_executor_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/other.py": """
+                def steal(engine):
+                    return engine._token_cache("_memo_results", 8)
+            """,
+        })
+        assert hits == ["RPR001"]
+
+    def test_executor_itself_exempt(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/executor.py": """
+                class EngineBase:
+                    def _result_cache(self):
+                        return self._token_cache("_memo_results", 8)
+            """,
+        })
+        assert hits == []
+
+    def test_session_state_write_outside_writers_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/db/session.py": """
+                class GraphDatabase:
+                    def __init__(self):
+                        self._engine = None
+
+                    def _adopt(self, other):
+                        self._spec = other
+                        self._engine_gen += 1
+
+                    def hot_swap(self, engine):
+                        self._engine = engine
+            """,
+        })
+        assert hits == ["RPR001"]
+
+    def test_session_writers_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/db/session.py": """
+                class GraphDatabase:
+                    def __init__(self):
+                        self._engine = None
+                        self._build_args = ()
+
+                    def _adopt(self, other):
+                        self._engine = other
+                        self._engine_gen += 1
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — spawn safety
+# ----------------------------------------------------------------------
+class TestSpawnSafety:
+    def test_os_fork_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/forky.py": """
+                import os
+
+                def daemonize():
+                    return os.fork()
+            """,
+        })
+        assert hits == ["RPR002"]
+
+    def test_imported_fork_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/forky.py": """
+                from os import fork
+
+                def daemonize():
+                    return fork()
+            """,
+        })
+        assert hits == ["RPR002"]
+
+    def test_default_context_pool_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/pooly.py": """
+                import multiprocessing
+
+                def build_pool():
+                    return multiprocessing.Pool(4)
+            """,
+        })
+        assert hits == ["RPR002"]
+
+    def test_imported_process_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/pooly.py": """
+                from multiprocessing import Process
+
+                def spawn_worker(target):
+                    return Process(target=target)
+            """,
+        })
+        assert hits == ["RPR002"]
+
+    def test_explicit_context_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/pooly.py": """
+                import multiprocessing
+
+                def build_pool():
+                    context = multiprocessing.get_context("spawn")
+                    return context.Pool(2), context.Process(target=print)
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — snapshot/pickle safety
+# ----------------------------------------------------------------------
+class TestSnapshotSafety:
+    def test_engine_lock_without_getstate_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/myengine.py": """
+                import threading
+
+                class MyEngine(EngineBase):
+                    def __init__(self):
+                        self._lock = threading.Lock()
+            """,
+        })
+        assert hits == ["RPR003"]
+
+    def test_transitive_engine_subclass_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/base.py": """
+                class Middle(EngineBase):
+                    pass
+            """,
+            "repro/core/myengine.py": """
+                import threading
+
+                class Leaf(Middle):
+                    def __init__(self):
+                        self._cache = LRUCache(8, None)
+            """,
+        })
+        assert hits == ["RPR003"]
+
+    def test_getstate_dropping_lock_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/myengine.py": """
+                import threading
+
+                class MyEngine(EngineBase):
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def __getstate__(self):
+                        state = self.__dict__.copy()
+                        state.pop("_lock", None)
+                        return state
+            """,
+        })
+        assert hits == []
+
+    def test_getstate_missing_drop_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/myengine.py": """
+                import threading
+
+                class MyEngine(EngineBase):
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._cache = LRUCache(8, None)
+
+                    def __getstate__(self):
+                        state = self.__dict__.copy()
+                        state.pop("_cache", None)
+                        return state
+            """,
+        })
+        assert hits == ["RPR003"]
+
+    def test_never_pickled_class_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/pool.py": """
+                import threading
+
+                class ServingPool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
+# RPR004 — deterministic iteration
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_set_loop_with_append_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/partition.py": """
+                def collect(pairs: set) -> list:
+                    out = []
+                    for pair in pairs:
+                        out.append(pair)
+                    return out
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_sorted_loop_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/partition.py": """
+                def collect(pairs: set) -> list:
+                    out = []
+                    for pair in sorted(pairs, key=repr):
+                        out.append(pair)
+                    return out
+            """,
+        })
+        assert hits == []
+
+    def test_list_comprehension_over_set_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/paths.py": """
+                def collect(codes: frozenset) -> list:
+                    return [code for code in codes]
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_list_call_on_set_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/cpqx.py": """
+                def collect():
+                    members = {1, 2, 3}
+                    return list(members)
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_first_seen_id_assignment_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/interest.py": """
+                def number(seqs: set) -> dict:
+                    ids = {}
+                    for seq in seqs:
+                        ids.setdefault(seq, len(ids))
+                    return ids
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_cross_module_return_type_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/paths.py": """
+                def targets_by_seq(source) -> dict[str, set[int]]:
+                    return {}
+            """,
+            "repro/core/parallel.py": """
+                def shard(column, source):
+                    for seq, targets in targets_by_seq(source).items():
+                        column.extend(2 * t for t in targets)
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_order_insensitive_sink_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/partition.py": """
+                def group(pairs: set) -> dict:
+                    buckets = {}
+                    for pair in pairs:
+                        buckets.setdefault(pair[0], set()).add(pair)
+                    return buckets
+            """,
+        })
+        assert hits == []
+
+    def test_out_of_scope_module_not_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/query/planner.py": """
+                def collect(pairs: set) -> list:
+                    return [pair for pair in pairs]
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 — sorted-column integrity
+# ----------------------------------------------------------------------
+class TestPairSetIntegrity:
+    def test_private_attr_access_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/validate.py": """
+                def peek(pairset):
+                    return pairset._codes
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_direct_construction_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/validate.py": """
+                def build(codes, interner):
+                    return PairSet(codes, interner)
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_raw_array_outside_sanctioned_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/baselines/rogue.py": """
+                from array import array
+
+                def build():
+                    return array("q", [1, 2, 3])
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_raw_array_in_sanctioned_module_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/paths.py": """
+                from array import array
+
+                def build(codes):
+                    return array("q", sorted(codes))
+            """,
+        })
+        assert hits == []
+
+    def test_column_mutation_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/maintenance.py": """
+                def patch(index):
+                    index.codes.append(42)
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_pairset_home_exempt(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/pairset.py": """
+                from array import array
+
+                class PairSet:
+                    def __init__(self, codes, interner):
+                        self._codes = array("q", codes)
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
+# suppressions and baselines
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_inline_disable_suppresses(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/cpqx.py": """
+                def collect():
+                    members = {1, 2, 3}
+                    return list(members)  # repro-lint: disable=RPR004
+            """,
+        })
+        assert hits == []
+
+    def test_disable_all_suppresses(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/cpqx.py": """
+                def collect():
+                    members = {1, 2, 3}
+                    return list(members)  # repro-lint: disable=all
+            """,
+        })
+        assert hits == []
+
+    def test_disable_other_rule_does_not_suppress(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/cpqx.py": """
+                def collect():
+                    members = {1, 2, 3}
+                    return list(members)  # repro-lint: disable=RPR001
+            """,
+        })
+        assert hits == ["RPR004"]
+
+    def test_comma_list_suppresses(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/cpqx.py": """
+                def collect():
+                    members = {1, 2, 3}
+                    return list(members)  # repro-lint: disable=RPR001,RPR004
+            """,
+        })
+        assert hits == []
+
+
+class TestBaseline:
+    FILES = {
+        "repro/core/cpqx.py": """
+            def collect():
+                members = {1, 2, 3}
+                return list(members)
+        """,
+    }
+
+    def test_round_trip_covers_findings(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        findings = run_lint([root])
+        assert [f.rule for f in findings] == ["RPR004"]
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        remaining = subtract_baseline(findings, load_baseline(baseline))
+        assert remaining == []
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_lint([root]))
+        # Shift the violation down two lines; the allowance still covers it.
+        shifted = {
+            "repro/core/cpqx.py": "\n\n" + textwrap.dedent(self.FILES["repro/core/cpqx.py"]),
+        }
+        target = root / "repro/core/cpqx.py"
+        target.write_text(shifted["repro/core/cpqx.py"], encoding="utf-8")
+        remaining = subtract_baseline(run_lint([root]), load_baseline(baseline))
+        assert remaining == []
+
+    def test_new_finding_not_covered(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_lint([root]))
+        (root / "repro/core/partition.py").write_text(
+            textwrap.dedent(
+                """
+                def collect(pairs: set) -> list:
+                    return [p for p in pairs]
+                """
+            ),
+            encoding="utf-8",
+        )
+        remaining = subtract_baseline(run_lint([root]), load_baseline(baseline))
+        assert [f.rule for f in remaining] == ["RPR004"]
+        assert remaining[0].path.endswith("repro/core/partition.py")
+
+    def test_bad_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 999}', encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_baseline(bad)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_baseline(tmp_path / "missing.json")
+
+
+def test_missing_lint_path_raises(tmp_path):
+    with pytest.raises(ReproError):
+        run_lint([tmp_path / "nowhere"])
