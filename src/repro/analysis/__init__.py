@@ -13,7 +13,10 @@ this project's correctness arguments rest on:
 * **RPR004** — determinism: no unsorted set iteration escapes into
   ordered artifacts on the build/partition/parallel path;
 * **RPR005** — sorted-column integrity: packed ``array('q')`` pair
-  columns are created and mutated only in their sanctioned homes.
+  columns are created and mutated only in their sanctioned homes;
+* **RPR006** — fault-path hygiene: broad exception handlers in the
+  serving layer and the sharded-build driver must re-raise, return or
+  send a tagged error, or wrap the bound exception — never swallow it.
 
 See ``docs/static-analysis.md`` for the rule-by-rule rationale.
 """

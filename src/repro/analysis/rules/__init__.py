@@ -8,6 +8,7 @@ from repro.analysis.rules.rpr002_spawn import SpawnSafetyRule
 from repro.analysis.rules.rpr003_snapshot import SnapshotSafetyRule
 from repro.analysis.rules.rpr004_determinism import DeterminismRule
 from repro.analysis.rules.rpr005_pairset import PairSetIntegrityRule
+from repro.analysis.rules.rpr006_faultpaths import FaultPathHygieneRule
 
 #: Every rule, in id order.  Instantiated fresh per run by the engine.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -16,11 +17,13 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SnapshotSafetyRule,
     DeterminismRule,
     PairSetIntegrityRule,
+    FaultPathHygieneRule,
 )
 
 __all__ = [
     "ALL_RULES",
     "DeterminismRule",
+    "FaultPathHygieneRule",
     "LockDisciplineRule",
     "PairSetIntegrityRule",
     "Rule",

@@ -1,0 +1,95 @@
+"""RPR006 — fault-path hygiene in the serving and sharded-build layers.
+
+The fault-tolerance contract (``docs/robustness.md``) is that failures
+are *contained, then surfaced*: a worker that catches a broad exception
+must either re-raise it, return it as a tagged value, ship it over its
+pipe, or fold it into a structured error — it must never swallow it.  A
+silently-dropped exception in ``serve/`` or ``core/parallel.py`` turns a
+crashed query into a hang (the dispatcher waits forever for a reply that
+was eaten) or a wrong answer (a shard that "succeeded" with no output).
+
+Within the serving package and the sharded-build driver this rule flags
+any ``except Exception:`` / ``except BaseException:`` / bare ``except:``
+handler that does none of the following:
+
+* re-raise (a ``raise`` statement anywhere in the handler body);
+* return from the handler (tagged-value protocols like
+  ``("err", traceback)``);
+* ship the failure over a pipe (a ``.send(...)`` call);
+* reference the bound exception name (``except Exception as exc`` with
+  ``exc`` used — wrapping it into a structured error counts).
+
+Narrow handlers (``except OSError:`` etc.) are out of scope — they
+encode a deliberate local decision.  Genuinely intentional broad
+swallows carry an inline ``# repro-lint: disable=RPR006``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ParsedModule, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Exception names whose handlers are broad enough to need an outcome.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or one naming Exception/BaseException (incl. tuples)."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    return any(
+        isinstance(item, ast.Name) and item.id in BROAD_NAMES for item in candidates
+    )
+
+
+def _handler_disposes(handler: ast.ExceptHandler) -> bool:
+    """Does the handler re-raise, return, send, or use the bound exception?"""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise | ast.Return):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+            ):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+            ):
+                return True
+    return False
+
+
+class FaultPathHygieneRule(Rule):
+    """Broad exception handlers on fault paths must surface the failure."""
+
+    rule_id = "RPR006"
+    title = "fault-path hygiene (no swallowed broad exceptions in serve/parallel)"
+
+    def applies_to(self, path: str) -> bool:
+        """The serving package plus the sharded-build driver."""
+        return "repro/serve/" in path or path.endswith("repro/core/parallel.py")
+
+    def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
+        return [
+            self.finding(
+                module,
+                handler,
+                "broad exception handler swallows the failure; on a fault "
+                "path it must re-raise, return/send a tagged error, or wrap "
+                "the bound exception into a structured error (see "
+                "docs/robustness.md) — or carry an inline suppression",
+            )
+            for handler in ast.walk(module.tree)
+            if isinstance(handler, ast.ExceptHandler)
+            and _is_broad(handler)
+            and not _handler_disposes(handler)
+        ]

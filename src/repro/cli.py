@@ -181,6 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
              "(mode='process'; default: same as --serve-threads)",
     )
     concurrent.add_argument(
+        "--chaos", action="store_true",
+        help="also serve the workload under seeded fault injection "
+             "(worker kills, injected errors, dropped replies) and report "
+             "recovery latency, restart and retry counts, plus a chaotic "
+             "sharded build checked fingerprint-identical",
+    )
+    concurrent.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="override the curated per-scenario fault seeds (one seed "
+             "applied to every --chaos scenario; recovery within the "
+             "restart budget is then not guaranteed)",
+    )
+    concurrent.add_argument(
         "--out", default=None, help="write JSON here instead of stdout"
     )
 

@@ -135,10 +135,14 @@ def merge_code_columns(parts: Iterable[array]) -> array:
 #: The build graph, installed once per worker by the pool initializer.
 _WORKER_GRAPH: LabeledDigraph | None = None
 
+#: The chaos-run fault injector, if any (``None`` in production builds).
+_WORKER_INJECTOR: object | None = None
 
-def _init_worker(graph: LabeledDigraph) -> None:
-    global _WORKER_GRAPH
+
+def _init_worker(graph: LabeledDigraph, injector: object | None = None) -> None:
+    global _WORKER_GRAPH, _WORKER_INJECTOR
     _WORKER_GRAPH = graph
+    _WORKER_INJECTOR = injector
 
 
 def _worker_view() -> InternedView:
@@ -229,9 +233,67 @@ def _interest_relations_shard(
     return out
 
 
+def _run_shard(payload: tuple[Callable, object]) -> tuple[str, object]:
+    """Worker-side wrapper: run one shard task, ship a tagged outcome.
+
+    A shard failure must not abort the whole build — the PR 7
+    fault-tolerance contract is that a fault costs one shard one retry,
+    never the build — so exceptions are tagged (``("err", traceback)``)
+    instead of propagating through ``Pool.map``, and the parent decides
+    between in-pool retry and serial recomputation
+    (:func:`parallel_map`).  Under a chaos-run injector the
+    ``build.shard`` site fires here, upstream of the real task.
+    """
+    import traceback
+
+    worker, task = payload
+    try:
+        if _WORKER_INJECTOR is not None:
+            _WORKER_INJECTOR.fail("build.shard")  # type: ignore[attr-defined]
+        return ("ok", worker(task))
+    except Exception:
+        return ("err", traceback.format_exc())
+
+
+def _recompute_serially(
+    graph: LabeledDigraph,
+    worker: Callable,
+    task: object,
+    shard: int,
+    attempts: int,
+    reason: object,
+) -> object:
+    """Last-resort serial recomputation of one failed shard, in-parent.
+
+    Installs the graph under the worker-state global the shard task
+    functions read (restoring it afterwards) and runs the task with no
+    fault injection — the recovery of last resort must not itself be
+    chaos-tested away.  Since the task function is the same code the
+    pool ran, the recomputed shard is value-identical to a successful
+    parallel run, preserving the sharded == serial fingerprint contract.
+    """
+    global _WORKER_GRAPH, _WORKER_INJECTOR
+    previous_graph, previous_injector = _WORKER_GRAPH, _WORKER_INJECTOR
+    _WORKER_GRAPH, _WORKER_INJECTOR = graph, None
+    try:
+        return worker(task)
+    except Exception as exc:
+        raise IndexBuildError(
+            f"shard failed in the worker pool and its serial recomputation "
+            f"also failed; pool-side failure was:\n{reason}",
+            shard=shard,
+            attempts=attempts + 1,
+        ) from exc
+    finally:
+        _WORKER_GRAPH, _WORKER_INJECTOR = previous_graph, previous_injector
+
+
 # ---------------------------------------------------------------------------
 # parent-side drivers
 # ---------------------------------------------------------------------------
+
+#: In-pool re-dispatches per failed shard before the serial fallback.
+SHARD_RETRIES = 1
 
 
 def parallel_map(
@@ -246,14 +308,42 @@ def parallel_map(
     interned snapshot is dropped from the pickle and rebuilt
     worker-side); results come back in task order, so downstream merges
     are deterministic.
+
+    Fault tolerance (PR 7): tasks run through the tagged
+    :func:`_run_shard` wrapper, so a shard that raises worker-side does
+    not abort the build — it is retried in the pool
+    (:data:`SHARD_RETRIES` times) and then recomputed serially in the
+    parent, which by construction yields the same value a healthy worker
+    would have (asserted fingerprint-identical by the chaos tests).
+    Only a shard that fails *serially too* raises, as a structured
+    :class:`~repro.errors.IndexBuildError` chaining the original
+    worker-side traceback.
     """
+    from repro.serve.faults import current_injector
+
+    injector = current_injector()
+    payloads = [(worker, task) for task in tasks]
     context = multiprocessing.get_context(_start_method())
     with context.Pool(
         processes=min(workers, len(tasks)) or 1,
         initializer=_init_worker,
-        initargs=(graph,),
+        initargs=(graph, injector),
     ) as pool:
-        return pool.map(worker, tasks)
+        tagged = pool.map(_run_shard, payloads)
+        results: list = []
+        for shard, (tag, value) in enumerate(tagged):
+            attempts = 1
+            while tag == "err" and attempts <= SHARD_RETRIES:
+                if injector is not None:
+                    injector.note("shard.retried")
+                tag, value = pool.apply(_run_shard, (payloads[shard],))
+                attempts += 1
+            if tag == "err":
+                if injector is not None:
+                    injector.note("shard.serial_fallback")
+                value = _recompute_serially(graph, worker, tasks[shard], shard, attempts, value)
+            results.append(value)
+        return results
 
 
 class WorkerPool:

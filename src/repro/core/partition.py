@@ -294,15 +294,18 @@ def _assemble(
 
 
 def _partition_shard_worker(
-    task: tuple[int, list[int], int, array, array],
+    task: tuple[int, list[int], int, array, array, object],
     conn: Connection,
 ) -> None:
     """Refine one shard of sources through levels ``2..k`` (worker side).
 
-    Task: ``(k, shard sources, num_ids, level-1 codes, level-1
-    classes)`` — the packed level-1 partition is the only graph-derived
+    Task: ``(k, shard sources, num_ids, level-1 codes, level-1 classes,
+    injector)`` — the packed level-1 partition is the only graph-derived
     state a worker needs (refinement never touches the graph again), so
-    nothing larger ever crosses the process boundary.  Per level the
+    nothing larger ever crosses the process boundary; ``injector`` is the
+    chaos-run fault source (``None`` in production), consulted at the
+    ``partition.shard`` site once per level so failures land mid-protocol
+    too.  Per level the
     worker sends its packed signature table — ``("sigs", meta, decomps)``
     with three ``meta`` slots ``(prev_class, loop_flag, decomposition
     count)`` per local signature and the sorted decompositions
@@ -313,13 +316,15 @@ def _partition_shard_worker(
     cheapest wire form (dicts of per-class arrays pickled an object per
     class, which dominated the protocol cost on discrete partitions).
     """
-    k, shard_sources, num_ids, codes, classes = task
+    k, shard_sources, num_ids, codes, classes, injector = task
     try:
         level1 = dict(zip(codes, classes, strict=True))
         edge_class_by_source = _class_annotated_adjacency(level1, num_ids)
         shard = set(shard_sources)
         current = {code: class_id for code, class_id in level1.items() if (code >> ID_BITS) in shard}
         for _ in range(2, k + 1):
+            if injector is not None:
+                injector.fail("partition.shard")  # type: ignore[attr-defined]
             current, signatures = _refine_level(current, edge_class_by_source)
             meta = array("q")
             decomps = array("q")
@@ -374,10 +379,13 @@ def _parallel_refinement(
     do, regrouped into member columns by :func:`_block_columns` exactly
     as the serial path does.
     """
+    from repro.serve.faults import current_injector
+
     shards = shard_round_robin(sources, min(num_workers, len(sources)))
     codes = array("q", level1.keys())
     classes = array("q", level1.values())
-    tasks = [(k, shard, num_ids, codes, classes) for shard in shards]
+    injector = current_injector()
+    tasks = [(k, shard, num_ids, codes, classes, injector) for shard in shards]
     level_counts: list[int] = []
     final: dict[int, int] = {}
     with shard_processes(_partition_shard_worker, tasks) as connections:
@@ -444,10 +452,27 @@ def compute_partition_codes(
     if num_workers > 1 and len(current) >= threshold:
         sources = sorted({code >> ID_BITS for code in current})
         if len(sources) > 1:
-            columns, refined_counts = _parallel_refinement(
-                current, len(interner), k, sources, num_workers
-            )
-            return _assemble(k, columns, level_counts + refined_counts, interner)
+            # Fault tolerance (PR 7): the level-synchronized protocol
+            # cannot re-dispatch one shard mid-level (every shard's
+            # signature table feeds the same global unification), so a
+            # failed refinement is retried whole once, then recomputed
+            # serially — the serial loop is value-identical including
+            # class ids (see _assemble), so the build still fingerprints
+            # equal to a healthy parallel run.
+            from repro.serve.faults import current_injector
+
+            injector = current_injector()
+            for attempt in range(2):
+                try:
+                    columns, refined_counts = _parallel_refinement(
+                        current, len(interner), k, sources, num_workers
+                    )
+                    return _assemble(k, columns, level_counts + refined_counts, interner)
+                except IndexBuildError:  # noqa: PERF203 - retry ladder
+                    if injector is not None:
+                        injector.note(
+                            "partition.retried" if attempt == 0 else "partition.serial_fallback"
+                        )
 
     edge_class_by_source = _class_annotated_adjacency(current, len(interner))
     for _ in range(2, k + 1):

@@ -1,4 +1,4 @@
-"""Saving and loading built indexes (JSON, self-describing).
+"""Saving and loading built indexes (JSON payload, crash-safe on disk).
 
 A built CPQx/iaCPQx is a significant investment (Table IV's construction
 times); a downstream deployment wants to build once and reload.  The
@@ -10,25 +10,51 @@ can never disagree with itself.
 Vertices may be ints, strings, or (nested) tuples of those — everything
 the graph generators and dataset stand-ins produce — encoded with a small
 tagged codec so round-trips are exact.
+
+Crash safety (PR 7): :func:`save_index` is **atomic** — the document is
+written to a same-directory temp file, flushed and fsynced, then moved
+over the target with ``os.replace`` — so a crash mid-save (power loss,
+kill, injected fsync/rename fault) leaves either the old file or the new
+file, never a torn hybrid.  The on-disk form carries a one-line
+checksummed header::
+
+    %repro-index-file v1 sha256=<hex digest> bytes=<payload length>
+
+ahead of the JSON payload; :func:`load_index` verifies length and digest
+before parsing, raising :class:`~repro.errors.CorruptIndexError` on
+truncation, bit corruption, or wrong magic instead of parsing garbage
+into a half-built index.  Pre-PR 7 plain-JSON files (no header) remain
+loadable, without the integrity check.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import json
+import os
 from pathlib import Path
 
 from repro.core.cpqx import CPQxIndex
 from repro.core.interest import InterestAwareIndex
-from repro.errors import ReproError
+from repro.errors import CorruptIndexError, PersistenceError
 from repro.graph.digraph import LabeledDigraph, Vertex
 from repro.graph.labels import LabelRegistry
+
+__all__ = [
+    "CorruptIndexError",
+    "PersistenceError",
+    "decode_vertex",
+    "encode_vertex",
+    "load_index",
+    "save_index",
+]
 
 FORMAT_NAME = "repro-index"
 FORMAT_VERSION = 1
 
-
-class PersistenceError(ReproError):
-    """Raised for malformed or incompatible index files."""
+#: First bytes of a checksummed index file (the header line's magic).
+FILE_MAGIC = "%repro-index-file"
 
 
 def encode_vertex(vertex: Vertex) -> object:
@@ -94,7 +120,17 @@ def _classes_document(index) -> list[dict]:
 
 
 def save_index(index: CPQxIndex | InterestAwareIndex, path: str | Path) -> None:
-    """Serialize a built index (and its graph) to a JSON file."""
+    """Serialize a built index (and its graph) atomically to ``path``.
+
+    Write-temp / fsync / rename: at no point is the target path in a
+    partially written state, so an interrupted save (crash, kill, or an
+    injected ``persist.fsync``/``persist.rename`` fault) leaves a
+    previous index file at ``path`` untouched.  The temp file lives in
+    the target's directory — ``os.replace`` must not cross filesystems —
+    and is removed on failure.
+    """
+    from repro.serve.faults import current_injector
+
     if isinstance(index, InterestAwareIndex):
         index_type = "iaCPQx"
     elif isinstance(index, CPQxIndex):
@@ -111,14 +147,87 @@ def save_index(index: CPQxIndex | InterestAwareIndex, path: str | Path) -> None:
     }
     if index_type == "iaCPQx":
         document["interests"] = sorted(index.interests)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+    payload = json.dumps(document).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"{FILE_MAGIC} v{FORMAT_VERSION} sha256={digest} bytes={len(payload)}\n"
+
+    injector = current_injector()
+    target = Path(path)
+    temp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(header.encode("ascii"))
+            handle.write(payload)
+            handle.flush()
+            if injector is not None:
+                injector.fail("persist.fsync")
+            os.fsync(handle.fileno())
+        if injector is not None:
+            injector.fail("persist.rename")
+        os.replace(temp, target)
+    except BaseException:
+        # Leave the previous file at `path` intact; drop the temp.
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise
+
+
+def _read_document(path: str | Path) -> dict:
+    """Read and integrity-check an index file's JSON document.
+
+    Dispatches on the first bytes: the checksummed header format
+    verifies payload length and SHA-256 digest before parsing (raising
+    :class:`~repro.errors.CorruptIndexError` on any mismatch); a file
+    opening straight into JSON is the pre-PR 7 legacy format, parsed
+    without an integrity check; anything else is not an index file.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    magic = FILE_MAGIC.encode("ascii")
+    if blob.startswith(magic):
+        newline = blob.find(b"\n")
+        if newline < 0:
+            raise CorruptIndexError(path, "truncated before end of header")
+        fields = blob[:newline].decode("ascii", errors="replace").split()
+        named = dict(part.split("=", 1) for part in fields[2:] if "=" in part)
+        if len(fields) < 4 or "sha256" not in named or "bytes" not in named:
+            raise CorruptIndexError(path, f"malformed header {fields!r}")
+        if fields[1] != f"v{FORMAT_VERSION}":
+            raise PersistenceError(f"{path}: unsupported index file version {fields[1]!r}")
+        try:
+            expected_bytes = int(named["bytes"])
+        except ValueError:
+            raise CorruptIndexError(path, f"malformed header {fields!r}") from None
+        payload = blob[newline + 1 :]
+        if len(payload) < expected_bytes:
+            raise CorruptIndexError(
+                path, f"truncated: {len(payload)} of {expected_bytes} payload bytes"
+            )
+        if len(payload) > expected_bytes:
+            raise CorruptIndexError(
+                path, f"trailing data: {len(payload)} of {expected_bytes} payload bytes"
+            )
+        if hashlib.sha256(payload).hexdigest() != named["sha256"]:
+            raise CorruptIndexError(path, "checksum mismatch (bit corruption)")
+        return json.loads(payload.decode("utf-8"))
+    if blob.lstrip().startswith(b"{"):
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptIndexError(path, f"malformed JSON: {exc}") from exc
+    raise CorruptIndexError(path, "unrecognized magic (not an index file)")
 
 
 def load_index(path: str | Path) -> CPQxIndex | InterestAwareIndex:
-    """Load an index saved by :func:`save_index`."""
-    with open(path, encoding="utf-8") as handle:
-        document = json.load(handle)
+    """Load an index saved by :func:`save_index`.
+
+    Integrity is checked *before* the document is interpreted — a
+    truncated, bit-flipped, or foreign file raises
+    :class:`~repro.errors.CorruptIndexError` (a
+    :class:`~repro.errors.PersistenceError`) instead of decoding
+    garbage.
+    """
+    document = _read_document(path)
     if document.get("format") != FORMAT_NAME:
         raise PersistenceError(f"{path}: not a {FORMAT_NAME} file")
     if document.get("version") != FORMAT_VERSION:

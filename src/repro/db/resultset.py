@@ -49,6 +49,7 @@ class ResultSet:
         self._source_filter = source_filter
         self._target_filter = target_filter
         self._pairs: frozenset[Pair] | None = None
+        self._error: Exception | None = None
         #: Operator counters of the evaluation (filled on materialization).
         self.stats = ExecutionStats()
 
@@ -73,9 +74,38 @@ class ResultSet:
         result._record(stats)
         return result
 
+    @classmethod
+    def from_error(
+        cls,
+        engine,
+        query: CPQ,
+        limit: int | None,
+        error: Exception,
+    ) -> ResultSet:
+        """A permanently failed result slot (``serve_batch(on_error="partial")``).
+
+        The slot carries the structured serving error instead of
+        answers: inspecting :attr:`failed`/:attr:`error` is free, while
+        any attempt to *consume* the answers re-raises ``error`` — a
+        failed query can never be mistaken for an empty one.
+        """
+        result = cls(engine, query, limit=limit)
+        result._error = error
+        return result
+
     # ------------------------------------------------------------------
     # lazy core
     # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        """Whether this slot is a permanent per-query serving failure."""
+        return self._error is not None
+
+    @property
+    def error(self) -> Exception | None:
+        """The serving error of a failed slot (``None`` on success)."""
+        return self._error
+
     @property
     def query(self) -> CPQ:
         """The (resolved) query this result set answers."""
@@ -101,6 +131,8 @@ class ResultSet:
         self.stats.joins = run.joins
 
     def _materialize(self) -> frozenset[Pair]:
+        if self._error is not None:
+            raise self._error
         if self._pairs is None:
             run = ExecutionStats()
             filtered = (
@@ -173,6 +205,8 @@ class ResultSet:
         CPQx/iaCPQx) when no limit/filter forces materialized semantics;
         the result set stays unmaterialized in that case.
         """
+        if self._error is not None:
+            raise self._error
         if self._pairs is not None:
             return len(self._pairs)
         pushdown = getattr(self._engine, "count", None)
@@ -205,6 +239,11 @@ class ResultSet:
         )
 
     def __repr__(self) -> str:
+        if self._error is not None:
+            return (
+                f"ResultSet(engine={getattr(self._engine, 'name', '?')}, "
+                f"failed: {type(self._error).__name__})"
+            )
         if self._pairs is None:
             return f"ResultSet(engine={getattr(self._engine, 'name', '?')}, pending)"
         return (

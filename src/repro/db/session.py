@@ -36,6 +36,8 @@ import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import cast
 
 from repro.core.advisor import advise_k, recommend_interests
 from repro.core.concurrency import RWLock
@@ -45,34 +47,48 @@ from repro.core.stats import IndexStats, stats_of
 from repro.db.auto import AutoSelection, default_workload, select_engine
 from repro.db.registry import EngineSpec, available_engines, engine_spec
 from repro.db.resultset import ResultSet, VertexDataFilter
-from repro.errors import SessionError
+from repro.errors import QueryTimeoutError, ReproError, ServingError, SessionError
 from repro.graph.digraph import LabeledDigraph, Vertex
 from repro.graph.labels import LabelSeq
 from repro.query.ast import CPQ, is_resolved, resolve
 from repro.query.parser import parse
 from repro.serve import (
+    DEFAULT_RETRIES,
     PROCESS_MODE_MIN_QUERIES,
     ProcessServingPool,
+    ServeFailure,
     ServeToken,
+    current_injector,
     session_token,
 )
+from repro.serve.faults import FaultInjector
+from repro.serve.procserve import RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP
 
 Triple = tuple[Vertex, Vertex, object]
 
 #: Serving modes accepted by :meth:`GraphDatabase.serve_batch`.
 SERVE_MODES = ("thread", "process", "auto")
 
+#: Failure policies accepted by :meth:`GraphDatabase.serve_batch`.
+ON_ERROR_POLICIES = ("raise", "partial")
+
 
 class BatchResult(Sequence):
     """Results of :meth:`GraphDatabase.execute_batch`: one materialized
-    :class:`ResultSet` per query, plus merged operator counters."""
+    :class:`ResultSet` per query, plus merged operator counters.
+
+    Under ``serve_batch(..., on_error="partial")`` some slots may be
+    *failed* result sets (:attr:`ResultSet.failed`); they are excluded
+    from the merged counters and :attr:`total_answers`, and listed by
+    :attr:`failures`."""
 
     def __init__(self, results: list[ResultSet], elapsed_seconds: float) -> None:
         self.results = results
         self.elapsed_seconds = elapsed_seconds
         self.stats = ExecutionStats()
         for result in results:
-            self.stats.merge(result.stats)
+            if not result.failed:
+                self.stats.merge(result.stats)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -81,14 +97,21 @@ class BatchResult(Sequence):
         return self.results[item]
 
     @property
+    def failures(self) -> list[ResultSet]:
+        """The failed slots of a partial batch (empty when all succeeded)."""
+        return [result for result in self.results if result.failed]
+
+    @property
     def total_answers(self) -> int:
-        return sum(len(result) for result in self.results)
+        return sum(len(result) for result in self.results if not result.failed)
 
     def describe(self) -> str:
+        failed = len(self.failures)
+        suffix = f", {failed} failed" if failed else ""
         return (
             f"{len(self.results)} queries, {self.total_answers} answers in "
             f"{1000 * self.elapsed_seconds:.3f} ms "
-            f"(lookups={self.stats.lookups} joins={self.stats.joins})"
+            f"(lookups={self.stats.lookups} joins={self.stats.joins}{suffix})"
         )
 
 
@@ -118,6 +141,12 @@ class GraphDatabase:
         #: RWLock, never holding it while evaluating).
         self._proc_pool: ProcessServingPool | None = None
         self._pool_lock = threading.Lock()
+        #: Sticky degradation marker: set when a process-serving pool
+        #: exhausted its worker restart budget; ``mode="auto"`` then
+        #: routes future batches to threads (the degradation ladder —
+        #: see ``docs/robustness.md``).  An explicit ``mode="process"``
+        #: still builds a fresh pool with a fresh budget.
+        self._process_degraded = False
         #: Populated when ``engine="auto"`` made the choice.
         self.selection: AutoSelection | None = None
 
@@ -353,6 +382,9 @@ class GraphDatabase:
         workers: int | str = 8,
         limit: int | None = None,
         mode: str = "thread",
+        timeout: float | None = None,
+        retries: int = DEFAULT_RETRIES,
+        on_error: str = "raise",
     ) -> BatchResult:
         """Evaluate a workload concurrently — the serving path.
 
@@ -366,40 +398,149 @@ class GraphDatabase:
           evaluations and every answer reflects the engine at an update
           boundary.  Correct under concurrency, but CPU-bound
           throughput stays GIL-bounded.
-        * ``"process"`` — the batch is dispatched over a persistent pool
-          of worker *processes* (:mod:`repro.serve`), each holding a
-          picklable engine snapshot shipped once and refreshed through a
-          version-token handshake whenever :meth:`update` (or a rebuild)
-          retires it — true parallel reads.  The pool is created lazily,
-          reused across batches, and torn down by :meth:`close` (or
-          automatically on worker failure).
+        * ``"process"`` — the batch is dispatched over a persistent,
+          *supervised* pool of worker processes (:mod:`repro.serve`),
+          each holding a picklable engine snapshot shipped once and
+          refreshed through a version-token handshake whenever
+          :meth:`update` (or a rebuild) retires it — true parallel
+          reads.  The pool is created lazily, reused across batches,
+          self-heals from worker crashes under a bounded restart
+          budget, and is torn down by :meth:`close`.
         * ``"auto"`` — ``"process"`` when the engine is process-servable
           (:attr:`EngineSpec.process_servable`), more than one worker
-          and CPU are available, and the batch has at least
-          :data:`~repro.serve.PROCESS_MODE_MIN_QUERIES` queries;
-          ``"thread"`` otherwise.
+          and CPU are available, the batch has at least
+          :data:`~repro.serve.PROCESS_MODE_MIN_QUERIES` queries, and no
+          earlier pool exhausted its restart budget (the sticky
+          degradation marker); ``"thread"`` otherwise.
 
-        Results keep the input order, and a served batch returns exactly
-        the answers of the serial :meth:`execute_batch` on an unchanging
-        graph, in every mode (see ``docs/concurrency.md``).
+        Fault tolerance (PR 7): ``timeout`` gives every query a deadline
+        in seconds — *hard* in process mode (the hung worker is killed
+        and restarted), *soft* in thread mode (the evaluation thread
+        cannot be interrupted; its answer is abandoned).  A timed-out or
+        errored query is retried with exponential backoff up to
+        ``retries`` re-dispatches; deterministic library errors
+        (:class:`~repro.errors.ReproError` — bad query, wrong k) are
+        never retried.  What happens to a query that exhausts its budget
+        is ``on_error``'s call: ``"raise"`` (default) raises the first
+        failure's structured error for the whole batch; ``"partial"``
+        returns a full-length batch whose failed slots are
+        error-carrying result sets (:attr:`ResultSet.failed`; the batch
+        lists them in :attr:`BatchResult.failures`).
+
+        Results keep the input order, and every query that succeeds
+        returns exactly the answers of the serial :meth:`execute_batch`
+        on an unchanging graph, in every mode and under any fault
+        (see ``docs/concurrency.md`` and ``docs/robustness.md``).
         """
         if mode not in SERVE_MODES:
             raise SessionError(f"mode must be one of {', '.join(SERVE_MODES)}, got {mode!r}")
+        if on_error not in ON_ERROR_POLICIES:
+            raise SessionError(
+                f"on_error must be one of {', '.join(ON_ERROR_POLICIES)}, got {on_error!r}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise SessionError(f"timeout must be positive, got {timeout!r}")
+        if not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+            raise SessionError(f"retries must be a non-negative int, got {retries!r}")
         num_workers = resolve_workers(workers) if isinstance(workers, str) else workers
         num_workers = max(1, num_workers)
         if not self.is_built:
             self.build_index()  # engine="auto" once, before going concurrent
         resolved = [self._resolve(query) for query in queries]
         chosen = self._resolve_serve_mode(mode, num_workers, len(resolved))
+        injector = current_injector()
         start = time.perf_counter()
         if chosen == "process":
-            results = self._serve_batch_process(resolved, num_workers, limit)
+            slots = self._serve_batch_process(
+                resolved, num_workers, limit, timeout, retries, injector
+            )
         else:
-            with ThreadPoolExecutor(max_workers=num_workers) as pool:
-                # list() keeps input order and propagates the first worker
-                # exception, if any.
-                results = list(pool.map(lambda query: self._serve_one(query, limit), resolved))
+            slots = self._serve_batch_thread(
+                resolved, num_workers, limit, timeout, retries, injector
+            )
+        results: list[ResultSet] = []
+        for query, slot in zip(resolved, slots, strict=True):
+            if isinstance(slot, ServeFailure):
+                if on_error == "raise":
+                    raise slot.error
+                results.append(ResultSet.from_error(self._engine, query, limit, slot.error))
+            else:
+                results.append(slot)
         return BatchResult(results, time.perf_counter() - start)
+
+    def _serve_batch_thread(
+        self,
+        resolved: list[CPQ],
+        workers: int,
+        limit: int | None,
+        timeout: float | None,
+        retries: int,
+        injector: FaultInjector | None,
+    ) -> list[ResultSet | ServeFailure]:
+        """Thread-mode batch with (soft) deadlines and retries.
+
+        Threads cannot be killed, so a deadline here abandons the
+        in-flight evaluation (its thread finishes in the background and
+        the answer is discarded) rather than interrupting it; the
+        executor is shut down without waiting when any evaluation was
+        abandoned.  Deterministic library errors
+        (:class:`~repro.errors.ReproError`) are not retried — re-running
+        a malformed query cannot succeed — and propagate unwrapped, as
+        they always have from this path.
+        """
+        outcomes: list[ResultSet | ServeFailure | None] = [None] * len(resolved)
+        pool = ThreadPoolExecutor(max_workers=workers)
+        abandoned = False
+
+        def settle(index: int, attempts: int, error: ServingError) -> None:
+            if attempts <= retries:
+                time.sleep(min(RETRY_BACKOFF_BASE * (2 ** (attempts - 1)), RETRY_BACKOFF_CAP))
+                pending.append((index, attempts))
+                if injector is not None:
+                    injector.note("query.retried")
+            else:
+                outcomes[index] = ServeFailure(index, error, attempts)
+                if injector is not None:
+                    injector.note("query.failed")
+
+        try:
+            pending: list[tuple[int, int]] = [(index, 0) for index in range(len(resolved))]
+            while pending:
+                submitted = []
+                for index, attempts in pending:
+                    future = pool.submit(self._serve_one, resolved[index], limit)
+                    deadline = None if timeout is None else time.monotonic() + timeout
+                    submitted.append((future, index, attempts + 1, deadline))
+                pending = []
+                for future, index, attempts, deadline in submitted:
+                    remaining = (
+                        None if deadline is None else max(0.0, deadline - time.monotonic())
+                    )
+                    try:
+                        outcomes[index] = future.result(remaining)
+                    except FuturesTimeout:  # noqa: PERF203 - per-query deadline
+                        abandoned = True
+                        settle(
+                            index,
+                            attempts,
+                            QueryTimeoutError(
+                                timeout=timeout, query_index=index, attempts=attempts
+                            ),
+                        )
+                    except ReproError:
+                        raise  # deterministic library error: retrying cannot help
+                    except Exception as exc:
+                        error = ServingError(
+                            f"query evaluation failed: {exc}",
+                            query_index=index,
+                            attempts=attempts,
+                        )
+                        error.__cause__ = exc
+                        settle(index, attempts, error)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        # Every index was settled to a result or a permanent failure.
+        return cast("list[ResultSet | ServeFailure]", outcomes)
 
     # ------------------------------------------------------------------
     # process-based serving (mode="process"; see repro.serve)
@@ -418,6 +559,7 @@ class GraphDatabase:
         if (
             mode == "auto"
             and servable
+            and not self._process_degraded
             and workers > 1
             and (os.cpu_count() or 1) > 1
             and queries >= PROCESS_MODE_MIN_QUERIES
@@ -441,8 +583,14 @@ class GraphDatabase:
             return pool
 
     def _serve_batch_process(
-        self, resolved: list[CPQ], workers: int, limit: int | None
-    ) -> list[ResultSet]:
+        self,
+        resolved: list[CPQ],
+        workers: int,
+        limit: int | None,
+        timeout: float | None,
+        retries: int,
+        injector: FaultInjector | None,
+    ) -> list[ResultSet | ServeFailure]:
         """Dispatch one resolved batch over the worker-process pool.
 
         The whole dispatch runs under the shared lock: a concurrent
@@ -455,14 +603,35 @@ class GraphDatabase:
         under the shared side would stall a queued writer — and, via
         writer preference, every other reader — for the whole pool
         lifecycle.
+
+        A pool that exhausted its restart budget during the batch
+        finished it in-parent (same answers, no parallelism); the
+        session then retires the pool and sets the sticky degradation
+        marker so ``mode="auto"`` routes the next batch to threads.
         """
         pool = self._ensure_process_pool(workers)
         with self._rwlock.read():
             engine = self._engine
-            outcomes = pool.serve(engine, self._serve_token(), resolved, limit)
+            outcomes = pool.serve(
+                engine,
+                self._serve_token(),
+                resolved,
+                limit,
+                timeout=timeout,
+                retries=retries,
+                injector=injector,
+            )
+        if pool.degraded:
+            self._process_degraded = True
+            with self._pool_lock:
+                if self._proc_pool is pool:
+                    self._proc_pool = None
+            pool.close()
         return [
-            ResultSet.from_answers(engine, query, limit, answers, run)
-            for query, (answers, run) in zip(resolved, outcomes, strict=True)
+            outcome
+            if isinstance(outcome, ServeFailure)
+            else ResultSet.from_answers(engine, query, limit, outcome[0], outcome[1])
+            for query, outcome in zip(resolved, outcomes, strict=True)
         ]
 
     def _invalidate_serving_snapshots(self) -> None:

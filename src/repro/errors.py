@@ -3,6 +3,14 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch every failure mode of this package with a single ``except`` clause
 while still being able to discriminate on the specific subclass.
+
+The fault-tolerance layer (PR 7) structured the serving/build errors:
+:class:`ServingError` and :class:`IndexBuildError` carry the failure's
+*context* — which worker, which query, how many attempts — as typed
+attributes (rendered into the message), so a retry policy or an
+operator reading a log can act on them without parsing strings, and
+:meth:`ReproError.cause_chain` walks the ``__cause__`` links the
+recovery paths preserve.
 """
 
 from __future__ import annotations
@@ -10,6 +18,32 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class of every exception raised by this library."""
+
+    def cause_chain(self) -> list[BaseException]:
+        """The explicit ``raise ... from ...`` chain, outermost first.
+
+        Starts at this exception and follows ``__cause__`` (falling back
+        to a non-suppressed ``__context__``), so a supervisor-surfaced
+        error can be traced back to the worker-side root cause.
+        """
+        chain: list[BaseException] = [self]
+        seen = {id(self)}
+        current: BaseException = self
+        while True:
+            nxt = current.__cause__
+            if nxt is None and not current.__suppress_context__:
+                nxt = current.__context__
+            if nxt is None or id(nxt) in seen:
+                return chain
+            chain.append(nxt)
+            seen.add(id(nxt))
+            current = nxt
+
+
+def _context_suffix(parts: list[tuple[str, object]]) -> str:
+    """Render ``[key=value, ...]`` for the non-``None`` context fields."""
+    present = [f"{key}={value}" for key, value in parts if value is not None]
+    return f" [{', '.join(present)}]" if present else ""
 
 
 class GraphError(ReproError):
@@ -52,7 +86,27 @@ class QueryDiameterError(ReproError):
 
 
 class IndexBuildError(ReproError):
-    """Raised when index construction parameters are invalid."""
+    """Raised when index construction fails or its parameters are invalid.
+
+    For failures on the sharded parallel build path the structured
+    context names the failing shard and how many attempts were made
+    before the error surfaced (the retry/serial-fallback ladder of
+    :mod:`repro.core.parallel` exhausts first; see
+    ``docs/robustness.md``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(
+            message + _context_suffix([("shard", shard), ("attempts", attempts)])
+        )
+        self.shard = shard
+        self.attempts = attempts
 
 
 class MaintenanceError(ReproError):
@@ -79,6 +133,88 @@ class SessionError(ReproError):
 
 
 class ServingError(ReproError):
-    """Raised by the process-based serving path (:mod:`repro.serve`) when a
-    worker process fails — an evaluation error shipped back over the pipe,
-    or a worker that died without reporting."""
+    """Raised by the serving paths when a query could not be answered.
+
+    Carries the failure domain as structured context: ``worker_id`` (the
+    serving worker slot, process mode), ``query_index`` (position in the
+    submitted batch), and ``attempts`` (dispatches consumed before the
+    error surfaced — the supervisor retries with backoff first; see
+    :mod:`repro.serve.supervisor`).  All fields are optional: pool-level
+    failures (a closed pool, an unpicklable engine snapshot) have no
+    per-query context.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_id: int | None = None,
+        query_index: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(
+            message
+            + _context_suffix(
+                [
+                    ("worker", worker_id),
+                    ("query", query_index),
+                    ("attempts", attempts),
+                ]
+            )
+        )
+        self.worker_id = worker_id
+        self.query_index = query_index
+        self.attempts = attempts
+
+
+class QueryTimeoutError(ServingError):
+    """A served query exceeded its deadline (``serve_batch(timeout=...)``).
+
+    In process mode the worker evaluating the query was killed and
+    restarted (the deadline is *hard*); in thread mode the evaluation
+    thread cannot be interrupted, so the answer is abandoned instead
+    (the deadline is *soft* — see ``docs/robustness.md``).
+    """
+
+    def __init__(
+        self,
+        message: str = "query deadline exceeded",
+        *,
+        timeout: float | None = None,
+        worker_id: int | None = None,
+        query_index: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        if timeout is not None:
+            message = f"{message} ({timeout:g}s)"
+        super().__init__(
+            message,
+            worker_id=worker_id,
+            query_index=query_index,
+            attempts=attempts,
+        )
+        self.timeout = timeout
+
+
+class PersistenceError(ReproError):
+    """Raised for malformed or incompatible index files.
+
+    Historically defined in :mod:`repro.core.persistence`, which still
+    re-exports it; it lives here so :class:`CorruptIndexError` can join
+    the hierarchy without import cycles.
+    """
+
+
+class CorruptIndexError(PersistenceError):
+    """An index file failed integrity checking on ``open()``.
+
+    Raised by :func:`repro.core.persistence.load_index` when the file is
+    truncated (payload shorter than the header's byte count), bit-flipped
+    (checksum mismatch), or carries the wrong magic — instead of
+    unpickling/parsing garbage into a half-built index.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"{path}: corrupt index file: {reason}")
+        self.path = path
+        self.reason = reason

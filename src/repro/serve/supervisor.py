@@ -1,0 +1,205 @@
+"""Worker supervision: restartable serving workers under a bounded budget.
+
+PR 5's :class:`~repro.core.parallel.WorkerPool` is fail-fast by design:
+one dead worker closes its pipe, the dispatcher raises, and the whole
+pool is torn down — the session rebuilds it (and re-ships every
+snapshot) on the next batch.  That is the right shape for one-shot build
+pools, but a long-running serving session needs a *bounded failure
+domain*: a crashed worker should cost one query one retry, not the pool.
+
+:class:`WorkerSupervisor` is the replacement substrate for
+:class:`repro.serve.ProcessServingPool`:
+
+* each of the ``workers`` slots owns one spawn-context process and its
+  duplex pipe, identified by a stable ``worker_id``;
+* :meth:`replace` restarts a dead or hung slot's process with
+  exponential backoff (``backoff_base * 2**slot.restarts`` capped at
+  ``backoff_cap``) under a pool-wide **restart budget** — when the
+  budget is exhausted the slot is retired instead, and when every slot
+  is retired the caller degrades (the serving pool falls back to
+  in-parent evaluation; see ``docs/robustness.md``);
+* restart bookkeeping (:attr:`restarts_used`, per-slot
+  :attr:`WorkerSlot.restarts`) is exposed for the chaos bench's
+  recovery report.
+
+The supervisor only manages process lifecycle; the message protocol on
+the pipes belongs to the caller (``procserve``), which also decides what
+re-dispatching a dead worker's in-flight query means.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+from repro.errors import ServingError
+
+
+@dataclass
+class ServeFailure:
+    """A query that failed permanently within one ``serve_batch`` call.
+
+    Surfaced to callers either inside a partial batch
+    (``on_error="partial"`` — the slot's :class:`~repro.db.ResultSet`
+    re-raises ``error`` on access) or as the batch exception
+    (``on_error="raise"``).
+    """
+
+    query_index: int
+    error: ServingError
+    attempts: int
+
+
+class WorkerSlot:
+    """One supervised worker: a stable id, a process, a pipe, a history."""
+
+    __slots__ = ("connection", "process", "restarts", "worker_id")
+
+    def __init__(self, worker_id: int, process: object, connection: Connection) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.connection = connection
+        #: Times this slot's process has been restarted.
+        self.restarts = 0
+
+    def __repr__(self) -> str:
+        return f"WorkerSlot(id={self.worker_id}, restarts={self.restarts})"
+
+
+class WorkerSupervisor:
+    """A pool of restartable worker processes with a bounded restart budget.
+
+    ``target(worker_id, connection)`` owns the child side of each pipe
+    (the same contract as :class:`~repro.core.parallel.WorkerPool`
+    targets); always the ``spawn`` start context, for the same reason —
+    supervised pools are constructed and *restarted* at arbitrary points
+    of a session's life, including under live reader threads.
+    """
+
+    #: Default restart budget per worker slot (pool budget = this × workers).
+    DEFAULT_RESTARTS_PER_WORKER = 3
+
+    def __init__(
+        self,
+        target: Callable,
+        workers: int,
+        *,
+        restart_budget: int | None = None,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 1.0,
+        join_timeout: float = 10.0,
+    ) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self._target = target
+        self._context = multiprocessing.get_context("spawn")
+        self._join_timeout = join_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.restart_budget = (
+            self.DEFAULT_RESTARTS_PER_WORKER * workers if restart_budget is None else restart_budget
+        )
+        #: Pool-wide restarts consumed so far (never decreases).
+        self.restarts_used = 0
+        self.closed = False
+        self.slots: list[WorkerSlot] = []
+        try:
+            for worker_id in range(workers):
+                self.slots.append(self._spawn(worker_id))
+        except Exception:  # pragma: no cover - spawn failure is environmental
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> WorkerSlot:
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=self._target, args=(worker_id, child_end), daemon=True
+        )
+        process.start()
+        child_end.close()
+        return WorkerSlot(worker_id, process, parent_end)
+
+    def live_slots(self) -> list[WorkerSlot]:
+        """The slots currently backed by a process (retired ones drop out)."""
+        return list(self.slots)
+
+    @property
+    def connections(self) -> list[Connection]:
+        """The live slots' parent-side pipe ends, in slot order."""
+        return [slot.connection for slot in self.slots]
+
+    @property
+    def processes(self) -> list:
+        """The live slots' processes, in slot order."""
+        return [slot.process for slot in self.slots]
+
+    def slot_for(self, connection: Connection) -> WorkerSlot:
+        """The slot owning ``connection`` (which must be live)."""
+        for slot in self.slots:
+            if slot.connection is connection:
+                return slot
+        raise ServingError("connection does not belong to a live worker slot")
+
+    def budget_left(self) -> int:
+        """Restarts still available under the pool-wide budget."""
+        return max(0, self.restart_budget - self.restarts_used)
+
+    def replace(self, slot: WorkerSlot) -> WorkerSlot | None:
+        """Retire ``slot``'s process and restart it, if budget allows.
+
+        Returns the restarted slot (same ``worker_id``, fresh process and
+        pipe, ``restarts`` incremented) or ``None`` when the restart
+        budget is exhausted — the slot is then retired permanently and
+        the caller is expected to degrade once no live slots remain.
+        Applies exponential backoff before respawning so a crash-looping
+        worker (bad host state, OOM killer) cannot spin the pool.
+        """
+        self._retire(slot)
+        if self.restarts_used >= self.restart_budget:
+            return None
+        self.restarts_used += 1
+        delay = min(self.backoff_base * (2**slot.restarts), self.backoff_cap)
+        if delay > 0:
+            time.sleep(delay)
+        replacement = self._spawn(slot.worker_id)
+        replacement.restarts = slot.restarts + 1
+        self.slots.append(replacement)
+        return replacement
+
+    def _retire(self, slot: WorkerSlot) -> None:
+        with contextlib.suppress(ValueError):
+            self.slots.remove(slot)
+        with contextlib.suppress(OSError):
+            slot.connection.close()
+        process = slot.process
+        if process.is_alive():  # type: ignore[attr-defined]
+            process.terminate()  # type: ignore[attr-defined]
+        process.join(timeout=self._join_timeout)  # type: ignore[attr-defined]
+
+    def close(self) -> None:
+        """Retire every slot; idempotent."""
+        self.closed = True
+        for slot in list(self.slots):
+            self._retire(slot)
+
+    def __enter__(self) -> WorkerSupervisor:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerSupervisor(slots={len(self.slots)}, "
+            f"restarts={self.restarts_used}/{self.restart_budget})"
+        )

@@ -42,6 +42,83 @@ class TestHierarchy:
         assert errors.QuerySyntaxError("bad").position is None
 
 
+class TestStructuredContext:
+    """PR 7: serving/build errors carry their failure domain as attributes."""
+
+    def test_serving_error_context_rendered_and_typed(self):
+        exc = errors.ServingError(
+            "worker exited unexpectedly", worker_id=1, query_index=7, attempts=3
+        )
+        assert exc.worker_id == 1
+        assert exc.query_index == 7
+        assert exc.attempts == 3
+        assert "[worker=1, query=7, attempts=3]" in str(exc)
+
+    def test_serving_error_context_optional(self):
+        exc = errors.ServingError("pool is closed")
+        assert exc.worker_id is None
+        assert exc.query_index is None
+        assert exc.attempts is None
+        assert str(exc) == "pool is closed"  # no empty [] suffix
+
+    def test_serving_error_partial_context(self):
+        exc = errors.ServingError("boom", query_index=2)
+        assert "[query=2]" in str(exc)
+        assert "worker" not in str(exc)
+
+    def test_query_timeout_error_is_serving_error(self):
+        exc = errors.QueryTimeoutError(
+            timeout=1.5, worker_id=0, query_index=3, attempts=2
+        )
+        assert isinstance(exc, errors.ServingError)
+        assert exc.timeout == 1.5
+        assert "(1.5s)" in str(exc)
+        assert "[worker=0, query=3, attempts=2]" in str(exc)
+
+    def test_index_build_error_shard_context(self):
+        exc = errors.IndexBuildError("shard failed", shard=4, attempts=2)
+        assert exc.shard == 4
+        assert exc.attempts == 2
+        assert "[shard=4, attempts=2]" in str(exc)
+
+    def test_index_build_error_plain_message_unchanged(self):
+        assert str(errors.IndexBuildError("k must be >= 1")) == "k must be >= 1"
+
+    def test_corrupt_index_error_hierarchy_and_payload(self):
+        exc = errors.CorruptIndexError("/tmp/idx.json", "checksum mismatch")
+        assert isinstance(exc, errors.PersistenceError)
+        assert isinstance(exc, errors.ReproError)
+        assert exc.path == "/tmp/idx.json"
+        assert exc.reason == "checksum mismatch"
+        assert "corrupt index file: checksum mismatch" in str(exc)
+
+    def test_cause_chain_follows_explicit_causes(self):
+        root = ValueError("root cause")
+        mid = errors.ServingError("evaluation failed", worker_id=2)
+        mid.__cause__ = root
+        top = errors.ServingError("batch failed")
+        top.__cause__ = mid
+        assert top.cause_chain() == [top, mid, root]
+
+    def test_cause_chain_falls_back_to_context(self):
+        try:
+            try:
+                raise KeyError("inner")
+            except KeyError:
+                raise errors.ServingError("outer")  # noqa: B904 - context test
+        except errors.ServingError as exc:
+            chain = exc.cause_chain()
+        assert len(chain) == 2
+        assert isinstance(chain[1], KeyError)
+
+    def test_cause_chain_is_cycle_safe(self):
+        a = errors.ServingError("a")
+        b = errors.ServingError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        assert a.cause_chain() == [a, b]
+
+
 class TestPublicApi:
     def test_version(self):
         assert repro.__version__

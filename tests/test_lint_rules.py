@@ -399,6 +399,132 @@ class TestPairSetIntegrity:
 
 
 # ----------------------------------------------------------------------
+# RPR006 — fault-path hygiene
+# ----------------------------------------------------------------------
+class TestFaultPathHygiene:
+    def test_swallowed_exception_in_serve_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop(conn):
+                    try:
+                        work()
+                    except Exception:
+                        pass
+            """,
+        })
+        assert hits == ["RPR006"]
+
+    def test_bare_except_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/parallel.py": """
+                def run(task):
+                    try:
+                        return task()
+                    except:
+                        log("oops")
+            """,
+        })
+        assert hits == ["RPR006"]
+
+    def test_tuple_with_broad_member_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop():
+                    try:
+                        work()
+                    except (ValueError, Exception):
+                        log("oops")
+            """,
+        })
+        assert hits == ["RPR006"]
+
+    def test_reraise_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop(pool):
+                    try:
+                        work()
+                    except BaseException:
+                        pool.close()
+                        raise
+            """,
+        })
+        assert hits == []
+
+    def test_tagged_return_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/parallel.py": """
+                def run_shard(task):
+                    try:
+                        return ("ok", task())
+                    except Exception:
+                        return ("err", format_exc())
+            """,
+        })
+        assert hits == []
+
+    def test_pipe_send_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop(conn):
+                    try:
+                        work()
+                    except Exception:
+                        conn.send(("error", "boom"))
+            """,
+        })
+        assert hits == []
+
+    def test_bound_name_use_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop(out):
+                    try:
+                        work()
+                    except Exception as exc:
+                        out.append(wrap(exc))
+            """,
+        })
+        assert hits == []
+
+    def test_narrow_handler_out_of_scope(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop():
+                    try:
+                        work()
+                    except OSError:
+                        pass
+            """,
+        })
+        assert hits == []
+
+    def test_swallow_outside_scope_not_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/db/session.py": """
+                def close_quietly(pool):
+                    try:
+                        pool.close()
+                    except Exception:
+                        pass
+            """,
+        })
+        assert hits == []
+
+    def test_inline_suppression_honored(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/worker.py": """
+                def loop():
+                    try:
+                        work()
+                    except Exception:  # repro-lint: disable=RPR006
+                        pass
+            """,
+        })
+        assert hits == []
+
+
+# ----------------------------------------------------------------------
 # suppressions and baselines
 # ----------------------------------------------------------------------
 class TestSuppression:

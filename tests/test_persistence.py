@@ -1,4 +1,4 @@
-"""Unit tests for index persistence (save/load round trips)."""
+"""Unit tests for index persistence (save/load round trips, crash safety)."""
 
 from __future__ import annotations
 
@@ -9,12 +9,15 @@ import pytest
 from repro.core.cpqx import CPQxIndex
 from repro.core.interest import InterestAwareIndex
 from repro.core.persistence import (
+    FILE_MAGIC,
+    CorruptIndexError,
     PersistenceError,
     decode_vertex,
     encode_vertex,
     load_index,
     save_index,
 )
+from repro.serve.faults import FaultInjected, FaultInjector, inject
 from repro.graph.generators import random_graph
 from repro.graph.io import edges_from_strings
 from repro.graph.schema import citation_schema
@@ -162,3 +165,131 @@ class TestErrorHandling:
         graph = edges_from_strings(["0 1 a"])
         with pytest.raises(PersistenceError):
             save_index(PathIndex.build(graph, 1), tmp_path / "x.json")
+
+
+def _saved_index(tmp_path, name="index.json"):
+    graph = random_graph(16, 40, 3, seed=77)
+    index = CPQxIndex.build(graph, k=2)
+    path = tmp_path / name
+    save_index(index, path)
+    return index, path
+
+
+class TestCorruptionDetection:
+    """PR 7: ``open()`` refuses damaged files with a typed error."""
+
+    def test_file_carries_checksummed_header(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        first_line = path.read_bytes().split(b"\n", 1)[0].decode("ascii")
+        assert first_line.startswith(f"{FILE_MAGIC} v1 sha256=")
+        assert "bytes=" in first_line
+
+    def test_truncated_payload_raises(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 64])
+        with pytest.raises(CorruptIndexError, match="truncated"):
+            load_index(path)
+
+    def test_truncated_mid_header_raises(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CorruptIndexError):
+            load_index(path)
+
+    def test_bit_flip_raises_checksum_mismatch(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        header_len = path.read_bytes().find(b"\n") + 1
+        FaultInjector(seed=5).corrupt_file(path, skip=header_len)
+        with pytest.raises(CorruptIndexError, match="checksum mismatch"):
+            load_index(path)
+
+    def test_bit_flip_is_deterministic(self, tmp_path):
+        _, path_a = _saved_index(tmp_path, "a.json")
+        _, path_b = _saved_index(tmp_path, "b.json")
+        offset_a = FaultInjector(seed=9).corrupt_file(path_a, skip=0)
+        offset_b = FaultInjector(seed=9).corrupt_file(path_b, skip=0)
+        assert offset_a == offset_b
+
+    def test_trailing_garbage_raises(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"extra")
+        with pytest.raises(CorruptIndexError, match="trailing data"):
+            load_index(path)
+
+    def test_wrong_magic_raises(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(b"\x00\x01\x02 definitely not an index")
+        with pytest.raises(CorruptIndexError, match="unrecognized magic"):
+            load_index(path)
+
+    def test_unsupported_header_version_raises(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        blob = path.read_bytes().replace(b" v1 ", b" v9 ", 1)
+        path.write_bytes(blob)
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(path)
+
+    def test_malformed_header_fields_raise(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        blob = path.read_bytes().replace(b"bytes=", b"bites=", 1)
+        path.write_bytes(blob)
+        with pytest.raises(CorruptIndexError, match="malformed header"):
+            load_index(path)
+
+    def test_corrupt_error_carries_path_and_reason(self, tmp_path):
+        _, path = _saved_index(tmp_path)
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(CorruptIndexError) as info:
+            load_index(path)
+        assert info.value.path == path
+        assert "truncated" in info.value.reason
+
+    def test_legacy_plain_json_still_loads(self, tmp_path):
+        index, path = _saved_index(tmp_path)
+        blob = path.read_bytes()
+        legacy = tmp_path / "legacy.json"
+        legacy.write_bytes(blob[blob.find(b"\n") + 1 :])  # strip the header
+        loaded = load_index(legacy)
+        assert loaded.num_classes == index.num_classes
+        assert loaded.graph == index.graph
+
+    def test_legacy_malformed_json_raises_corrupt(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text('{"format": "repro-index", ', encoding="utf-8")
+        with pytest.raises(CorruptIndexError, match="malformed JSON"):
+            load_index(path)
+
+
+class TestInterruptedSave:
+    """An interrupted save never clobbers the previous index file."""
+
+    @pytest.mark.parametrize("site", ["persist.fsync", "persist.rename"])
+    def test_injected_fault_preserves_previous_file(self, tmp_path, site):
+        index, path = _saved_index(tmp_path)
+        before = path.read_bytes()
+        with inject(FaultInjector(seed=1, rates={site: 1.0})):
+            with pytest.raises(FaultInjected):
+                save_index(index, path)
+        assert path.read_bytes() == before  # old file byte-identical
+        load_index(path)  # ...and still loadable
+
+    @pytest.mark.parametrize("site", ["persist.fsync", "persist.rename"])
+    def test_injected_fault_leaves_no_temp_files(self, tmp_path, site):
+        index, path = _saved_index(tmp_path)
+        with inject(FaultInjector(seed=1, rates={site: 1.0})):
+            with pytest.raises(FaultInjected):
+                save_index(index, path)
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_save_retries_clean_after_fault_drains(self, tmp_path):
+        index, path = _saved_index(tmp_path)
+        injector = FaultInjector(seed=1, rates={"persist.fsync": 1.0}, max_faults=1)
+        with inject(injector):
+            with pytest.raises(FaultInjected):
+                save_index(index, path)
+            save_index(index, path)  # budget spent: second save succeeds
+        assert injector.total_fired() == 1
+        loaded = load_index(path)
+        assert loaded.num_classes == index.num_classes

@@ -16,8 +16,12 @@ The guarantees under test (documented in ``docs/concurrency.md``,
   retires shipped snapshots, and a worker holding a stale snapshot
   rejects queries so the pool re-ships — no process-served answer can
   come from a pre-update engine;
-* worker failures surface as :class:`~repro.errors.ServingError`
-  (never a hang), and the session recovers with a fresh pool;
+* worker failures are *contained* (PR 7): evaluation errors are retried
+  then surfaced as per-query :class:`~repro.serve.ServeFailure` slots
+  with structured context, killed workers are restarted by the
+  supervisor and the pool keeps serving — never a hang, never a
+  torn-down pool for one query's sake (the deeper fault matrix lives in
+  ``tests/test_chaos.py``);
 * ``mode="auto"`` routing and the ``EngineSpec.process_servable``
   opt-out.
 """
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 
 import pytest
 
@@ -402,36 +407,86 @@ class _ExplodingEngine:
         raise RuntimeError("boom: injected evaluation failure")
 
 
+class _SlowUnpickleEngine:
+    """Picklable engine whose snapshot installs slower than the deadline
+    (deadline-vs-snapshot test)."""
+
+    name = "slow-unpickle"
+    install_seconds = 0.5
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def __setstate__(self, state):
+        time.sleep(self.install_seconds)
+        self.__dict__.update(state)
+
+    def evaluate(self, query, stats=None, limit=None):
+        return frozenset()
+
+
 class TestFailureSurfacing:
-    def test_worker_evaluation_error_raises_serving_error(self, serve_graph):
-        engine = _ExplodingEngine(serve_graph.copy())
-        pool = ProcessServingPool(workers=2)
+    def test_deadline_excludes_snapshot_install(self, serve_graph):
+        """The per-query deadline restarts once a (re-)shipped snapshot
+        is installed (the worker's ``snapshot_ok`` ack): a snapshot
+        slower than the timeout — the state every ``update()`` leaves
+        behind with a big engine — must not kill-loop the pool."""
+        engine = _SlowUnpickleEngine(serve_graph.copy())
+        pool = ProcessServingPool(workers=1)
         try:
-            with pytest.raises(ServingError, match="injected evaluation failure"):
-                pool.serve(engine, session_token(engine, 1), ["q0", "q1"])
-            assert pool.closed  # a failed batch tears the pool down
+            outcomes = pool.serve(
+                engine, session_token(engine, 1), ["q0", "q1"], timeout=0.2
+            )
+            assert [answers for answers, _ in outcomes] == [frozenset(), frozenset()]
+            assert pool.restarts_used == 0
+            assert not pool.degraded
         finally:
             pool.close()
 
-    def test_killed_worker_raises_serving_error_and_session_recovers(
-        self, serve_graph
-    ):
+    def test_worker_evaluation_error_becomes_failure_slot(self, serve_graph):
+        """PR 7 semantics: an evaluation error costs the query (after its
+        retry budget), never the pool."""
+        from repro.serve import ServeFailure
+
+        engine = _ExplodingEngine(serve_graph.copy())
+        pool = ProcessServingPool(workers=2)
+        try:
+            outcomes = pool.serve(
+                engine, session_token(engine, 1), ["q0", "q1"], retries=1
+            )
+            assert len(outcomes) == 2
+            for index, failure in enumerate(outcomes):
+                assert isinstance(failure, ServeFailure)
+                assert failure.query_index == index
+                assert failure.attempts == 2  # first dispatch + one retry
+                assert isinstance(failure.error, ServingError)
+                assert "injected evaluation failure" in str(failure.error)
+                assert failure.error.query_index == index
+                assert failure.error.attempts == 2
+            assert not pool.closed  # the pool survived the failed batch
+        finally:
+            pool.close()
+
+    def test_killed_workers_are_restarted_and_pool_self_heals(self, serve_graph):
+        """PR 7 semantics: killing every worker mid-life costs restarts,
+        not the batch and not the pool."""
         db = GraphDatabase.from_graph(serve_graph.copy()).build_index(
             engine="cpqx", k=2
         )
         try:
             db.serve_batch(QUERIES, workers=2, mode="process")
             pool = db._proc_pool
-            for process in pool._pool._processes:
+            for process in pool._pool.processes:
                 process.terminate()
                 process.join(timeout=5)
-            with pytest.raises(ServingError, match="exited unexpectedly"):
-                db.serve_batch(QUERIES, workers=2, mode="process")
-            assert pool.closed
-            # The session builds a fresh pool and keeps serving.
+            # The next batch detects the dead workers, restarts them
+            # under the budget, and still returns the serial answers —
+            # on the same pool, without a session rebuild.
             serial = db.execute_batch(QUERIES)
             served = db.serve_batch(QUERIES, workers=2, mode="process")
-            assert db._proc_pool is not pool
+            assert db._proc_pool is pool
+            assert not pool.closed
+            assert pool.restarts_used >= 1
             for index, result in enumerate(served):
                 assert result.pairs() == serial[index].pairs()
         finally:
@@ -488,9 +543,9 @@ class TestModePlumbing:
         chosen: list[str] = []
         original = db._serve_batch_process
 
-        def recording(resolved, workers, limit):
+        def recording(resolved, workers, limit, timeout, retries, injector):
             chosen.append("process")
-            return original(resolved, workers, limit)
+            return original(resolved, workers, limit, timeout, retries, injector)
 
         monkeypatch.setattr(db, "_serve_batch_process", recording)
         monkeypatch.setattr(session_module.os, "cpu_count", lambda: 4)
