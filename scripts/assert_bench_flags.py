@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Assert the correctness flags of a benchmark JSON artifact.
+
+CI policy: timings are *recorded*, never asserted — runners are too
+noisy for ratio gates — but every identity flag the harnesses emit is
+a hard assertion, and the PR-8 storage section additionally gates the
+process-serving handshake size: with mmap-backed stores the workers
+open the index by path, so per-worker bytes shipped over the pipe must
+stay below 1% of the pickled-snapshot baseline recorded in
+``BENCH_PR5.json`` (14.3 MB on the pinned graph).
+
+The script is section-driven, so one entry point serves the perf-smoke,
+perf-regression, chaos, and storage jobs: pass any ``bench-*.json`` and
+only the sections present in it are checked.
+
+Usage: ``python scripts/assert_bench_flags.py bench-concurrent.json``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Pickled-snapshot baseline (bytes/worker) when BENCH_PR5.json is absent.
+FALLBACK_SNAPSHOT_BYTES = 14.3e6
+
+#: The storage gate: mapped shipping must be under this fraction of the
+#: pickled-snapshot baseline.
+MAX_SHIPPED_FRACTION = 0.01
+
+
+def _require(condition: bool, context: object, message: str) -> None:
+    if not condition:
+        raise AssertionError(f"{message}: {json.dumps(context, indent=2)[:2000]}")
+
+
+def _snapshot_baseline() -> float:
+    reference = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+    if reference.exists():
+        with open(reference, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        snapshot_mb = recorded.get("process_serving", {}).get("snapshot_mb")
+        if snapshot_mb:
+            return snapshot_mb * 1e6
+    return FALLBACK_SNAPSHOT_BYTES
+
+
+def check_micro(result: dict) -> list[str]:
+    _require(
+        result["query_eval"]["identical_results"] is True,
+        result["query_eval"], "bench-micro query results differ between cores",
+    )
+    return ["query_eval: identical results verified"]
+
+
+def check_concurrent(result: dict) -> list[str]:
+    lines = []
+    build = result["parallel_build"]
+    for engine in ("cpqx", "path"):
+        _require(
+            build[engine]["identical_index"] is True,
+            build, f"sharded {engine} build not identical",
+        )
+        lines.append(
+            f"{engine} build speedup: {build[engine]['speedup']:.2f}x "
+            f"({build['workers']} workers)"
+        )
+    partition = result["partition_phase"]
+    _require(
+        partition["identical_partition"] is True,
+        partition, "sharded partition not identical",
+    )
+    lines.append(
+        f"partition speedup: {partition['speedup']:.2f}x "
+        f"({100 * partition['fraction_of_serial_build']:.0f}% of the serial "
+        f"cpqx build)"
+    )
+    serving = result["concurrent_serving"]
+    _require(
+        serving["identical_answers"] is True,
+        serving, "threaded serving answers differ",
+    )
+    lines.append(
+        f"serving throughput: {serving['queries_per_second_threaded']:.0f} q/s "
+        f"({serving['threads']} threads)"
+    )
+    process = result["process_serving"]
+    _require(
+        process["identical_answers"] is True,
+        process, "process serving answers differ",
+    )
+    lines.append(
+        f"process serving: {process['queries_per_second_process']:.0f} q/s "
+        f"({process['workers']} worker processes, GIL-free)"
+    )
+    return lines
+
+
+def check_storage(storage: dict) -> list[str]:
+    _require(
+        storage["fingerprint_identical"] is True,
+        storage, "mmap-opened store differs from the in-memory build",
+    )
+    _require(
+        storage["identical_answers"] is True,
+        storage, "storage serving answers differ",
+    )
+    for mode in ("pickle_serving", "map_serving"):
+        _require(
+            storage[mode]["identical_answers"] is True,
+            storage[mode], f"{mode} answers differ",
+        )
+    mapped = storage["map_serving"]
+    _require(
+        mapped["snapshot_ships"] == 0,
+        mapped, "mapped serving still shipped pickled snapshots",
+    )
+    _require(
+        mapped["update"]["snapshot_ships"] == 0,
+        mapped, "update re-shipped a pickled snapshot despite mapped store",
+    )
+    baseline = _snapshot_baseline()
+    limit = MAX_SHIPPED_FRACTION * baseline
+    shipped = mapped["shipped_bytes_per_worker"]
+    _require(
+        shipped <= limit,
+        mapped,
+        f"mapped serving shipped {shipped:.0f} B/worker, over the "
+        f"{limit:.0f} B gate ({100 * MAX_SHIPPED_FRACTION:.0f}% of the "
+        f"{baseline / 1e6:.1f} MB pickled baseline)",
+    )
+    return [
+        f"store file: {storage['store_file_mb']:.2f} MB "
+        f"(save {storage['save_s'] * 1000:.1f} ms, cold mmap open "
+        f"{storage['cold_open_s'] * 1000:.1f} ms, fingerprint identical)",
+        f"shipped/worker: {shipped:.0f} B mapped vs "
+        f"{storage['pickle_serving']['shipped_bytes_per_worker'] / 1e6:.2f} MB "
+        f"pickled — under the {limit / 1e6:.2f} MB gate",
+        f"delta after update: "
+        f"{mapped['update']['delta_file_bytes'] / 1e3:.1f} kB generation "
+        f"{mapped['update']['delta_generation']}, "
+        f"{mapped['update']['reshipped_bytes_per_worker']:.0f} B/worker re-shipped",
+    ]
+
+
+def check_chaos(result: dict) -> list[str]:
+    lines = []
+    chaos = result["chaos_serving"]
+    _require(chaos["identical_answers"] is True, chaos, "chaos answers differ")
+    for row in chaos["scenarios"]:
+        _require(
+            row["identical_answers"] is True, row,
+            f"chaos scenario {row['scenario']} answers differ",
+        )
+        lines.append(
+            f"{row['scenario']}: +{row['recovery_overhead_s'] * 1000:.1f} ms "
+            f"recovery, {row['worker_restarts']} restarts, "
+            f"{row['queries_retried']} retried, {row['queries_failed']} failed"
+        )
+    build = result["chaos_build"]
+    _require(build["identical_index"] is True, build, "chaotic build differs")
+    lines.append(
+        f"chaotic build: {build['shards_retried']} shard retries, "
+        f"identical index"
+    )
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    with open(path, encoding="utf-8") as handle:
+        result = json.load(handle)
+    _require(
+        result.get("identical_answers") is True,
+        {"path": path}, "identical_answers flag missing or false",
+    )
+    lines = []
+    if "query_eval" in result:
+        lines += check_micro(result)
+    if "parallel_build" in result:
+        lines += check_concurrent(result)
+    if "storage" in result:
+        lines += check_storage(result["storage"])
+    if "chaos_serving" in result:
+        lines += check_chaos(result)
+    print(f"{path}: all agreement flags verified")
+    for line in lines:
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

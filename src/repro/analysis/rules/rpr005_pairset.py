@@ -21,7 +21,11 @@ Outside those sanctioned homes this rule flags:
   subscript store) — a sorted column mutated in place silently breaks
   binary-search lookups;
 * raw ``array("q", ...)`` construction — packed-code columns are born
-  only in the sanctioned build modules.
+  only in the sanctioned build modules;
+* raw ``mmap.mmap(...)`` / ``memoryview(...)`` column access outside
+  the store package (PR 8) — mapped columns are created only by the
+  store reader and adopted through ``PairSet.from_mapped``, so every
+  consumer sees one column contract regardless of backing.
 """
 
 from __future__ import annotations
@@ -41,13 +45,30 @@ MUTATORS = frozenset({"append", "extend", "insert", "remove", "pop", "sort"})
 #: Attribute names that hold packed-code columns.
 COLUMN_ATTRS = frozenset({"codes", "_codes"})
 
-#: Files allowed to construct raw array("q") pair columns.
+#: Files allowed to construct raw array("q") pair columns.  The store
+#: package joins the build modules: its reader's foreign-endian
+#: fallback rebuilds owned columns byte-for-byte from mapped ones.
 ARRAY_ALLOWED = (
     "repro/core/pairset.py",
     "repro/core/paths.py",
     "repro/core/parallel.py",
     "repro/core/partition.py",
+    "repro/store/",
 )
+
+#: Files allowed to touch raw buffers (mmap / memoryview): the store
+#: package creates mapped columns; pairset adopts and copies them.
+BUFFER_ALLOWED = (
+    "repro/core/pairset.py",
+    "repro/store/",
+)
+
+
+def _sanctioned(path: str, allowed: tuple[str, ...]) -> bool:
+    return any(
+        path.endswith(entry) or (entry.endswith("/") and entry in path)
+        for entry in allowed
+    )
 
 
 class PairSetIntegrityRule(Rule):
@@ -59,7 +80,8 @@ class PairSetIntegrityRule(Rule):
 
     def check(self, module: ParsedModule, project: ProjectContext) -> list[Finding]:
         findings: list[Finding] = []
-        array_ok = any(module.path.endswith(suffix) for suffix in ARRAY_ALLOWED)
+        array_ok = _sanctioned(module.path, ARRAY_ALLOWED)
+        buffer_ok = _sanctioned(module.path, BUFFER_ALLOWED)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute) and node.attr in PRIVATE_ATTRS:
                 findings.append(
@@ -72,15 +94,33 @@ class PairSetIntegrityRule(Rule):
                     )
                 )
             elif isinstance(node, ast.Call):
-                findings.extend(self._check_call(module, node, array_ok))
+                findings.extend(self._check_call(module, node, array_ok, buffer_ok))
             elif isinstance(node, ast.Assign | ast.AugAssign):
                 findings.extend(self._check_store(module, node))
         return findings
 
     def _check_call(
-        self, module: ParsedModule, node: ast.Call, array_ok: bool
+        self, module: ParsedModule, node: ast.Call, array_ok: bool, buffer_ok: bool
     ) -> list[Finding]:
         func = node.func
+        if not buffer_ok and (
+            (isinstance(func, ast.Name) and func.id in {"memoryview", "mmap"})
+            or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "mmap"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "mmap"
+            )
+        ):
+            return [
+                self.finding(
+                    module,
+                    node,
+                    "raw mmap/memoryview column access outside the store "
+                    "package; mapped columns are created only by the store "
+                    "reader and adopted via PairSet.from_mapped",
+                )
+            ]
         if isinstance(func, ast.Name) and func.id == "PairSet":
             return [
                 self.finding(

@@ -107,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
              "('auto' = one per CPU; engines that cannot shard ignore it)",
     )
     build.add_argument("--out", required=True, help="output index file")
+    build.add_argument(
+        "--store", action="store_true",
+        help="save in the zero-copy columnar store format (mmap-openable) "
+             "instead of checksummed JSON",
+    )
 
     query = sub.add_parser("query", help="evaluate a CPQ")
     query.add_argument("cpq", help="query text, e.g. '(f . f) & f^-'")
@@ -273,7 +278,7 @@ def cmd_build(args) -> int:
     if db.selection is not None:
         print(db.selection.describe())
     print(db.stats.describe())
-    db.save(args.out)
+    db.save(args.out, format="store" if args.store else "json")
     print(f"saved to {args.out}")
     return 0
 

@@ -76,7 +76,7 @@ class CPQxIndex(EngineBase):
         k: int,
         il2c: dict[LabelSeq, set[int]],
         ic2p: dict[int, PairSet] | dict[int, list[Pair]],
-        class_of: dict[int, int] | dict[Pair, int],
+        class_of: dict[int, int] | dict[Pair, int] | None,
         class_sequences: dict[int, frozenset[LabelSeq]],
         loop_classes: set[int],
     ) -> None:
@@ -84,10 +84,38 @@ class CPQxIndex(EngineBase):
         self.k = k
         self._il2c = il2c
         self._ic2p = _adopt_ic2p(ic2p, graph)
-        self._class_of = _adopt_class_of(class_of, graph)
+        # ``class_of=None`` defers the pair→class map: the query path
+        # never reads it, so a store-opened engine skips building it
+        # (it materializes from the columns on first maintenance or
+        # introspection access — see the ``_class_of`` property).
+        self._class_of_map: dict[int, int] | None = (
+            None if class_of is None else _adopt_class_of(class_of, graph)
+        )
         self._class_sequences = class_sequences
         self._loop_classes = loop_classes
         self._next_class = max(ic2p, default=-1) + 1
+
+    @property
+    def _class_of(self) -> dict[int, int]:
+        """The pair-code → class map, built lazily from the columns.
+
+        Classes partition the pair universe, so the inversion is exact;
+        once built (or assigned) the dict is cached and mutated in place
+        by the maintenance path like any eager map.
+        """
+        mapping = self._class_of_map
+        if mapping is None:
+            mapping = {
+                code: class_id
+                for class_id, members in self._ic2p.items()
+                for code in members.iter_codes()
+            }
+            self._class_of_map = mapping
+        return mapping
+
+    @_class_of.setter
+    def _class_of(self, value: dict[int, int] | dict[Pair, int]) -> None:
+        self._class_of_map = _adopt_class_of(value, self.graph)
 
     # ------------------------------------------------------------------
     # construction

@@ -72,7 +72,7 @@ class InterestAwareIndex(EngineBase):
         interests: frozenset[LabelSeq],
         il2c: dict[LabelSeq, set[int]],
         ic2p: dict[int, PairSet] | dict[int, list[Pair]],
-        class_of: dict[int, int] | dict[Pair, int],
+        class_of: dict[int, int] | dict[Pair, int] | None,
         class_sequences: dict[int, frozenset[LabelSeq]],
         loop_classes: set[int],
     ) -> None:
@@ -83,10 +83,34 @@ class InterestAwareIndex(EngineBase):
         self.interests = interests
         self._il2c = il2c
         self._ic2p = _adopt_ic2p(ic2p, graph)
-        self._class_of = _adopt_class_of(class_of, graph)
+        # ``class_of=None`` defers the pair→class inversion exactly like
+        # CPQxIndex (see its ``_class_of`` property) — store-opened
+        # engines build it on first maintenance/introspection access.
+        self._class_of_map: dict[int, int] | None = (
+            None if class_of is None else _adopt_class_of(class_of, graph)
+        )
         self._class_sequences = class_sequences
         self._loop_classes = loop_classes
         self._next_class = max(ic2p, default=-1) + 1
+
+    @property
+    def _class_of(self) -> dict[int, int]:
+        """Lazily materialized pair-code → class map (see CPQxIndex)."""
+        mapping = self._class_of_map
+        if mapping is None:
+            mapping = {
+                code: class_id
+                for class_id, members in self._ic2p.items()
+                for code in members.iter_codes()
+            }
+            self._class_of_map = mapping
+        return mapping
+
+    @_class_of.setter
+    def _class_of(self, value: dict[int, int] | dict[Pair, int]) -> None:
+        from repro.core.cpqx import _adopt_class_of
+
+        self._class_of_map = _adopt_class_of(value, self.graph)
 
     # ------------------------------------------------------------------
     # construction

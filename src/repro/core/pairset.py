@@ -30,6 +30,16 @@ interner's reverse lookup, so a ``PairSet`` can stand in for the old
 ``frozenset[Pair]`` anywhere (equality and the binary set operators
 accept plain sets of vertex tuples too).  The old set-of-tuples API is
 one :meth:`to_set` call away for consumers that do not migrate.
+
+A third backing joined in PR 8: a frozen column may be a read-only
+``memoryview`` cast to ``'q'`` over an ``mmap``-ed store file
+(:mod:`repro.store`) instead of an owned ``array('q')``.  Both backings
+are sorted int64 sequences supporting ``len``/indexing/``bisect``, so
+the merge/gallop algebra runs unchanged; the few operations that *build*
+columns (point updates, union materialization) copy through the
+``_owned_*`` helpers below, whose ``frombytes`` fast path keeps mapped
+inputs at C speed.  Mapped sets pickle by converting to an owned column
+(:meth:`__reduce__`) — a ``memoryview`` cannot cross a process boundary.
 """
 
 from __future__ import annotations
@@ -45,6 +55,33 @@ from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, VertexInterner
 GALLOP_RATIO = 8
 
 _EMPTY = array("q")
+
+
+def _owned_copy(column: array | memoryview) -> array:
+    """A fresh owned ``array('q')`` with ``column``'s codes."""
+    if type(column) is array:
+        return array("q", column)
+    out = array("q")
+    out.frombytes(column.cast("B"))
+    return out
+
+
+def _owned_slice(column: array | memoryview, start: int, stop: int) -> array:
+    """``column[start:stop]`` as a fresh owned ``array('q')``."""
+    if type(column) is array:
+        return column[start:stop]
+    out = array("q")
+    if start < stop:
+        out.frombytes(column[start:stop].cast("B"))
+    return out
+
+
+def _extend_from(out: array, column: array | memoryview, start: int = 0) -> None:
+    """Append ``column[start:]`` to ``out`` without Python-level iteration."""
+    if type(column) is array:
+        out.extend(column if start == 0 else column[start:])
+    elif start < len(column):
+        out.frombytes(column[start:].cast("B"))
 
 
 def _intersect_columns(a: array, b: array) -> array:
@@ -83,9 +120,9 @@ def _intersect_columns(a: array, b: array) -> array:
 def _union_columns(a: array, b: array) -> array:
     """Sorted-merge union of two sorted duplicate-free columns."""
     if not a:
-        return array("q", b)
+        return _owned_copy(b)
     if not b:
-        return array("q", a)
+        return _owned_copy(a)
     la, lb = len(a), len(b)
     if min(la, lb) * GALLOP_RATIO <= max(la, lb):
         # skewed: binary-probe the small side, then one C-level sort of
@@ -96,8 +133,8 @@ def _union_columns(a: array, b: array) -> array:
             if (pos := bisect_left(large, code)) == len(large) or large[pos] != code
         ]
         if not missing:
-            return array("q", large)
-        merged = array("q", large)
+            return _owned_copy(large)
+        merged = _owned_copy(large)
         merged.extend(missing)
         return array("q", sorted(merged))
     out = array("q")
@@ -115,15 +152,15 @@ def _union_columns(a: array, b: array) -> array:
         else:
             out.append(y)
             j += 1
-    out.extend(a[i:])
-    out.extend(b[j:])
+    _extend_from(out, a, i)
+    _extend_from(out, b, j)
     return out
 
 
 def _difference_columns(a: array, b: array) -> array:
     """Sorted-merge difference ``a \\ b``; gallops when ``b`` is much larger."""
     if not a or not b:
-        return array("q", a)
+        return _owned_copy(a)
     la, lb = len(a), len(b)
     out = array("q")
     if lb >= GALLOP_RATIO * la:
@@ -145,7 +182,7 @@ def _difference_columns(a: array, b: array) -> array:
         else:
             i += 1
             j += 1
-    out.extend(a[i:])
+    _extend_from(out, a, i)
     return out
 
 
@@ -193,6 +230,20 @@ class PairSet:
         return cls(codes, interner)
 
     @classmethod
+    def from_mapped(cls, view: memoryview, interner: VertexInterner) -> PairSet:
+        """Adopt a read-only mapped column (``'q'``-cast memoryview).
+
+        The store reader's constructor: ``view`` is a zero-copy slice
+        into an ``mmap``-ed store file holding the sorted duplicate-free
+        codes.  The view pins its backing map alive; the set behaves
+        exactly like an owned-column set (and converts to one when it
+        must — pickling, point updates).
+        """
+        if view.format != "q":
+            raise ValueError(f"mapped column must be 'q'-cast, got {view.format!r}")
+        return cls(view, interner)
+
+    @classmethod
     def from_code_set(cls, codes: set[int], interner: VertexInterner) -> PairSet:
         """Adopt a code set lazily — the column sorts on first demand."""
         return cls(None, interner, codeset=codes)
@@ -224,7 +275,7 @@ class PairSet:
             return cls(columns[0], interner)
         merged = array("q")
         for column in columns:
-            merged.extend(column)
+            _extend_from(merged, column)
         return cls(array("q", sorted(merged)), interner)
 
     # ------------------------------------------------------------------
@@ -256,6 +307,21 @@ class PairSet:
     def is_frozen(self) -> bool:
         """True when the sorted column is already materialized."""
         return self._codes is not None
+
+    def is_mapped(self) -> bool:
+        """True when the column is a view into a mapped store file."""
+        return type(self._codes) is memoryview
+
+    def __reduce__(self) -> tuple:
+        """Pickle support: a mapped column ships as an owned copy.
+
+        ``memoryview`` cannot cross a process boundary; everything else
+        round-trips as-is (the snapshot-shipping fallback path).
+        """
+        codes = self._codes
+        if type(codes) is memoryview:
+            codes = _owned_copy(codes)
+        return (PairSet, (codes, self._interner, self._codeset))
 
     def iter_codes(self) -> Iterator[int]:
         """Iterate the packed codes in ascending column order."""
@@ -419,9 +485,9 @@ class PairSet:
         pos = bisect_left(codes, code)
         if pos < len(codes) and codes[pos] == code:
             return self
-        updated = codes[:pos]
+        updated = _owned_slice(codes, 0, pos)
         updated.append(code)
-        updated.extend(codes[pos:])
+        _extend_from(updated, codes, pos)
         return PairSet(updated, self._interner)
 
     def without_code(self, code: int) -> PairSet:
@@ -430,7 +496,9 @@ class PairSet:
         pos = bisect_left(codes, code)
         if pos == len(codes) or codes[pos] != code:
             raise KeyError(code)
-        return PairSet(codes[:pos] + codes[pos + 1:], self._interner)
+        updated = _owned_slice(codes, 0, pos)
+        _extend_from(updated, codes, pos + 1)
+        return PairSet(updated, self._interner)
 
     # ------------------------------------------------------------------
     # relational operators

@@ -219,14 +219,25 @@ def _read_document(path: str | Path) -> dict:
 
 
 def load_index(path: str | Path) -> CPQxIndex | InterestAwareIndex:
-    """Load an index saved by :func:`save_index`.
+    """Load an index saved by :func:`save_index` or the columnar store.
 
-    Integrity is checked *before* the document is interpreted — a
-    truncated, bit-flipped, or foreign file raises
-    :class:`~repro.errors.CorruptIndexError` (a
+    Dispatches on the leading magic: a binary zero-copy store file
+    (:mod:`repro.store`) opens via ``mmap`` with its columns left on
+    disk; otherwise the JSON formats (checksummed header or pre-PR 7
+    legacy) parse here.  Either way integrity is checked *before* the
+    document is interpreted — a truncated, bit-flipped, or foreign file
+    raises :class:`~repro.errors.CorruptIndexError` (a
     :class:`~repro.errors.PersistenceError`) instead of decoding
     garbage.
     """
+    from repro.store.format import STORE_MAGIC
+
+    with open(path, "rb") as handle:
+        head = handle.read(len(STORE_MAGIC))
+    if head == STORE_MAGIC:
+        from repro.store.reader import open_store
+
+        return open_store(path)
     document = _read_document(path)
     if document.get("format") != FORMAT_NAME:
         raise PersistenceError(f"{path}: not a {FORMAT_NAME} file")

@@ -32,12 +32,14 @@ The session life cycle:
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import cast
+from typing import TYPE_CHECKING, cast
 
 from repro.core.advisor import advise_k, recommend_interests
 from repro.core.concurrency import RWLock
@@ -63,6 +65,9 @@ from repro.serve import (
 )
 from repro.serve.faults import FaultInjector
 from repro.serve.procserve import RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP
+
+if TYPE_CHECKING:
+    from repro.store.writer import StoreState
 
 Triple = tuple[Vertex, Vertex, object]
 
@@ -147,6 +152,21 @@ class GraphDatabase:
         #: see ``docs/robustness.md``).  An explicit ``mode="process"``
         #: still builds a fresh pool with a fresh budget.
         self._process_degraded = False
+        #: Zero-copy serving state (PR 8): the session lazily writes the
+        #: engine as store generations (full file + deltas) under a
+        #: per-session temp directory, and process workers ``mmap``-open
+        #: them by path instead of receiving a pickle.  ``_store_state``
+        #: is the last written/opened generation, ``_store_token`` the
+        #: serve token it covers; ``_store_lock`` serializes generation
+        #: writes between concurrent batches (the RWLock's shared side
+        #: is held, so it cannot order them).
+        self._store_dir: str | None = None
+        self._store_state: StoreState | None = None
+        self._store_token: ServeToken | None = None
+        self._store_lock = threading.Lock()
+        #: Escape hatch (the storage bench flips it): ``False`` restores
+        #: pickled-snapshot shipping for process serving.
+        self._store_serving = True
         #: Populated when ``engine="auto"`` made the choice.
         self.selection: AutoSelection | None = None
 
@@ -192,6 +212,13 @@ class GraphDatabase:
         db = cls(index.graph, name=name or str(path))
         key = "iacpqx" if isinstance(index, InterestAwareIndex) else "cpqx"
         db._adopt(index, engine_spec(key), {"k": index.k})
+        # A store-opened engine arrives with its generation state: the
+        # session serves straight off the opened file (and chains deltas
+        # from it) instead of rewriting an identical full generation.
+        state = getattr(index, "_store_state", None)
+        if state is not None:
+            db._store_state = state
+            db._store_token = db._serve_token()
         return db
 
     def _adopt(self, engine, spec: EngineSpec, build_args: dict) -> None:
@@ -199,6 +226,12 @@ class GraphDatabase:
         self._spec = spec
         self._build_args = build_args
         self._engine_gen += 1
+        # A new engine object shares no columns with whatever generation
+        # chain was written for the old one — start a fresh chain (the
+        # per-adoption subdirectory keeps old paths from being reused,
+        # so a worker can never alias a stale mapped file).
+        self._store_state = None
+        self._store_token = None
 
     # ------------------------------------------------------------------
     # building
@@ -571,6 +604,38 @@ class GraphDatabase:
         """The freshness token process workers validate queries against."""
         return session_token(self._engine, self._engine_gen)
 
+    def _store_generation_path(self, engine) -> str | None:
+        """The store generation path covering the current serve token.
+
+        Called under the shared lock (engine frozen).  Returns None when
+        zero-copy serving does not apply — non-persistable engine, the
+        escape hatch flipped, or a generation write failing (the batch
+        then falls back to pickled-snapshot shipping; correctness never
+        depends on the store).  Otherwise writes at most one generation
+        per serve token: a full file for a fresh engine, a delta holding
+        only the classes lazy maintenance replaced since the last one,
+        or nothing at all when the state on disk already matches.
+        """
+        if not self._store_serving or self._spec is None or not self._spec.persistable:
+            return None
+        token = self._serve_token()
+        with self._store_lock:
+            if self._store_token == token and self._store_state is not None:
+                return str(self._store_state.path)
+            from repro.store import write_generation
+
+            if self._store_dir is None:
+                self._store_dir = tempfile.mkdtemp(prefix="repro-store-")
+            directory = os.path.join(self._store_dir, f"g{self._engine_gen:04d}")
+            try:
+                os.makedirs(directory, exist_ok=True)
+                state = write_generation(engine, directory, self._store_state)
+            except (OSError, ReproError):
+                return None
+            self._store_state = state
+            self._store_token = token
+            return str(state.path)
+
     def _ensure_process_pool(self, workers: int) -> ProcessServingPool:
         """The session's serving pool, (re)built to the asked worker count."""
         with self._pool_lock:
@@ -620,6 +685,7 @@ class GraphDatabase:
                 timeout=timeout,
                 retries=retries,
                 injector=injector,
+                store_path=self._store_generation_path(engine),
             )
         if pool.degraded:
             self._process_degraded = True
@@ -641,18 +707,31 @@ class GraphDatabase:
                 self._proc_pool.invalidate()
 
     def close(self) -> None:
-        """Shut down the process-serving pool, if one was created.
+        """Shut down the process-serving pool and serving-store files.
 
         The session itself stays usable — querying, updating, and even
-        process-mode serving (which simply builds a fresh pool) all
-        still work.  Worker processes are daemonic, so an unclosed
-        session cannot outlive the interpreter; ``close()`` just frees
-        them eagerly.
+        process-mode serving (which simply builds a fresh pool and, if
+        needed, a fresh store generation) all still work.  Worker
+        processes are daemonic, so an unclosed session cannot outlive
+        the interpreter; ``close()`` just frees them eagerly.  Store
+        generations written for serving live in a session temp
+        directory and are removed here (a generation state pointing at
+        a user-saved file — ``GraphDatabase.open`` — is kept);
+        unlinking a file workers still map is safe, the pages live on.
         """
         with self._pool_lock:
             if self._proc_pool is not None:
                 self._proc_pool.close()
                 self._proc_pool = None
+        with self._store_lock:
+            if self._store_dir is not None:
+                if self._store_state is not None and str(self._store_state.path).startswith(
+                    self._store_dir
+                ):
+                    self._store_state = None
+                    self._store_token = None
+                shutil.rmtree(self._store_dir, ignore_errors=True)
+                self._store_dir = None
 
     def __enter__(self) -> GraphDatabase:
         return self
@@ -746,8 +825,16 @@ class GraphDatabase:
     # ------------------------------------------------------------------
     # persistence and introspection
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
-        """Persist the current engine (graph included) to ``path``."""
+    def save(self, path, format: str = "json") -> None:
+        """Persist the current engine (graph included) to ``path``.
+
+        ``format="json"`` writes the checksummed JSON document
+        (:func:`repro.core.persistence.save_index`); ``format="store"``
+        writes the zero-copy columnar store file
+        (:func:`repro.store.write_store`), which reopens via ``mmap``
+        with no deserialization.  :meth:`open` reads either —
+        it dispatches on the file's magic.
+        """
         from repro.core.persistence import save_index
 
         if self._engine is None or self._spec is None:
@@ -757,6 +844,13 @@ class GraphDatabase:
                 f"engine {self._spec.display_name!r} is not persistable; "
                 f"persistable engines: cpqx, iacpqx"
             )
+        if format == "store":
+            from repro.store import write_store
+
+            write_store(self._engine, path)
+            return
+        if format != "json":
+            raise SessionError(f"unknown save format {format!r}; use 'json' or 'store'")
         save_index(self._engine, path)
 
     @property

@@ -11,24 +11,36 @@ across worker *processes* instead.
 
 This module is that fan-out:
 
-* an **engine snapshot** — the engine pickled *minus* its lock-bearing
-  memo caches (``EngineBase.__getstate__`` drops them; they are pure
-  caches, rebuilt lazily worker-side) — ships once per worker over the
-  supervised pipe-connected machinery of
+* workers receive the engine one of two ways.  The preferred path
+  (PR 8) ships only a **(path, token) pair**: the session writes the
+  engine as a zero-copy store generation (:mod:`repro.store`) and each
+  worker ``mmap``-opens it — per-worker shipped bytes collapse from the
+  engine pickle (~14.3 MB in BENCH_PR5) to the length of a path string,
+  and the mapped pages are shared across workers instead of unpickled N
+  times.  The fallback path ships an **engine snapshot** — the engine
+  pickled *minus* its lock-bearing memo caches
+  (``EngineBase.__getstate__`` drops them; they are pure caches,
+  rebuilt lazily worker-side) — used for engines without store support.
+  Both travel over the supervised pipe-connected machinery of
   :class:`repro.serve.supervisor.WorkerSupervisor`;
 * a **work-queue dispatcher** (:meth:`ProcessServingPool.serve`) hands
   resolved queries to idle workers one at a time and reassembles the
   answers in submission order, so a process-served batch returns exactly
   the serial ``execute_batch`` answers for every query that succeeds;
 * a **version-token handshake** keeps snapshots fresh: every snapshot
-  and every query carries the session's serve token
+  or map message and every query carries the session's serve token
   (:func:`session_token` — engine generation, graph version, engine
-  epoch).  The dispatcher re-ships the snapshot to a worker whose last
-  shipped token is out of date, and the worker *independently* rejects a
-  query whose token does not match its snapshot (replying ``stale``,
-  which triggers a re-ship and a retry) — so even an invalidation the
-  parent's bookkeeping missed cannot serve answers computed against an
-  older engine;
+  epoch).  The dispatcher re-ships to a worker whose last shipped token
+  is out of date (for mapped serving that usually means a new *delta*
+  generation path — or the same path again when only the token moved,
+  which the worker installs without re-opening anything), and the
+  worker *independently* rejects a query whose token does not match its
+  installed engine (replying ``stale``, which triggers a re-ship and a
+  retry) — so even an invalidation the parent's bookkeeping missed
+  cannot serve answers computed against an older engine.  A worker that
+  fails to *open* a shipped path reports it through the normal
+  per-query error path, so a corrupt generation file fails queries
+  under the bounded retry budget instead of wedging the pool;
 * **bounded failure domains** (PR 7): a worker that dies mid-query is
   restarted by the supervisor (exponential backoff, bounded restart
   budget) and its in-flight query re-dispatched with backoff up to a
@@ -150,19 +162,26 @@ def snapshot_bytes(engine: object) -> bytes:
 
 
 def _serve_worker(worker_id: int, conn: Connection) -> None:
-    """Worker-process loop: install snapshots, answer queries.
+    """Worker-process loop: install snapshots or mapped stores, answer queries.
 
     Messages from the parent: ``("snapshot", blob, token, injector)``
     installs a new engine snapshot (``injector`` is ``None`` outside
     chaos runs) — acknowledged with ``("snapshot_ok", token)`` once the
     blob is unpickled, so the parent can start the in-flight query's
     deadline *after* the install instead of letting a large snapshot
-    eat the query's budget; ``("query", job, query, limit, token)``
-    evaluates — answered with ``("result", job, answers, stats)``,
-    ``("stale", job)`` when ``token`` does not match the installed
-    snapshot (the handshake's worker-side check), or ``("error", job,
-    reason)`` when evaluation raises; ``("stop",)`` (or a closed pipe)
-    ends the loop.
+    eat the query's budget; ``("map", path, token, injector)`` is the
+    zero-copy analogue — the worker ``mmap``-opens the store file at
+    ``path`` (skipping the open entirely when ``path`` matches the
+    engine it already holds: a token-only move, or a parent that merely
+    forgot what it shipped), acked with the same ``("snapshot_ok",
+    token)``; ``("query", job, query, limit, token)`` evaluates —
+    answered with ``("result", job, answers, stats)``, ``("stale",
+    job)`` when ``token`` does not match the installed engine (the
+    handshake's worker-side check), or ``("error", job, reason)`` when
+    evaluation raises *or* the preceding map failed to open (a corrupt
+    or missing generation file fails its queries under the bounded
+    retry budget — it never wedges the pool); ``("stop",)`` (or a
+    closed pipe) ends the loop.
     The memo caches the snapshot was stripped of rebuild here lazily, so
     repeated queries within one worker still hit the engine's
     cross-query LRUs.
@@ -176,6 +195,8 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
     import traceback
 
     engine: object | None = None
+    engine_path: str | None = None
+    map_error: str | None = None
     token: ServeToken | None = None
     injector: FaultInjector | None = None
     try:
@@ -189,13 +210,38 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
                 break
             if kind == "snapshot":
                 engine = pickle.loads(message[1])
+                engine_path = None
+                map_error = None
+                token = message[2]
+                injector = message[3]
+                conn.send(("snapshot_ok", token))
+            elif kind == "map":
+                path = message[1]
+                if engine is None or engine_path != path:
+                    try:
+                        from repro.store import open_store
+
+                        engine = open_store(path)
+                        engine_path = path
+                        map_error = None
+                    except Exception as exc:
+                        # Surfaced per query below: every query against the
+                        # unopenable store answers ("error", job, map_error).
+                        engine = None
+                        engine_path = None
+                        map_error = "".join(traceback.format_exception(exc))
                 token = message[2]
                 injector = message[3]
                 conn.send(("snapshot_ok", token))
             elif kind == "query":
                 _, job, query, limit, expected = message
-                if engine is None or token != expected:
+                if token != expected or (engine is None and map_error is None):
                     conn.send(("stale", job))
+                    continue
+                if engine is None:
+                    conn.send(
+                        ("error", job, f"worker could not open mapped index:\n{map_error}")
+                    )
                     continue
                 if injector is not None:
                     injector.maybe_kill("worker.kill")
@@ -263,6 +309,12 @@ class ProcessServingPool:
         #: in-parent evaluation; the session reads this to route future
         #: ``auto`` batches to threads.
         self.degraded = False
+        #: Lifetime shipping accounting (the storage bench reads these):
+        #: bytes actually sent to install engines in workers — pickled
+        #: blobs for snapshot ships, just the path string for map ships.
+        self.shipped_bytes = 0
+        self.snapshot_ships = 0
+        self.map_ships = 0
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
@@ -304,8 +356,15 @@ class ProcessServingPool:
         timeout: float | None = None,
         retries: int = DEFAULT_RETRIES,
         injector: FaultInjector | None = None,
+        store_path: str | None = None,
     ) -> list[ServeOutcome | ServeFailure]:
         """Evaluate ``queries`` across the workers; outcomes keep input order.
+
+        ``store_path`` switches engine shipping to the zero-copy path:
+        workers that need a (re-)install receive ``(store_path, token)``
+        and ``mmap``-open the store generation themselves — ``engine``
+        is then only used for the degraded in-parent tail.  Without it,
+        workers receive the pickled snapshot as before.
 
         A work-queue dispatcher: every idle worker holds exactly one
         in-flight query, finished workers immediately draw the next one,
@@ -332,7 +391,9 @@ class ProcessServingPool:
                 self._worker_tokens.clear()
                 self._last_injector = injector
             try:
-                return self._serve_locked(engine, token, queries, limit, timeout, retries, injector)
+                return self._serve_locked(
+                    engine, token, queries, limit, timeout, retries, injector, store_path
+                )
             except BaseException:
                 # Per-query failures never land here (they become
                 # ServeFailure slots); anything that does escape means
@@ -350,6 +411,7 @@ class ProcessServingPool:
         timeout: float | None,
         retries: int,
         injector: FaultInjector | None,
+        store_path: str | None,
     ) -> list[ServeOutcome | ServeFailure]:
         jobs: deque[_Job] = deque((index, query, 0) for index, query in enumerate(queries))
         outcomes: list[ServeOutcome | ServeFailure | None] = [None] * len(queries)
@@ -397,7 +459,15 @@ class ProcessServingPool:
             index, query, attempts = job
             shipping = self._worker_tokens.get(conn) != token
             if shipping:
-                conn.send(("snapshot", self._snapshot(engine, token), token, injector))
+                if store_path is not None:
+                    self.shipped_bytes += len(store_path.encode("utf-8"))
+                    self.map_ships += 1
+                    conn.send(("map", store_path, token, injector))
+                else:
+                    blob = self._snapshot(engine, token)
+                    self.shipped_bytes += len(blob)
+                    self.snapshot_ships += 1
+                    conn.send(("snapshot", blob, token, injector))
                 self._worker_tokens[conn] = token
             conn.send(("query", index, query, limit, token))
             deadline = None

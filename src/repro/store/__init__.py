@@ -1,0 +1,42 @@
+"""Zero-copy columnar index storage (``.rsx``): mmap in, never pickle.
+
+The store is the on-disk twin of the in-memory columnar core: each
+``Ic2p`` posting column — a sorted ``array('q')`` of packed pair codes —
+is written as its raw bytes into a versioned, checksummed, page-aligned
+file, and read back as a read-only ``memoryview`` slice of an ``mmap``.
+A :class:`~repro.core.pairset.PairSet` works identically over either
+backing, so an opened engine answers queries with **zero
+deserialization** of its postings, and N serving worker processes that
+map the same generation share one copy of the page cache instead of N
+unpickled heaps.
+
+Three public entry points:
+
+* :func:`write_store` — one self-contained file
+  (``GraphDatabase.save(path, format="store")``, ``repro build --store``);
+* :func:`open_store` — map a file or delta chain back into a live
+  engine (``GraphDatabase.open`` dispatches here on the store magic);
+* :func:`write_generation` — the serving path: append a delta file
+  holding only the columns replaced since the previous
+  :class:`StoreState` (lazy maintenance is copy-on-write, so "replaced"
+  is an object-identity test), compacting to a full file when the chain
+  grows long.
+
+See ``docs/storage.md`` for the byte layout and the generation/update
+protocol.
+"""
+
+from repro.store.format import MAX_CHAIN, PAGE_SIZE, STORE_MAGIC, STORE_VERSION
+from repro.store.reader import open_store
+from repro.store.writer import StoreState, write_generation, write_store
+
+__all__ = [
+    "MAX_CHAIN",
+    "PAGE_SIZE",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "StoreState",
+    "open_store",
+    "write_generation",
+    "write_store",
+]

@@ -1,0 +1,118 @@
+"""On-disk layout of the zero-copy columnar store (``.rsx`` files).
+
+A store file is the flat, page-aligned binary counterpart of the JSON
+index document in :mod:`repro.core.persistence`: the same logical
+content (graph, class records, sequence sets), but with every ``Ic2p``
+posting column written as its raw little-endian ``int64`` bytes so a
+reader can ``mmap`` the file and hand each class a read-only
+``memoryview`` slice — no parsing, no copying, no unpickling.
+
+Layout (all offsets from the start of the file)::
+
+    offset 0      header page (PAGE_SIZE bytes, struct below + zero pad)
+    offset 4096   meta region: one UTF-8 JSON document
+    aligned up    columns region: the posting columns back to back,
+                  each 8-byte aligned, in ascending class-id order
+
+The fixed-size header binds the two variable regions::
+
+    16s  magic            %repro-store\\0\\0\\0\\0
+    I    version          STORE_VERSION
+    I    flags            reserved (0)
+    Q    meta_off         always PAGE_SIZE
+    Q    meta_len         JSON byte length
+    Q    cols_off         page-aligned start of the columns region
+    Q    cols_len         columns byte length
+    32s  meta_sha256      digest of the meta region
+    32s  cols_sha256      digest of the columns region
+
+Both regions are independently checksummed: the meta digest is always
+verified on open (it is small), the columns digest on demand
+(``open_store(verify=True)``, the default) — a bit flip in either
+surfaces as :class:`~repro.errors.CorruptIndexError` before any query
+runs against garbage.  The meta JSON carries the writing host's
+byteorder; a reader on a foreign-endian host falls back to owned,
+byte-swapped columns instead of mapping.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.errors import CorruptIndexError, PersistenceError
+
+#: First bytes of a store file; distinguishes it from the JSON formats.
+STORE_MAGIC = b"%repro-store\x00\x00\x00\x00"
+
+STORE_VERSION = 1
+
+#: Header and columns regions start on page boundaries so the mapped
+#: columns keep natural alignment and page-cache-friendly locality.
+PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<16sIIQQQQ32s32s")
+
+#: Longest parent chain a delta generation may sit on before the writer
+#: compacts back to a full file (bounds open-time file handles and the
+#: reader's merge work).
+MAX_CHAIN = 6
+
+
+def align_page(offset: int) -> int:
+    """Round ``offset`` up to the next page boundary."""
+    return (offset + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def pack_header(
+    meta_len: int, cols_off: int, cols_len: int, meta_sha: bytes, cols_sha: bytes
+) -> bytes:
+    """The full header page for the given region geometry."""
+    packed = _HEADER.pack(
+        STORE_MAGIC,
+        STORE_VERSION,
+        0,
+        PAGE_SIZE,
+        meta_len,
+        cols_off,
+        cols_len,
+        meta_sha,
+        cols_sha,
+    )
+    return packed + b"\x00" * (PAGE_SIZE - _HEADER.size)
+
+
+class StoreHeader(NamedTuple):
+    """The decoded fixed header of one store file."""
+
+    meta_off: int
+    meta_len: int
+    cols_off: int
+    cols_len: int
+    meta_sha: bytes
+    cols_sha: bytes
+
+
+def read_header(buffer: bytes | memoryview, path: str | Path) -> StoreHeader:
+    """Parse and validate a store file's header against the file size.
+
+    ``buffer`` is the full mapped file.  Raises
+    :class:`~repro.errors.CorruptIndexError` for anything that is not a
+    well-formed store file of a readable version, with region extents
+    guaranteed to lie inside the file.
+    """
+    if len(buffer) < _HEADER.size:
+        raise CorruptIndexError(path, "truncated before end of header")
+    magic, version, _flags, meta_off, meta_len, cols_off, cols_len, meta_sha, cols_sha = (
+        _HEADER.unpack_from(buffer, 0)
+    )
+    if magic != STORE_MAGIC:
+        raise CorruptIndexError(path, "unrecognized magic (not a store file)")
+    if version != STORE_VERSION:
+        raise PersistenceError(f"{path}: unsupported store version {version}")
+    if meta_off + meta_len > len(buffer):
+        raise CorruptIndexError(path, "truncated: meta region extends past end of file")
+    if cols_off + cols_len > len(buffer):
+        raise CorruptIndexError(path, "truncated: columns region extends past end of file")
+    return StoreHeader(meta_off, meta_len, cols_off, cols_len, meta_sha, cols_sha)

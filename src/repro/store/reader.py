@@ -1,0 +1,186 @@
+"""Opening store files: mmap the columns, deserialize nothing.
+
+:func:`open_store` maps each file in a generation chain read-only,
+checks both region checksums, and rebuilds the engine around
+zero-copy column views: every class's posting column becomes a
+``memoryview(...).cast("q")`` slice of the mapped file, adopted by
+:meth:`PairSet.from_mapped` without reading a byte of it eagerly.  The
+pair→class map is *not* stored and *not* built here — the engines
+materialize it lazily, and the serving read path never asks for it —
+so opening is O(meta), independent of how many pairs the index holds.
+
+The mapped views keep their backing ``mmap`` objects alive (buffer
+exports pin them), so nothing here needs explicit lifetime management;
+unlinking a mapped generation file is safe on POSIX, and the pages stay
+shared between every process that mapped the same generation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import sys
+from array import array
+from pathlib import Path
+
+from repro.core.cpqx import CPQxIndex
+from repro.core.interest import InterestAwareIndex
+from repro.core.pairset import PairSet
+from repro.errors import CorruptIndexError, PersistenceError
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.labels import LabelRegistry
+from repro.store.format import read_header
+from repro.store.writer import StoreState
+
+#: One loaded chain file: its meta document and mapped columns region.
+_ChainFile = tuple[dict, memoryview]
+
+
+def _load_file(path: Path, verify: bool) -> _ChainFile:
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:
+            raise CorruptIndexError(path, f"cannot map file: {exc}") from exc
+    buffer = memoryview(mapped)
+    header = read_header(buffer, path)
+    meta_bytes = bytes(buffer[header.meta_off : header.meta_off + header.meta_len])
+    if hashlib.sha256(meta_bytes).digest() != header.meta_sha:
+        raise CorruptIndexError(path, "meta checksum mismatch (bit corruption)")
+    columns = buffer[header.cols_off : header.cols_off + header.cols_len]
+    if verify and hashlib.sha256(columns).digest() != header.cols_sha:
+        raise CorruptIndexError(path, "columns checksum mismatch (bit corruption)")
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptIndexError(path, f"malformed meta JSON: {exc}") from exc
+    if meta.get("format") != "repro-store" or meta.get("version") != 1:
+        raise CorruptIndexError(path, "meta does not describe a repro-store v1 file")
+    return meta, columns
+
+
+def _load_chain(path: Path, verify: bool) -> list[_ChainFile]:
+    """The generation chain rooted at ``path``, oldest file first."""
+    chain: list[_ChainFile] = []
+    current = Path(path).resolve()
+    seen = {current}
+    while True:
+        meta, columns = _load_file(current, verify)
+        chain.append((meta, columns))
+        parent_name = meta.get("delta_of")
+        if parent_name is None:
+            break
+        parent = (current.parent / parent_name).resolve()
+        if parent in seen:
+            raise CorruptIndexError(path, f"generation chain cycle through {parent}")
+        if not parent.is_file():
+            raise CorruptIndexError(path, f"missing parent generation {parent}")
+        seen.add(parent)
+        current = parent
+    chain.reverse()
+    return chain
+
+
+def _graph_with_interner(meta: dict) -> LabeledDigraph:
+    """Rebuild the graph, pinning every recorded interner id first.
+
+    Packed pair codes are only meaningful relative to the writer's
+    intern order, so the reader replays the recorded ``_vertices`` list
+    (which may include since-removed vertices — ids are never recycled)
+    before adding the live graph content.
+    """
+    from repro.core.persistence import decode_vertex
+
+    document = meta["graph"]
+    graph = LabeledDigraph(LabelRegistry(document["labels"]))
+    intern = graph.interner.intern
+    for encoded in meta["interner"]:
+        intern(decode_vertex(encoded))
+    for encoded in document["vertices"]:
+        graph.add_vertex(decode_vertex(encoded))
+    for v, u, label in document["edges"]:
+        graph.add_edge(decode_vertex(v), decode_vertex(u), label)
+    for encoded, data in document.get("vertex_data", ()):
+        graph.set_vertex_data(decode_vertex(encoded), **data)
+    return graph
+
+
+def open_store(path: str | Path, *, verify: bool = True) -> CPQxIndex | InterestAwareIndex:
+    """Open a store file (or delta chain) as a live engine, zero-copy.
+
+    ``verify=True`` (the default) checks the columns checksum of every
+    chain file up front; ``verify=False`` skips that single pass over
+    the data for latency-critical opens (the meta checksum is always
+    verified).  The returned engine carries a ``_store_state`` attribute
+    so a serving session can continue the generation chain from it.
+    """
+    chain = _load_chain(Path(path), verify)
+    newest = chain[-1][0]
+    graph = _graph_with_interner(newest)
+    interner = graph.interner
+
+    # Newest-wins merge of the per-file class records.
+    merged: dict[int, tuple[dict, memoryview]] = {}
+    for meta, columns in chain:
+        for class_id in meta.get("removed", ()):
+            merged.pop(class_id, None)
+        for record in meta["classes"]:
+            merged[record["id"]] = (record, columns)
+
+    foreign_order = newest["byteorder"] != sys.byteorder
+    interests: frozenset | None = None
+    if newest["type"] == "iaCPQx":
+        interests = frozenset(tuple(seq) for seq in newest["interests"])
+    il2c: dict[tuple[int, ...], set[int]] = {}
+    ic2p: dict[int, PairSet] = {}
+    class_sequences: dict[int, frozenset] = {}
+    loop_classes: set[int] = set()
+    for class_id, (record, columns) in merged.items():
+        start = record["off"]
+        column = columns[start : start + 8 * record["n"]].cast("q")
+        if foreign_order:
+            owned = array("q")
+            owned.frombytes(column.cast("B"))
+            owned.byteswap()
+            ic2p[class_id] = PairSet.from_sorted_codes(owned, interner)
+        else:
+            ic2p[class_id] = PairSet.from_mapped(column, interner)
+        sequences = frozenset(tuple(seq) for seq in record["sequences"])
+        class_sequences[class_id] = sequences
+        if record["loop"]:
+            loop_classes.add(class_id)
+        # Like the JSON loader: only live interests get Il2c postings.
+        for seq in sequences:
+            if interests is None or seq in interests:
+                il2c.setdefault(seq, set()).add(class_id)
+
+    common = dict(
+        graph=graph,
+        k=newest["k"],
+        il2c=il2c,
+        ic2p=ic2p,
+        class_of=None,
+        class_sequences=class_sequences,
+        loop_classes=loop_classes,
+    )
+    engine: CPQxIndex | InterestAwareIndex
+    if newest["type"] == "iaCPQx":
+        assert interests is not None
+        engine = InterestAwareIndex(interests=interests, **common)
+    elif newest["type"] == "CPQx":
+        engine = CPQxIndex(**common)
+    else:  # pragma: no cover - writer only emits the two types
+        raise PersistenceError(f"{path}: unknown index type {newest['type']!r}")
+    # Deleted classes may leave next_class past max(ic2p) + 1; honour the
+    # recorded counter so reopened engines never recycle a class id.
+    engine._next_class = max(engine._next_class, newest["next_class"])
+    engine._store_state = StoreState(
+        path=Path(path),
+        generation=newest["generation"],
+        chain=len(chain),
+        graph_version=graph.version,
+        interests=interests,
+        columns=dict(ic2p),
+    )
+    return engine

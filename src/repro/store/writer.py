@@ -1,0 +1,220 @@
+"""Writing store files: full snapshots and delta generations.
+
+:func:`write_store` lays a built CPQx/iaCPQx out as one self-contained
+store file (the ``repro build --store`` / ``GraphDatabase.save(...,
+format="store")`` path).  :func:`write_generation` is the serving-side
+entry: it tracks which posting columns changed since the last write —
+maintenance is copy-on-write, so an untouched class still holds the
+*same* :class:`~repro.core.pairset.PairSet` object — and emits either a
+small **delta** file carrying only the touched columns (chained to its
+parent by relative path) or, when the chain grows past
+:data:`~repro.store.format.MAX_CHAIN`, a compacted full file.
+
+Both writers keep the PR 7 crash-safety discipline of
+:func:`repro.core.persistence.save_index`: same-directory temp file,
+flush + fsync, ``os.replace``, with the same ``persist.fsync`` /
+``persist.rename`` fault-injection sites — an interrupted write never
+leaves a torn file at the target path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import PersistenceError
+from repro.store.format import MAX_CHAIN, PAGE_SIZE, align_page, pack_header
+
+if TYPE_CHECKING:
+    from repro.core.cpqx import CPQxIndex
+    from repro.core.interest import InterestAwareIndex
+    from repro.core.pairset import PairSet
+
+    AnyIndex = CPQxIndex | InterestAwareIndex
+
+
+@dataclass
+class StoreState:
+    """What the last written (or opened) generation covered.
+
+    ``columns`` snapshots the engine's ``Ic2p`` by *object identity*:
+    lazy maintenance replaces a touched class's :class:`PairSet` instead
+    of mutating it, so ``engine._ic2p[cid] is state.columns[cid]``
+    exactly when class ``cid`` is byte-identical to what is already on
+    disk — the delta writer's dirty-class test needs no extra
+    bookkeeping in the maintenance path.
+    """
+
+    path: Path
+    generation: int
+    #: Files in this generation's parent chain, including itself.
+    chain: int
+    graph_version: int
+    interests: frozenset | None
+    columns: dict[int, PairSet]
+
+
+def _index_type(index: AnyIndex) -> str:
+    from repro.core.cpqx import CPQxIndex
+    from repro.core.interest import InterestAwareIndex
+
+    if isinstance(index, InterestAwareIndex):
+        return "iaCPQx"
+    if isinstance(index, CPQxIndex):
+        return "CPQx"
+    raise PersistenceError(f"cannot store {type(index).__name__}")
+
+
+def _column_bytes(pairset: PairSet) -> memoryview:
+    """The column's raw bytes, zero-copy from either backing."""
+    codes = pairset.codes
+    view = codes if isinstance(codes, memoryview) else memoryview(codes)
+    return view.cast("B")
+
+
+def _write_file(
+    index: AnyIndex,
+    target: Path,
+    *,
+    generation: int,
+    parent: StoreState | None = None,
+    changed: set[int] | None = None,
+    removed: tuple[int, ...] = (),
+) -> StoreState:
+    """Write one store file (full when ``parent`` is None, else a delta)."""
+    from repro.core.persistence import _graph_document, encode_vertex
+    from repro.serve.faults import current_injector
+
+    index_type = _index_type(index)
+    graph = index.graph
+    class_ids = sorted(index._ic2p) if changed is None else sorted(changed)
+    records = []
+    offset = 0
+    for class_id in class_ids:
+        count = len(index._ic2p[class_id])
+        records.append(
+            {
+                "id": class_id,
+                "sequences": sorted(index._class_sequences[class_id]),
+                "loop": class_id in index._loop_classes,
+                "off": offset,
+                "n": count,
+            }
+        )
+        offset += 8 * count
+    cols_len = offset
+    meta: dict[str, object] = {
+        "format": "repro-store",
+        "version": 1,
+        "type": index_type,
+        "k": index.k,
+        "byteorder": sys.byteorder,
+        "generation": generation,
+        "graph": _graph_document(graph),
+        "interner": [encode_vertex(v) for v in graph.interner._vertices],
+        "next_class": index._next_class,
+        "classes": records,
+    }
+    if index_type == "iaCPQx":
+        meta["interests"] = sorted(index.interests)
+    if parent is not None:
+        meta["delta_of"] = os.path.relpath(parent.path, target.parent)
+        meta["removed"] = sorted(removed)
+    payload = json.dumps(meta).encode("utf-8")
+    cols_off = align_page(PAGE_SIZE + len(payload))
+    cols_sha = hashlib.sha256()
+
+    injector = current_injector()
+    temp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(temp, "wb") as handle:
+            handle.seek(PAGE_SIZE)
+            handle.write(payload)
+            handle.truncate(cols_off)
+            handle.seek(cols_off)
+            for class_id in class_ids:
+                chunk = _column_bytes(index._ic2p[class_id])
+                cols_sha.update(chunk)
+                handle.write(chunk)
+            handle.seek(0)
+            handle.write(
+                pack_header(
+                    len(payload),
+                    cols_off,
+                    cols_len,
+                    hashlib.sha256(payload).digest(),
+                    cols_sha.digest(),
+                )
+            )
+            handle.flush()
+            if injector is not None:
+                injector.fail("persist.fsync")
+            os.fsync(handle.fileno())
+        if injector is not None:
+            injector.fail("persist.rename")
+        os.replace(temp, target)
+    except BaseException:
+        # Leave any previous file at `target` intact; drop the temp.
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise
+    return StoreState(
+        path=target,
+        generation=generation,
+        chain=1 if parent is None else parent.chain + 1,
+        graph_version=graph.version,
+        interests=getattr(index, "interests", None),
+        columns=dict(index._ic2p),
+    )
+
+
+def write_store(index: AnyIndex, path: str | Path) -> StoreState:
+    """Write ``index`` as one self-contained store file at ``path``."""
+    return _write_file(index, Path(path), generation=1)
+
+
+def _generation_path(directory: Path, generation: int) -> Path:
+    return directory / f"gen-{generation:06d}.rsx"
+
+
+def write_generation(
+    index: AnyIndex, directory: str | Path, state: StoreState | None = None
+) -> StoreState:
+    """Write the next serving generation of ``index`` under ``directory``.
+
+    With no prior ``state`` this is a full write.  Otherwise the columns
+    replaced since ``state`` (and the classes deleted) go into a delta
+    file whose meta names ``state.path`` as its parent; if *nothing*
+    observable changed, ``state`` itself is returned and no file is
+    written — the caller re-ships only the (path, token) pair.  Chains
+    longer than :data:`MAX_CHAIN` compact back to a full file.
+    """
+    directory = Path(directory)
+    if state is None:
+        return _write_file(index, _generation_path(directory, 1), generation=1)
+    changed = {
+        class_id
+        for class_id, members in index._ic2p.items()
+        if state.columns.get(class_id) is not members
+    }
+    removed = tuple(set(state.columns) - set(index._ic2p))
+    if (
+        not changed
+        and not removed
+        and index.graph.version == state.graph_version
+        and getattr(index, "interests", None) == state.interests
+    ):
+        return state
+    generation = state.generation + 1
+    target = _generation_path(directory, generation)
+    if state.chain >= MAX_CHAIN:
+        return _write_file(index, target, generation=generation)
+    return _write_file(
+        index, target, generation=generation, parent=state, changed=changed, removed=removed
+    )

@@ -397,6 +397,41 @@ class TestPairSetIntegrity:
         })
         assert hits == []
 
+    def test_memoryview_outside_store_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/validate.py": """
+                def peek(column):
+                    return memoryview(column).cast("q")
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_mmap_outside_store_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/rogue.py": """
+                import mmap
+
+                def map_file(handle):
+                    return mmap.mmap(handle.fileno(), 0)
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_buffers_in_store_package_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/store/reader.py": """
+                import mmap
+                from array import array
+
+                def load(handle):
+                    mapped = mmap.mmap(handle.fileno(), 0)
+                    column = memoryview(mapped).cast("q")
+                    owned = array("q")
+                    return column, owned
+            """,
+        })
+        assert hits == []
+
 
 # ----------------------------------------------------------------------
 # RPR006 — fault-path hygiene

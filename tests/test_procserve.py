@@ -317,7 +317,10 @@ class TestSnapshotInvalidation:
         try:
             db.serve_batch(QUERIES, workers=2, mode="process")
             pool = db._proc_pool
-            assert pool._snapshot_token is not None
+            # Workers hold the current token (shipped as a (path, token)
+            # pair on the PR-8 map path, so no pickled blob is cached).
+            assert pool._worker_tokens
+            assert pool._snapshot_token is None
             v0 = sorted(serve_graph.vertices())[0]
             db.update(add_edges=[("nv9", v0, "l1")])
             assert pool._snapshot_token is None
@@ -655,3 +658,95 @@ class TestFromAnswers:
         assert result.stats.lookups == 3
         assert result.stats.joins == 1
         assert result.stats.pairs_touched == 7
+
+
+# ---------------------------------------------------------------------------
+# mmap-backed shipping (PR 8): workers open the index by path
+# ---------------------------------------------------------------------------
+
+
+class TestMappedShipping:
+    def test_ships_paths_not_pickles(self, serve_graph):
+        db = GraphDatabase.from_graph(serve_graph.copy()).build_index(
+            engine="cpqx", k=2
+        )
+        try:
+            serial = db.execute_batch(QUERIES)
+            served = db.serve_batch(QUERIES, workers=2, mode="process")
+            pool = db._proc_pool
+            assert pool.snapshot_ships == 0
+            assert pool.map_ships == 2  # one (path, token) pair per worker
+            # Path strings only — nowhere near a pickled engine.
+            assert pool.shipped_bytes < 1024
+            assert pool.shipped_bytes < len(snapshot_bytes(db.engine)) / 100
+            for index, result in enumerate(served):
+                assert result.pairs() == serial[index].pairs()
+        finally:
+            db.close()
+
+    def test_single_class_update_does_not_reship_snapshot(self, serve_graph):
+        """Regression (PR 8): pre-mmap, every update() re-pickled and
+        re-shipped the whole engine even when one class changed.  With
+        store generations the update writes a small delta file and the
+        re-ship is again just the (path, token) pair."""
+        import os
+
+        db = GraphDatabase.from_graph(serve_graph.copy()).build_index(
+            engine="cpqx", k=2
+        )
+        try:
+            db.serve_batch(QUERIES, workers=2, mode="process")
+            pool = db._proc_pool
+            full_size = os.path.getsize(db._store_state.path)
+            shipped_before = pool.shipped_bytes
+            v0 = sorted(serve_graph.vertices())[0]
+            db.update(add_edges=[("nv_delta", v0, "l1")])
+            serial = db.execute_batch(QUERIES)
+            served = db.serve_batch(QUERIES, workers=2, mode="process")
+            assert pool.snapshot_ships == 0  # never a pickle, even post-update
+            assert db._store_state.generation == 2  # a delta, not a rewrite
+            assert os.path.getsize(db._store_state.path) < full_size / 2
+            assert pool.shipped_bytes - shipped_before < 1024
+            for index, result in enumerate(served):
+                assert result.pairs() == serial[index].pairs()
+        finally:
+            db.close()
+
+    def test_store_serving_opt_out_falls_back_to_pickle(self, serve_graph):
+        db = GraphDatabase.from_graph(serve_graph.copy()).build_index(
+            engine="cpqx", k=2
+        )
+        try:
+            db._store_serving = False
+            serial = db.execute_batch(QUERIES)
+            served = db.serve_batch(QUERIES, workers=2, mode="process")
+            pool = db._proc_pool
+            assert pool.map_ships == 0
+            assert pool.snapshot_ships == 2
+            for index, result in enumerate(served):
+                assert result.pairs() == serial[index].pairs()
+        finally:
+            db.close()
+
+    def test_unopenable_store_path_costs_the_batch_not_the_pool(self, serve_graph):
+        from repro.query.parser import parse
+        from repro.serve import ServeFailure
+
+        engine = GraphDatabase.from_graph(serve_graph.copy()).build_index(
+            engine="cpqx", k=2
+        ).engine
+        queries = [parse(text, engine.graph.registry) for text in QUERIES]
+        pool = ProcessServingPool(workers=2)
+        try:
+            outcomes = pool.serve(
+                engine, session_token(engine, 1), queries,
+                store_path="/nonexistent/gen.rsx", retries=1,
+            )
+            assert all(isinstance(out, ServeFailure) for out in outcomes)
+            assert any("could not open" in str(out.error) for out in outcomes)
+            assert not pool.closed
+            # The same pool serves normally once shipping reverts to pickles.
+            recovered = pool.serve(engine, session_token(engine, 2), queries)
+            assert not any(isinstance(out, ServeFailure) for out in recovered)
+        finally:
+            pool.close()
