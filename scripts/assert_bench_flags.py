@@ -9,9 +9,16 @@ open the index by path, so per-worker bytes shipped over the pipe must
 stay below 1% of the pickled-snapshot baseline recorded in
 ``BENCH_PR5.json`` (14.3 MB on the pinned graph).
 
+The PR-9 daemon section gates the serving-daemon contract the same way:
+``identical_answers`` (every HTTP answer equals the serial
+``execute_batch`` encoding), ``shed_bounded`` (over-capacity requests
+are structured rejects and the admission queue never overran its
+bound), and ``drained_clean`` (shutdown answered everything admitted
+within the drain deadline).
+
 The script is section-driven, so one entry point serves the perf-smoke,
-perf-regression, chaos, and storage jobs: pass any ``bench-*.json`` and
-only the sections present in it are checked.
+perf-regression, chaos, storage, and daemon jobs: pass any
+``bench-*.json`` and only the sections present in it are checked.
 
 Usage: ``python scripts/assert_bench_flags.py bench-concurrent.json``
 """
@@ -167,6 +174,66 @@ def check_chaos(result: dict) -> list[str]:
     return lines
 
 
+def check_daemon(section: dict) -> list[str]:
+    # The three PR-9 daemon flags, asserted individually so a failure
+    # names the phase that broke.
+    _require(
+        section["identical_answers"] is True,
+        section, "daemon answers differ from serial execute_batch",
+    )
+    _require(
+        section["shed_bounded"] is True,
+        section, "daemon shed unboundedly (queue overran its capacity)",
+    )
+    _require(
+        section["drained_clean"] is True,
+        section, "daemon failed to drain within the deadline",
+    )
+    shedding = section["shedding"]
+    _require(
+        shedding["max_queue_depth"] <= shedding["capacity"],
+        shedding, "admission queue depth exceeded its configured bound",
+    )
+    _require(
+        shedding["shed"] >= shedding["blast"] - shedding["capacity"],
+        shedding, "over-capacity requests were queued instead of shed",
+    )
+    chaos = section["chaos"]
+    _require(chaos["daemon_survived"] is True, chaos, "daemon died under chaos")
+    for row in chaos["scenarios"]:
+        _require(
+            row["daemon_survived"] is True and row["identical_answers"] is True,
+            row, f"daemon chaos scenario {row['scenario']} failed",
+        )
+    swap = section["hot_swap"]
+    _require(swap["no_torn_reads"] is True, swap, "hot swap produced a torn read")
+    normal = section["normal"]
+    lines = [
+        f"daemon: {normal['queries_per_second']:.0f} q/s over HTTP "
+        f"(client p50 {normal['client_p50_ms']:.1f} ms, "
+        f"p99 {normal['client_p99_ms']:.1f} ms), identical answers",
+        f"shedding: {shedding['shed']}/{shedding['blast']} structured rejects, "
+        f"queue peaked {shedding['max_queue_depth']}/{shedding['capacity']}",
+        f"hot swap: {swap['probes']} probes "
+        f"({swap['old_generation_answers']} old / "
+        f"{swap['new_generation_answers']} new), no torn reads",
+        f"drain: {section['drain']['served']}/{section['drain']['parked']} "
+        f"parked served in {section['drain']['drain_s'] * 1000:.0f} ms, clean",
+    ]
+    for row in chaos["scenarios"]:
+        if row["breaker"]["times_opened"] == 0:
+            breaker = "breaker never tripped"
+        elif row["recovery_s"] is None:
+            breaker = "breaker re-closed in-workload"
+        else:
+            breaker = f"breaker re-closed in {row['recovery_s']:.2f} s"
+        lines.append(
+            f"chaos {row['scenario']}: {row['failures']} failures, "
+            f"{row['worker_restarts']} restarts, {breaker}, daemon survived"
+        )
+    return lines
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -187,6 +254,8 @@ def main(argv: list[str]) -> int:
         lines += check_storage(result["storage"])
     if "chaos_serving" in result:
         lines += check_chaos(result)
+    if "daemon_serving" in result:
+        lines += check_daemon(result["daemon_serving"])
     print(f"{path}: all agreement flags verified")
     for line in lines:
         print(f"  {line}")

@@ -10,6 +10,8 @@ Commands mirroring the session life cycle of
 * ``query``    — evaluate a CPQ (text syntax) against a saved index or a
   freshly built dataset with a chosen ``--engine``;
 * ``info``     — statistics of a saved index;
+* ``serve``    — the resilient serving daemon over a saved index (see
+  the "Serving daemon" section of ``docs/robustness.md``);
 * ``experiment`` — regenerate one paper table/figure by name.
 
 Examples::
@@ -18,6 +20,7 @@ Examples::
     python -m repro build --dataset robots --k 2 --out robots.idx
     python -m repro query --index robots.idx "(l1 . l1) & l1^-"
     python -m repro query --dataset robots --engine auto --stats "l1 & l1"
+    python -m repro serve robots.idx --port 8080
     python -m repro experiment table3
 """
 
@@ -199,7 +202,74 @@ def build_parser() -> argparse.ArgumentParser:
              "restart budget is then not guaranteed)",
     )
     concurrent.add_argument(
+        "--daemon", action="store_true",
+        help="bench the serving daemon instead: boot a ServingDaemon and "
+             "drive it over HTTP through normal load, overload shedding, "
+             "chaos, hot swap, and graceful drain (serve-bench --daemon)",
+    )
+    concurrent.add_argument(
         "--out", default=None, help="write JSON here instead of stdout"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient serving daemon over a saved index "
+             "(bounded admission, deadlines, circuit breaker, graceful "
+             "SIGTERM drain, hot swap via POST /update and /reload)",
+    )
+    serve.add_argument("index", help="a saved index file (JSON or .rsx store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port here once listening (for supervisors)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=64,
+        help="admission queue bound; requests beyond it are shed with "
+             "structured 'overloaded' rejects",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="serve_batch worker count per coalesced batch",
+    )
+    serve.add_argument(
+        "--mode", choices=("auto", "thread", "process"), default="auto",
+        help="serving mode under a closed breaker (the breaker may "
+             "demote process mode to threads)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="micro-batch coalescing window, seconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="cap on one coalesced batch",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="default per-request deadline, seconds (requests may send "
+             "their own 'timeout')",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=float, default=10.0,
+        help="SIGTERM to forced-exit budget, seconds",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=None,
+        help="per-query retry budget inside serve_batch "
+             "(default: the serving pool's)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive batch failures that open the circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0,
+        help="seconds an open breaker waits before its half-open probe",
     )
 
     lint = sub.add_parser(
@@ -352,9 +422,56 @@ def cmd_bench_micro(args) -> int:
 
 
 def cmd_bench_concurrent(args) -> int:
+    if args.daemon:
+        from repro.bench.daemon_bench import main_bench_daemon
+
+        return main_bench_daemon(args)
     from repro.bench.concurrent import main_bench_concurrent
 
     return main_bench_concurrent(args)
+
+
+def cmd_serve(args) -> int:
+    """Run the serving daemon until SIGTERM/SIGINT (or POST /shutdown)."""
+    import asyncio
+
+    from repro.serve.daemon import DaemonConfig, ServingDaemon
+    from repro.serve.procserve import DEFAULT_RETRIES
+
+    db = GraphDatabase.open(args.index)
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        mode=args.mode,
+        default_deadline=args.deadline,
+        drain_deadline=args.drain_deadline,
+        retries=DEFAULT_RETRIES if args.retries is None else args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    daemon = ServingDaemon(db, config)
+
+    async def _serve() -> None:
+        started = asyncio.create_task(daemon.run())
+        while daemon.port is None and not started.done():  # noqa: ASYNC110
+            await asyncio.sleep(0.01)
+        if daemon.port is not None:
+            print(f"serving {args.index} on {args.host}:{daemon.port}", flush=True)
+            if args.port_file:
+                with open(args.port_file, "w", encoding="utf-8") as handle:
+                    handle.write(f"{daemon.port}\n")
+        await started
+
+    asyncio.run(_serve())
+    if daemon.drained_clean is False:
+        print("warning: drain deadline exceeded; queued requests were "
+              "failed fast", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -410,6 +527,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-micro": cmd_bench_micro,
         "bench-concurrent": cmd_bench_concurrent,
         "serve-bench": cmd_bench_concurrent,
+        "serve": cmd_serve,
         "lint": cmd_lint,
     }
     try:

@@ -77,6 +77,13 @@ SERVE_MODES = ("thread", "process", "auto")
 #: Failure policies accepted by :meth:`GraphDatabase.serve_batch`.
 ON_ERROR_POLICIES = ("raise", "partial")
 
+#: How long ``mode="auto"`` keeps routing to threads after a process
+#: pool exhausted its restart budget.  After the cooldown the session
+#: re-tries process serving with a fresh pool and budget; a successful
+#: batch clears the marker entirely (the probe path the serving
+#: daemon's circuit breaker drives explicitly).
+PROCESS_DEGRADED_COOLDOWN = 30.0
+
 
 class BatchResult(Sequence):
     """Results of :meth:`GraphDatabase.execute_batch`: one materialized
@@ -146,12 +153,19 @@ class GraphDatabase:
         #: RWLock, never holding it while evaluating).
         self._proc_pool: ProcessServingPool | None = None
         self._pool_lock = threading.Lock()
-        #: Sticky degradation marker: set when a process-serving pool
-        #: exhausted its worker restart budget; ``mode="auto"`` then
-        #: routes future batches to threads (the degradation ladder —
-        #: see ``docs/robustness.md``).  An explicit ``mode="process"``
-        #: still builds a fresh pool with a fresh budget.
-        self._process_degraded = False
+        #: Degradation marker with a cooldown: set to a monotonic
+        #: deadline when a process-serving pool exhausted its worker
+        #: restart budget; ``mode="auto"`` routes batches to threads
+        #: until the deadline passes (the degradation ladder — see
+        #: ``docs/robustness.md``), then re-tries process serving with a
+        #: fresh pool.  A successful process batch resets it to zero, so
+        #: a *transient* crash storm does not demote the session
+        #: forever.  An explicit ``mode="process"`` always builds a
+        #: fresh pool with a fresh budget (the probe path).
+        self._process_degraded_until = 0.0
+        #: The cooldown window in seconds (tests and the daemon breaker
+        #: tune it per instance).
+        self.degraded_cooldown = PROCESS_DEGRADED_COOLDOWN
         #: Zero-copy serving state (PR 8): the session lazily writes the
         #: engine as store generations (full file + deltas) under a
         #: per-session temp directory, and process workers ``mmap``-open
@@ -164,6 +178,11 @@ class GraphDatabase:
         self._store_state: StoreState | None = None
         self._store_token: ServeToken | None = None
         self._store_lock = threading.Lock()
+        #: Bumped when a worker failed to open a shipped generation
+        #: (corrupt or deleted file): the next spool then writes a fresh
+        #: *full* generation into a fresh subdirectory, so no worker can
+        #: alias a previously-mapped path to the new content.
+        self._store_respools = 0
         #: Escape hatch (the storage bench flips it): ``False`` restores
         #: pickled-snapshot shipping for process serving.
         self._store_serving = True
@@ -443,8 +462,9 @@ class GraphDatabase:
           (:attr:`EngineSpec.process_servable`), more than one worker
           and CPU are available, the batch has at least
           :data:`~repro.serve.PROCESS_MODE_MIN_QUERIES` queries, and no
-          earlier pool exhausted its restart budget (the sticky
-          degradation marker); ``"thread"`` otherwise.
+          recent pool exhausted its restart budget (the degradation
+          cooldown, :data:`PROCESS_DEGRADED_COOLDOWN`; a successful
+          process batch clears it early); ``"thread"`` otherwise.
 
         Fault tolerance (PR 7): ``timeout`` gives every query a deadline
         in seconds — *hard* in process mode (the hung worker is killed
@@ -578,6 +598,16 @@ class GraphDatabase:
     # ------------------------------------------------------------------
     # process-based serving (mode="process"; see repro.serve)
     # ------------------------------------------------------------------
+    @property
+    def _process_degraded(self) -> bool:
+        """Whether ``mode="auto"`` is currently demoted to threads.
+
+        True while the degradation cooldown runs; expires on its own
+        (``time.monotonic()`` passing the deadline) or early, when a
+        successful process batch resets the deadline.
+        """
+        return time.monotonic() < self._process_degraded_until
+
     def _resolve_serve_mode(self, mode: str, workers: int, queries: int) -> str:
         """Resolve ``"auto"`` and validate ``"process"`` eligibility."""
         servable = self._spec is not None and self._spec.process_servable
@@ -626,7 +656,15 @@ class GraphDatabase:
 
             if self._store_dir is None:
                 self._store_dir = tempfile.mkdtemp(prefix="repro-store-")
-            directory = os.path.join(self._store_dir, f"g{self._engine_gen:04d}")
+            subdir = f"g{self._engine_gen:04d}"
+            if self._store_respools:
+                # After a worker-side open failure the fresh chain must
+                # start at a path no worker has ever mapped: workers
+                # skip re-opening a path they already hold, so reusing
+                # gNNNN/gen-000001.rsx could alias old columns to a new
+                # token.
+                subdir = f"{subdir}-r{self._store_respools}"
+            directory = os.path.join(self._store_dir, subdir)
             try:
                 os.makedirs(directory, exist_ok=True)
                 state = write_generation(engine, directory, self._store_state)
@@ -671,10 +709,12 @@ class GraphDatabase:
 
         A pool that exhausted its restart budget during the batch
         finished it in-parent (same answers, no parallelism); the
-        session then retires the pool and sets the sticky degradation
-        marker so ``mode="auto"`` routes the next batch to threads.
+        session then retires the pool and arms the degradation cooldown
+        so ``mode="auto"`` routes batches to threads until it expires
+        (or a successful explicit process batch clears it early).
         """
         pool = self._ensure_process_pool(workers)
+        map_failures_before = pool.map_failures
         with self._rwlock.read():
             engine = self._engine
             outcomes = pool.serve(
@@ -687,12 +727,26 @@ class GraphDatabase:
                 injector=injector,
                 store_path=self._store_generation_path(engine),
             )
+        if pool.map_failures > map_failures_before:
+            # A worker could not open the spooled generation chain
+            # (corrupt, truncated, or deleted file): retire the chain so
+            # the next batch re-spools a fresh full generation at a
+            # never-mapped path.  The batch itself already recovered (or
+            # surfaced typed failures) via snapshot fallback.
+            with self._store_lock:
+                self._store_state = None
+                self._store_token = None
+                self._store_respools += 1
         if pool.degraded:
-            self._process_degraded = True
+            self._process_degraded_until = time.monotonic() + self.degraded_cooldown
             with self._pool_lock:
                 if self._proc_pool is pool:
                     self._proc_pool = None
             pool.close()
+        else:
+            # A successful (or at least budget-respecting) process batch
+            # is the probe that closes the degradation window early.
+            self._process_degraded_until = 0.0
         return [
             outcome
             if isinstance(outcome, ServeFailure)
@@ -820,6 +874,32 @@ class GraphDatabase:
             # rebuild, and process-serving snapshots of the old engine
             # must read as stale.
             self._adopt(built, self._spec, self._build_args)
+        return self
+
+    def reload(self, path) -> GraphDatabase:
+        """Hot-swap the session's graph and engine from a saved index file.
+
+        The serving-daemon reload path: the new index (JSON or store
+        format — :meth:`open` semantics) is loaded *outside* the lock,
+        then adopted under the exclusive side, so in-flight served
+        queries finish against the old generation and every later read
+        sees only the new one.  ``_adopt`` moves the engine generation,
+        which retires shipped worker snapshots through the serve-token
+        handshake — no reader can mix the two indexes.
+        """
+        from repro.core.interest import InterestAwareIndex
+        from repro.core.persistence import load_index
+
+        index = load_index(path)
+        key = "iacpqx" if isinstance(index, InterestAwareIndex) else "cpqx"
+        with self._rwlock.write():
+            self.graph = index.graph
+            self._adopt(index, engine_spec(key), {"k": index.k})
+            state = getattr(index, "_store_state", None)
+            if state is not None:
+                self._store_state = state
+                self._store_token = self._serve_token()
+            self._invalidate_serving_snapshots()
         return self
 
     # ------------------------------------------------------------------

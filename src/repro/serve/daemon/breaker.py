@@ -1,0 +1,98 @@
+"""Circuit breaker around the process-serving pool.
+
+The session already degrades on its own (restart-budget exhaustion
+arms a cooldown that demotes ``mode="auto"`` to threads), but the
+daemon needs the decision to be *observable* and *probed*: operators
+read the breaker state from ``/stats``, and recovery is an explicit
+half-open probe batch instead of a silent retry.
+
+States (the classic three):
+
+* ``closed`` — healthy; batches route at the configured mode.
+* ``open`` — :attr:`CircuitBreaker.threshold` consecutive serving
+  failures (degradation events, pool-level errors, non-timeout
+  ``ServingError`` slots) tripped it; batches route to the thread
+  fallback until :attr:`CircuitBreaker.cooldown` elapses.
+* ``half_open`` — cooldown expired; the next batch runs as an explicit
+  ``mode="process"`` probe (which builds a fresh pool with a fresh
+  restart budget).  Success closes the breaker, failure re-opens it
+  and re-arms the cooldown.
+
+The state transition on cooldown expiry happens lazily, on
+observation — there is no timer task to leak.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Breaker states (string-valued for direct /stats reporting).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown-gated probe."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self._opened_until = 0.0
+        self._open = False
+        #: Lifetime transition counters (for /stats and the chaos bench).
+        self.times_opened = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        if not self._open:
+            return CLOSED
+        if time.monotonic() >= self._opened_until:
+            return HALF_OPEN
+        return OPEN
+
+    def route(self, configured_mode: str) -> str:
+        """The serving mode for the next batch.
+
+        ``configured_mode`` is what the daemon was launched with; a
+        breaker only matters when that mode can reach the process pool.
+        """
+        if configured_mode == "thread":
+            return "thread"
+        state = self.state
+        if state == OPEN:
+            return "thread"
+        if state == HALF_OPEN:
+            self.probes += 1
+            return "process"
+        return configured_mode
+
+    def record_success(self) -> None:
+        """A healthy batch: closes a half-open breaker, clears the count."""
+        self.failures = 0
+        self._open = False
+
+    def record_failure(self) -> None:
+        """A serving failure: trips at the threshold, re-opens a probe."""
+        self.failures += 1
+        if self._open or self.failures >= self.threshold:
+            if not self._open:
+                self.times_opened += 1
+            self._open = True
+            self._opened_until = time.monotonic() + self.cooldown
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown,
+            "times_opened": self.times_opened,
+            "probes": self.probes,
+        }

@@ -1,0 +1,109 @@
+"""A small blocking client for the serving daemon.
+
+Used by the daemon bench's load generator, the CI smoke script, and
+tests — anything that needs to talk to a running ``repro serve``
+without pulling in an HTTP library.  One connection per call (the
+daemon handles keep-alive, but a fresh connection keeps the client
+trivially safe to use from many threads at once: the load generator
+runs one client per worker thread).
+
+Every method returns ``(status, payload)`` — the daemon's structured
+responses pass through unmapped, so callers branch on
+``payload.get("error")`` (``overloaded``, ``draining``, ``deadline``,
+``serving``) exactly as documented in :mod:`repro.serve.daemon.http`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+#: A client call resolves to ``(http status, decoded JSON payload)``.
+ClientResponse = tuple[int, dict]
+
+
+class DaemonClient:
+    """Blocking JSON-over-HTTP client for one daemon address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> ClientResponse:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def healthz(self) -> ClientResponse:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> ClientResponse:
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> dict:
+        _, payload = self._request("GET", "/stats")
+        return payload
+
+    def wait_ready(self, deadline_seconds: float = 30.0) -> bool:
+        """Poll ``/readyz`` until it answers 200 (or the deadline passes)."""
+        deadline = time.monotonic() + deadline_seconds
+        while time.monotonic() < deadline:
+            try:
+                status, _ = self.readyz()
+            except OSError:
+                status = 0
+            if status == 200:
+                return True
+            time.sleep(0.05)
+        return False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        text: str,
+        timeout: float | None = None,
+        limit: int | None = None,
+    ) -> ClientResponse:
+        payload: dict = {"query": text}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if limit is not None:
+            payload["limit"] = limit
+        return self._request("POST", "/query", payload)
+
+    def update(self, **changes) -> ClientResponse:
+        """Hot-swap via graph updates: ``add_edges=[...]``, etc."""
+        return self._request("POST", "/update", dict(changes))
+
+    def reload(self, path: str) -> ClientResponse:
+        return self._request("POST", "/reload", {"path": path})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def pause(self) -> ClientResponse:
+        return self._request("POST", "/pause")
+
+    def resume(self) -> ClientResponse:
+        return self._request("POST", "/resume")
+
+    def shutdown(self) -> ClientResponse:
+        return self._request("POST", "/shutdown")

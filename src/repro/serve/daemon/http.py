@@ -1,0 +1,171 @@
+"""A minimal asyncio HTTP/1.1 front for the serving daemon.
+
+Stdlib-only by design (the project adds no dependencies): enough
+HTTP/1.1 to serve JSON over keep-alive connections from load
+generators and probes — request line, headers, ``Content-Length``
+bodies, nothing else (no chunked encoding, no TLS; front a real proxy
+with it in anger).
+
+Routes::
+
+    GET  /healthz   liveness (200 while the process runs)
+    GET  /readyz    readiness (503 before warmup and while draining)
+    GET  /stats     counters, queue depth, breaker state, percentiles
+    POST /query     {"query": str, "timeout"?: s, "limit"?: n}
+    POST /update    {"add_edges": [[v,u,label],...], ...} — hot swap
+    POST /reload    {"path": str} — hot-swap from a saved index file
+    POST /pause     test hook: pause batch dispatch
+    POST /resume    test hook: resume batch dispatch
+    POST /shutdown  begin the graceful drain (SIGTERM equivalent)
+
+Every response is JSON; error responses carry a structured ``error``
+kind (``overloaded``, ``draining``, ``deadline``, ``serving``,
+``parse``) so clients can tell shed from failure without string
+matching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from repro.serve.daemon.admission import Response
+
+if TYPE_CHECKING:
+    from repro.serve.daemon.lifecycle import ServingDaemon
+
+#: Reason phrases for the statuses the daemon emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Bound on one request head+body (a front door should not buffer
+#: arbitrarily large payloads into memory).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes] | None:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    length = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"request body too large: {length} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, body
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+async def _route(daemon: ServingDaemon, method: str, target: str, body: bytes) -> Response:
+    """Dispatch one parsed request to the daemon."""
+    if method == "GET":
+        if target == "/healthz":
+            return 200, {"ok": True, "draining": daemon.draining}
+        if target == "/readyz":
+            if daemon.ready and not daemon.draining:
+                return 200, {"ready": True}
+            return 503, {"ready": False, "draining": daemon.draining}
+        if target == "/stats":
+            return 200, daemon.stats_snapshot()
+        return 404, {"error": "not_found", "target": target}
+    if method != "POST":
+        return 405, {"error": "method_not_allowed", "method": method}
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return 400, {"error": "bad_json", "detail": str(exc)}
+    if not isinstance(payload, dict):
+        return 400, {"error": "bad_json", "detail": "body must be a JSON object"}
+    if target == "/query":
+        return await daemon.submit(
+            payload.get("query", ""), payload.get("timeout"), payload.get("limit")
+        )
+    if target == "/update":
+        return await daemon.apply_update(payload)
+    if target == "/reload":
+        return await daemon.reload_index(payload.get("path"))
+    if target == "/pause":
+        daemon.dispatch_gate.clear()
+        return 200, {"paused": True}
+    if target == "/resume":
+        daemon.dispatch_gate.set()
+        return 200, {"paused": False}
+    if target == "/shutdown":
+        daemon.request_stop()
+        return 200, {"stopping": True}
+    return 404, {"error": "not_found", "target": target}
+
+
+async def _handle_connection(
+    daemon: ServingDaemon, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one keep-alive connection until it closes or errors."""
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                _write_response(writer, 400, {"error": "bad_request", "detail": str(exc)})
+                await writer.drain()
+                break
+            if parsed is None:
+                break
+            method, target, body = parsed
+            status, payload = await _route(daemon, method, target, body)
+            _write_response(writer, status, payload)
+            await writer.drain()
+    except (ConnectionError, OSError, asyncio.CancelledError):
+        # The peer vanished (or the server is closing): nothing to
+        # answer and nobody to answer it to.
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # CancelledError included: handler tasks cancelled at event-
+            # loop shutdown must still end *normally* — on 3.11 the
+            # streams callback calls task.exception() on the finished
+            # handler, which raises (and noisily logs) for a task that
+            # ends cancelled.
+            pass
+
+
+async def start_http_server(daemon: ServingDaemon) -> asyncio.AbstractServer:
+    """Bind and start serving; the caller owns the returned server."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        await _handle_connection(daemon, reader, writer)
+
+    return await asyncio.start_server(handler, daemon.config.host, daemon.config.port)

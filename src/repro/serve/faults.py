@@ -57,6 +57,8 @@ FAULT_SITES = (
     "partition.shard",  # partition refinement worker raises
     "persist.fsync",  # save(): fsync fails mid-write
     "persist.rename",  # save(): the atomic rename fails
+    "store.open",  # open_store(): mapping a store file fails outright
+    "store.delta",  # open_store(): following a delta-chain link fails
 )
 
 #: Hard-exit status used by :meth:`FaultInjector.maybe_kill` (visible in

@@ -79,7 +79,7 @@ from multiprocessing.connection import Connection, wait
 from typing import cast
 
 from repro.core.executor import ExecutionStats
-from repro.errors import QueryTimeoutError, ServingError
+from repro.errors import CorruptIndexError, QueryTimeoutError, ServingError
 from repro.graph.digraph import Pair
 from repro.query.ast import CPQ
 from repro.serve.faults import FaultInjector
@@ -177,11 +177,12 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
     token)``; ``("query", job, query, limit, token)`` evaluates —
     answered with ``("result", job, answers, stats)``, ``("stale",
     job)`` when ``token`` does not match the installed engine (the
-    handshake's worker-side check), or ``("error", job, reason)`` when
-    evaluation raises *or* the preceding map failed to open (a corrupt
-    or missing generation file fails its queries under the bounded
-    retry budget — it never wedges the pool); ``("stop",)`` (or a
-    closed pipe) ends the loop.
+    handshake's worker-side check), ``("error", job, reason)`` when
+    evaluation raises, or ``("map_error", job, path, reason, trace)``
+    when the preceding map failed to open (a corrupt or missing
+    generation file fails its queries under the bounded retry budget,
+    with the parent demoting the batch to snapshot shipping — it never
+    wedges the pool); ``("stop",)`` (or a closed pipe) ends the loop.
     The memo caches the snapshot was stripped of rebuild here lazily, so
     repeated queries within one worker still hit the engine's
     cross-query LRUs.
@@ -196,7 +197,7 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
 
     engine: object | None = None
     engine_path: str | None = None
-    map_error: str | None = None
+    map_error: tuple[str, str, str] | None = None
     token: ServeToken | None = None
     injector: FaultInjector | None = None
     try:
@@ -217,21 +218,29 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
                 conn.send(("snapshot_ok", token))
             elif kind == "map":
                 path = message[1]
+                token = message[2]
+                injector = message[3]
                 if engine is None or engine_path != path:
                     try:
+                        from repro.serve.faults import inject
                         from repro.store import open_store
 
-                        engine = open_store(path)
+                        if injector is not None:
+                            # Ambient install so the reader's store.open /
+                            # store.delta hook points fire worker-side.
+                            with inject(injector):
+                                engine = open_store(path)
+                        else:
+                            engine = open_store(path)
                         engine_path = path
                         map_error = None
                     except Exception as exc:
                         # Surfaced per query below: every query against the
-                        # unopenable store answers ("error", job, map_error).
+                        # unopenable store answers ("map_error", job, ...).
                         engine = None
                         engine_path = None
-                        map_error = "".join(traceback.format_exception(exc))
-                token = message[2]
-                injector = message[3]
+                        reason = str(getattr(exc, "reason", None) or exc)
+                        map_error = (str(path), reason, traceback.format_exc())
                 conn.send(("snapshot_ok", token))
             elif kind == "query":
                 _, job, query, limit, expected = message
@@ -239,9 +248,8 @@ def _serve_worker(worker_id: int, conn: Connection) -> None:
                     conn.send(("stale", job))
                     continue
                 if engine is None:
-                    conn.send(
-                        ("error", job, f"worker could not open mapped index:\n{map_error}")
-                    )
+                    assert map_error is not None
+                    conn.send(("map_error", job, *map_error))
                     continue
                 if injector is not None:
                     injector.maybe_kill("worker.kill")
@@ -315,6 +323,11 @@ class ProcessServingPool:
         self.shipped_bytes = 0
         self.snapshot_ships = 0
         self.map_ships = 0
+        #: Batches in which a worker failed to open a shipped store path
+        #: (corrupt or missing generation).  The session reads this after
+        #: every mapped batch and re-spools a fresh generation chain when
+        #: it grew — see ``GraphDatabase._serve_batch_process``.
+        self.map_failures = 0
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
@@ -536,6 +549,30 @@ class ProcessServingPool:
                     # re-ships the snapshot first.
                     self._worker_tokens.pop(conn, None)
                     jobs.appendleft((index, query, attempts - 1))
+                elif kind == "map_error":
+                    # The worker could not mmap-open the shipped store
+                    # generation (missing or corrupt file, broken delta
+                    # chain).  Correctness never depends on the store:
+                    # demote the *batch* to pickled-snapshot shipping so
+                    # the retry lands on a working install path, and give
+                    # the caller a typed cause for any slot that already
+                    # spent its budget.  The session checks
+                    # :attr:`map_failures` afterwards and re-spools a
+                    # fresh generation chain for the next batch.
+                    _, _, bad_path, why, trace = message
+                    self._worker_tokens.pop(conn, None)
+                    self.map_failures += 1
+                    store_path = None
+                    if injector is not None:
+                        injector.note("store.map_failed")
+                    error = ServingError(
+                        f"serving worker could not open mapped index {bad_path}:\n{trace}",
+                        worker_id=self._pool.slot_for(conn).worker_id,
+                        query_index=index,
+                        attempts=attempts,
+                    )
+                    error.__cause__ = CorruptIndexError(bad_path, why)
+                    resolve(index, query, attempts, error)
                 else:
                     reason = message[2] if kind == "error" else f"bad message {kind!r}"
                     worker_id = self._pool.slot_for(conn).worker_id

@@ -30,6 +30,7 @@ from repro.core.pairset import PairSet
 from repro.errors import CorruptIndexError, PersistenceError
 from repro.graph.digraph import LabeledDigraph
 from repro.graph.labels import LabelRegistry
+from repro.serve.faults import current_injector
 from repro.store.format import read_header
 from repro.store.writer import StoreState
 
@@ -38,6 +39,9 @@ _ChainFile = tuple[dict, memoryview]
 
 
 def _load_file(path: Path, verify: bool) -> _ChainFile:
+    injector = current_injector()
+    if injector is not None and injector.fire("store.open"):
+        raise CorruptIndexError(path, "injected store.open fault")
     with open(path, "rb") as handle:
         try:
             mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
@@ -71,6 +75,9 @@ def _load_chain(path: Path, verify: bool) -> list[_ChainFile]:
         parent_name = meta.get("delta_of")
         if parent_name is None:
             break
+        injector = current_injector()
+        if injector is not None and injector.fire("store.delta"):
+            raise CorruptIndexError(path, f"injected delta-chain fault following {parent_name}")
         parent = (current.parent / parent_name).resolve()
         if parent in seen:
             raise CorruptIndexError(path, f"generation chain cycle through {parent}")

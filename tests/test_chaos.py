@@ -222,6 +222,135 @@ class TestDegradationLadder:
         healthy = db.serve_batch(QUERIES[:4], workers=2, mode="process")
         assert [result.pairs() for result in healthy] == expected
 
+    def test_degradation_expires_after_cooldown(self, db, monkeypatch):
+        """Regression (PR 9): degradation used to be a sticky boolean the
+        session never cleared — one bad burst demoted ``mode="auto"`` to
+        threads for the rest of the process lifetime."""
+        original = session_module.ProcessServingPool
+        monkeypatch.setattr(
+            session_module,
+            "ProcessServingPool",
+            lambda workers: original(workers, restart_budget=0),
+        )
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: 4)
+        db.degraded_cooldown = 0.1
+        with inject(FaultInjector(seed=0, rates={"worker.kill": 1.0})):
+            db.serve_batch(QUERIES[:4], workers=2, mode="process")
+        assert db._process_degraded
+        assert db._resolve_serve_mode("auto", 8, 64) == "thread"
+        time.sleep(0.12)
+        # The window expired on its own: auto may try processes again.
+        assert not db._process_degraded
+        assert db._resolve_serve_mode("auto", 8, 64) == "process"
+
+    def test_successful_probe_clears_degradation_early(self, db, monkeypatch):
+        original = session_module.ProcessServingPool
+        monkeypatch.setattr(
+            session_module,
+            "ProcessServingPool",
+            lambda workers: original(workers, restart_budget=0),
+        )
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: 4)
+        db.degraded_cooldown = 3600.0  # would outlive the test run
+        expected = serial_pairs(db, QUERIES[:4])
+        with inject(FaultInjector(seed=0, rates={"worker.kill": 1.0})):
+            db.serve_batch(QUERIES[:4], workers=2, mode="process")
+        assert db._process_degraded
+        monkeypatch.setattr(session_module, "ProcessServingPool", original)
+        # An explicit healthy process batch (the breaker's half-open
+        # probe) resets the window immediately — no hour-long demotion.
+        healthy = db.serve_batch(QUERIES[:4], workers=2, mode="process")
+        assert [result.pairs() for result in healthy] == expected
+        assert not db._process_degraded
+        assert db._resolve_serve_mode("auto", 8, 64) == "process"
+
+
+# ---------------------------------------------------------------------------
+# store-fault chaos: zero-copy shipping failures cost queries, not pools
+# ---------------------------------------------------------------------------
+class TestStoreChaos:
+    def test_store_open_faults_recover_via_snapshot_fallback(self, db):
+        """store.open @ 1.0, max_faults=2: the first worker maps fail,
+        the batch demotes to pickled snapshots, and every answer still
+        matches serial — the pool survives and the chain re-spools."""
+        expected = serial_pairs(db, QUERIES)
+        injector = FaultInjector(seed=5, rates={"store.open": 1.0}, max_faults=2)
+        with inject(injector):
+            batch = db.serve_batch(QUERIES, workers=2, mode="process", retries=2)
+        assert [result.pairs() for result in batch] == expected
+        pool = db._proc_pool
+        assert pool is not None and not pool.closed and not pool.degraded
+        assert pool.map_failures >= 1
+        assert injector.notes.get("store.map_failed", 0) >= 1
+        assert db._store_respools >= 1
+        # The next batch spools a fresh chain at a never-mapped path and
+        # serves zero-copy again, identically.
+        again = db.serve_batch(QUERIES, workers=2, mode="process")
+        assert [result.pairs() for result in again] == expected
+        assert db._store_state is not None
+        assert f"-r{db._store_respools}" in str(db._store_state.path)
+
+    def test_store_delta_faults_on_chain_follow_recover(self, db):
+        """A fault while following ``delta_of`` poisons the whole chain
+        open; the batch must still answer identically via fallback."""
+        expected = serial_pairs(db, QUERIES)
+        # Serve once to spool the full generation, then update so the
+        # next spool writes a delta chained onto it.
+        first = db.serve_batch(QUERIES, workers=2, mode="process")
+        assert [result.pairs() for result in first] == expected
+        edge = next(iter(db.graph.triples()))
+        db.update(remove_edges=[edge])
+        db.update(add_edges=[edge])
+        expected_after = serial_pairs(db, QUERIES)
+        injector = FaultInjector(seed=5, rates={"store.delta": 1.0}, max_faults=2)
+        with inject(injector):
+            batch = db.serve_batch(QUERIES, workers=2, mode="process", retries=2)
+        assert [result.pairs() for result in batch] == expected_after
+        pool = db._proc_pool
+        assert pool is not None and not pool.closed and not pool.degraded
+
+    def test_real_delta_chain_corruption_surfaces_typed_and_respools(self, db):
+        """Bytes actually flipped on disk: a worker opening the shipped
+        delta chain hits the corrupted base file, the failure surfaces
+        as ``CorruptIndexError`` slots (retries=0) and the session
+        re-spools a fresh full generation the next batch serves from."""
+        from repro.errors import CorruptIndexError
+
+        expected = serial_pairs(db, QUERIES)
+        first = db.serve_batch(QUERIES, workers=2, mode="process")
+        assert [result.pairs() for result in first] == expected
+        base_path = str(db._store_state.path)
+        edge = next(iter(db.graph.triples()))
+        db.update(remove_edges=[edge])
+        db.update(add_edges=[edge])
+        second = db.serve_batch(QUERIES, workers=2, mode="process")
+        delta_path = str(db._store_state.path)
+        assert delta_path != base_path  # the chain grew a delta
+        assert [result.pairs() for result in second] == expected
+        with open(base_path, "r+b") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 8)  # clobber the header
+        # A fresh pool must map the chain from scratch and hit the
+        # corruption (the live pool's workers already hold the mapping).
+        db._proc_pool.close()
+        db._proc_pool = None
+        broken = db.serve_batch(
+            QUERIES, workers=2, mode="process", retries=0, on_error="partial"
+        )
+        failed = [result for result in broken if result.failed]
+        assert failed, "corrupted chain must surface typed failures"
+        assert any(
+            isinstance(err, CorruptIndexError)
+            for result in failed
+            for err in result.error.cause_chain()
+        )
+        assert db._store_respools >= 1
+        # The session never serves the poisoned chain again: the next
+        # batch spools a fresh full generation and answers identically.
+        healed = db.serve_batch(QUERIES, workers=2, mode="process")
+        assert [result.pairs() for result in healed] == expected
+        assert str(db._store_state.path) != delta_path
+        assert f"-r{db._store_respools}" in str(db._store_state.path)
+
 
 # ---------------------------------------------------------------------------
 # sharded builds under chaos: fingerprint-identical recovery

@@ -165,3 +165,54 @@ class TestErrors:
     def test_unknown_dataset_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["build", "--dataset", "nope", "--out", "x"])
+
+
+class TestServeCommand:
+    def test_serve_daemon_over_a_saved_index(self, tmp_path, capsys):
+        """``repro serve`` end to end: build, boot, query over HTTP,
+        shut down via POST /shutdown, exit 0 after a clean drain."""
+        import threading
+
+        from repro.serve.daemon import DaemonClient
+
+        index = tmp_path / "served.idx"
+        assert main([
+            "build", "--dataset", "robots", "--scale", "0.12",
+            "--out", str(index),
+        ]) == 0
+        capsys.readouterr()
+        port_file = tmp_path / "port"
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(main([
+                "serve", str(index), "--port-file", str(port_file),
+                "--mode", "thread", "--batch-window", "0.002",
+            ])),
+            daemon=True,
+        )
+        thread.start()
+        deadline = __import__("time").monotonic() + 30.0
+        while not port_file.exists():
+            assert thread.is_alive() and __import__("time").monotonic() < deadline
+            __import__("time").sleep(0.02)
+        client = DaemonClient("127.0.0.1", int(port_file.read_text().strip()))
+        assert client.wait_ready(30.0)
+        status, payload = client.query("l1 & l1")
+        assert status == 200
+        assert payload["count"] == len(payload["answers"])
+        client.shutdown()
+        thread.join(30.0)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert "serving" in capsys.readouterr().out
+
+    def test_serve_bench_daemon_flag_routes(self, monkeypatch):
+        """``serve-bench --daemon`` dispatches to the daemon bench."""
+        calls = []
+        import repro.bench.daemon_bench as daemon_bench
+
+        monkeypatch.setattr(
+            daemon_bench, "main_bench_daemon", lambda args: calls.append(args) or 0
+        )
+        assert main(["serve-bench", "--daemon"]) == 0
+        assert len(calls) == 1 and calls[0].daemon is True

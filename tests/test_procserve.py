@@ -729,6 +729,7 @@ class TestMappedShipping:
             db.close()
 
     def test_unopenable_store_path_costs_the_batch_not_the_pool(self, serve_graph):
+        from repro.errors import CorruptIndexError
         from repro.query.parser import parse
         from repro.serve import ServeFailure
 
@@ -738,15 +739,30 @@ class TestMappedShipping:
         queries = [parse(text, engine.graph.registry) for text in QUERIES]
         pool = ProcessServingPool(workers=2)
         try:
+            # With no retry budget the failed map surfaces as typed
+            # slots: ServingError caused by CorruptIndexError.
             outcomes = pool.serve(
                 engine, session_token(engine, 1), queries,
-                store_path="/nonexistent/gen.rsx", retries=1,
+                store_path="/nonexistent/gen.rsx", retries=0,
             )
-            assert all(isinstance(out, ServeFailure) for out in outcomes)
-            assert any("could not open" in str(out.error) for out in outcomes)
+            failures = [out for out in outcomes if isinstance(out, ServeFailure)]
+            assert failures
+            assert any("could not open" in str(out.error) for out in failures)
+            assert any(
+                any(isinstance(err, CorruptIndexError) for err in out.error.cause_chain())
+                for out in failures
+            )
+            assert pool.map_failures >= 1
             assert not pool.closed
-            # The same pool serves normally once shipping reverts to pickles.
-            recovered = pool.serve(engine, session_token(engine, 2), queries)
+            assert not pool.degraded
+            # With a retry budget the batch *recovers in place*: the
+            # map failure demotes shipping to pickled snapshots and the
+            # retried queries succeed on the same pool.
+            recovered = pool.serve(
+                engine, session_token(engine, 2), queries,
+                store_path="/nonexistent/gen.rsx", retries=2,
+            )
             assert not any(isinstance(out, ServeFailure) for out in recovered)
+            assert pool.snapshot_ships >= 1
         finally:
             pool.close()
