@@ -16,6 +16,13 @@ are structured rejects and the admission queue never overran its
 bound), and ``drained_clean`` (shutdown answered everything admitted
 within the drain deadline).
 
+The PR-10 kernels section is the one sanctioned exception to the
+no-ratio-gates policy: backend-vs-backend speedups divide out runner
+noise (both sides run on the same box in the same process), so at the
+pinned workload the numpy backend must beat pure by >= 2x on the
+intersect and compose primitives — and every cross-backend identity
+flag (primitives, index fingerprint, served answers) is hard-asserted.
+
 The script is section-driven, so one entry point serves the perf-smoke,
 perf-regression, chaos, storage, and daemon jobs: pass any
 ``bench-*.json`` and only the sections present in it are checked.
@@ -59,6 +66,55 @@ def check_micro(result: dict) -> list[str]:
         result["query_eval"], "bench-micro query results differ between cores",
     )
     return ["query_eval: identical results verified"]
+
+
+#: The kernels gate: at the pinned workload the numpy backend must be at
+#: least this much faster than pure on the two join-heavy primitives.
+MIN_KERNEL_SPEEDUP = 2.0
+
+#: Primitives the speedup gate binds on (the other rows are recorded
+#: only — union at bench sizes is allocation-bound on both backends).
+GATED_PRIMITIVES = ("intersect", "compose")
+
+
+def check_kernels(section: dict) -> list[str]:
+    _require(
+        section["identical_results"] is True,
+        section, "kernel backends disagree (pure vs numpy)",
+    )
+    if not section["numpy_available"]:
+        return ["kernels: numpy absent, pure backend self-consistent"]
+    for name, row in section["primitives"].items():
+        _require(
+            row["identical"] is True,
+            row, f"kernel primitive {name} differs between backends",
+        )
+    _require(
+        section["build"]["fingerprint_identical"] is True,
+        section["build"], "kernel backends build different indexes",
+    )
+    _require(
+        section["serve"]["identical"] is True,
+        section["serve"], "kernel backends serve different answers",
+    )
+    lines = []
+    if section["gate_eligible"]:
+        for name in GATED_PRIMITIVES:
+            row = section["primitives"][name]
+            _require(
+                row["speedup"] >= MIN_KERNEL_SPEEDUP,
+                row,
+                f"numpy {name} only {row['speedup']:.2f}x over pure, "
+                f"under the {MIN_KERNEL_SPEEDUP:.0f}x pinned-size gate",
+            )
+    for name, row in section["primitives"].items():
+        gated = " (gated)" if section["gate_eligible"] and name in GATED_PRIMITIVES else ""
+        lines.append(f"kernel {name}: {row['speedup']:.2f}x numpy{gated}")
+    lines.append(
+        f"kernel end-to-end: build {section['build']['speedup']:.2f}x, "
+        f"serve {section['serve']['speedup']:.2f}x, fingerprint identical"
+    )
+    return lines
 
 
 def check_concurrent(result: dict) -> list[str]:
@@ -248,6 +304,8 @@ def main(argv: list[str]) -> int:
     lines = []
     if "query_eval" in result:
         lines += check_micro(result)
+    if "kernels" in result:
+        lines += check_kernels(result["kernels"])
     if "parallel_build" in result:
         lines += check_concurrent(result)
     if "storage" in result:

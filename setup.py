@@ -33,6 +33,11 @@ setup(
     packages=find_packages("src"),
     package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
+    extras_require={
+        # Optional vectorized set-algebra kernels (repro.core.kernels):
+        # bit-identical results, selected automatically when importable.
+        "fast": ["numpy>=1.24"],
+    },
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

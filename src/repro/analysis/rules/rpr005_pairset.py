@@ -25,7 +25,12 @@ Outside those sanctioned homes this rule flags:
 * raw ``mmap.mmap(...)`` / ``memoryview(...)`` column access outside
   the store package (PR 8) — mapped columns are created only by the
   store reader and adopted through ``PairSet.from_mapped``, so every
-  consumer sees one column contract regardless of backing.
+  consumer sees one column contract regardless of backing;
+* raw ``np.ndarray`` / ``np.frombuffer`` handling outside the kernels
+  package and the store package (PR 10) — vectorized column work is
+  the kernels backend's job; everyone else speaks ``PairSet`` and
+  ``array('q')`` columns and dispatches through
+  ``repro.core.kernels``, so the numpy dependency stays optional.
 """
 
 from __future__ import annotations
@@ -48,20 +53,41 @@ COLUMN_ATTRS = frozenset({"codes", "_codes"})
 #: Files allowed to construct raw array("q") pair columns.  The store
 #: package joins the build modules: its reader's foreign-endian
 #: fallback rebuilds owned columns byte-for-byte from mapped ones.
+#: The kernels package (PR 10) is where the loops over raw columns
+#: actually live now — both backends mint columns there.
 ARRAY_ALLOWED = (
     "repro/core/pairset.py",
     "repro/core/paths.py",
     "repro/core/parallel.py",
     "repro/core/partition.py",
+    "repro/core/kernels/",
     "repro/store/",
 )
 
 #: Files allowed to touch raw buffers (mmap / memoryview): the store
-#: package creates mapped columns; pairset adopts and copies them.
+#: package creates mapped columns; pairset adopts and copies them; the
+#: kernels backends view them (zero-copy ``np.frombuffer`` / the pure
+#: gallop loops over ``memoryview('q')``).
 BUFFER_ALLOWED = (
     "repro/core/pairset.py",
+    "repro/core/kernels/",
     "repro/store/",
 )
+
+#: Files allowed to handle raw numpy arrays.  The kernels package is
+#: the vectorization boundary; the store package may view mapped
+#: columns when validating snapshots.  Everyone else dispatches
+#: through ``repro.core.kernels`` so numpy stays an optional extra.
+NUMPY_ALLOWED = (
+    "repro/core/kernels/",
+    "repro/store/",
+)
+
+#: numpy attributes whose use marks raw ndarray handling.
+NUMPY_ATTRS = frozenset({"ndarray", "frombuffer"})
+
+#: Names the numpy module is conventionally bound to.
+NUMPY_ALIASES = frozenset({"np", "numpy"})
 
 
 def _sanctioned(path: str, allowed: tuple[str, ...]) -> bool:
@@ -82,6 +108,7 @@ class PairSetIntegrityRule(Rule):
         findings: list[Finding] = []
         array_ok = _sanctioned(module.path, ARRAY_ALLOWED)
         buffer_ok = _sanctioned(module.path, BUFFER_ALLOWED)
+        numpy_ok = _sanctioned(module.path, NUMPY_ALLOWED)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute) and node.attr in PRIVATE_ATTRS:
                 findings.append(
@@ -91,6 +118,23 @@ class PairSetIntegrityRule(Rule):
                         f"PairSet internal {node.attr!r} accessed outside "
                         f"core/pairset.py; use the public iteration/membership "
                         f"API — the packed representation is private",
+                    )
+                )
+            elif (
+                not numpy_ok
+                and isinstance(node, ast.Attribute)
+                and node.attr in NUMPY_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in NUMPY_ALIASES
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"raw numpy {node.attr!r} handling outside the kernels "
+                        f"and store packages; vectorized column work lives in "
+                        f"core/kernels/ — dispatch through repro.core.kernels "
+                        f"so numpy stays optional",
                     )
                 )
             elif isinstance(node, ast.Call):
@@ -144,7 +188,8 @@ class PairSetIntegrityRule(Rule):
                     module,
                     node,
                     "raw array('q') packed-code column constructed outside the "
-                    "sanctioned build modules (pairset/paths/partition/parallel); "
+                    "sanctioned build modules "
+                    "(pairset/paths/partition/parallel/kernels); "
                     "build pairs there and go through PairSet.from_codes",
                 )
             ]

@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="save in the zero-copy columnar store format (mmap-openable) "
              "instead of checksummed JSON",
     )
+    build.add_argument(
+        "--kernels", choices=("auto", "numpy", "pure"), default="auto",
+        help="set-algebra kernel backend ('auto' = numpy when importable; "
+             "results are bit-identical either way)",
+    )
 
     query = sub.add_parser("query", help="evaluate a CPQ")
     query.add_argument("cpq", help="query text, e.g. '(f . f) & f^-'")
@@ -271,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--breaker-cooldown", type=float, default=5.0,
         help="seconds an open breaker waits before its half-open probe",
     )
+    serve.add_argument(
+        "--kernels", choices=("auto", "numpy", "pure"), default="auto",
+        help="set-algebra kernel backend ('auto' = numpy when importable; "
+             "results are bit-identical either way)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -304,6 +314,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_kernels(choice: str) -> int:
+    """Select the kernel backend for ``--kernels``; 0 on success.
+
+    'auto' keeps the import-time default (numpy when importable).  An
+    explicit 'numpy' without numpy installed is a hard error rather
+    than a silent fallback — the caller asked for the vectorized build.
+    """
+    if choice == "auto":
+        return 0
+    from repro.core import kernels
+
+    if choice not in kernels.available_backends():
+        print(
+            f"error: --kernels {choice} requested but the {choice} backend "
+            f"is unavailable (is numpy installed?); available: "
+            f"{', '.join(kernels.available_backends())}",
+            file=sys.stderr,
+        )
+        return 2
+    kernels.set_backend(choice)
+    return 0
+
+
 def _parse_interest_list(raw: str, registry) -> set[tuple[int, ...]]:
     interests: set[tuple[int, ...]] = set()
     for chunk in raw.split(","):
@@ -335,6 +368,8 @@ def cmd_build(args) -> int:
               file=sys.stderr)
         return 2
     engine = args.engine or args.type or "cpqx"
+    if (code := _apply_kernels(args.kernels)) != 0:
+        return code
     db = GraphDatabase.from_dataset(args.dataset, scale=args.scale, seed=args.seed)
     print(f"loaded {args.dataset}: {db.graph}")
     interests = (
@@ -438,6 +473,8 @@ def cmd_serve(args) -> int:
     from repro.serve.daemon import DaemonConfig, ServingDaemon
     from repro.serve.procserve import DEFAULT_RETRIES
 
+    if (code := _apply_kernels(args.kernels)) != 0:
+        return code
     db = GraphDatabase.open(args.index)
     config = DaemonConfig(
         host=args.host,

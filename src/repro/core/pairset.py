@@ -34,12 +34,20 @@ one :meth:`to_set` call away for consumers that do not migrate.
 A third backing joined in PR 8: a frozen column may be a read-only
 ``memoryview`` cast to ``'q'`` over an ``mmap``-ed store file
 (:mod:`repro.store`) instead of an owned ``array('q')``.  Both backings
-are sorted int64 sequences supporting ``len``/indexing/``bisect``, so
-the merge/gallop algebra runs unchanged; the few operations that *build*
-columns (point updates, union materialization) copy through the
-``_owned_*`` helpers below, whose ``frombytes`` fast path keeps mapped
-inputs at C speed.  Mapped sets pickle by converting to an owned column
+are sorted int64 sequences supporting ``len``/indexing/``bisect`` *and*
+the buffer protocol, so the set-algebra kernels run on either — zero
+copy under the numpy backend, which views them through
+``np.frombuffer``.  Mapped sets pickle by converting to an owned column
 (:meth:`__reduce__`) — a ``memoryview`` cannot cross a process boundary.
+
+The algebra itself lives in :mod:`repro.core.kernels` (PR 10): frozen
+operands dispatch to the active backend — the original merge/gallop
+loops (:mod:`repro.core.kernels.pure`) or their vectorized numpy twins —
+while lazy operands stay on hash-based set operations here, where
+deferring the sort is the whole point.  Both backends return
+bit-identical columns; only the physical state of *lazy-producing*
+operators may differ (the numpy compose returns its output born frozen,
+since the vectorized join sorts as a side effect of deduplication).
 """
 
 from __future__ import annotations
@@ -48,142 +56,12 @@ from array import array
 from bisect import bisect_left
 from collections.abc import Iterable, Iterator
 
+from repro.core import kernels
+from repro.core.kernels.pure import extend_from, owned_copy, owned_slice
 from repro.graph.digraph import Pair
-from repro.graph.interner import ID_BITS, ID_HIGH_MASK, ID_MASK, VertexInterner
-
-#: Size ratio beyond which merge operations gallop instead of scanning.
-GALLOP_RATIO = 8
+from repro.graph.interner import ID_BITS, ID_MASK, VertexInterner
 
 _EMPTY = array("q")
-
-
-def _owned_copy(column: array | memoryview) -> array:
-    """A fresh owned ``array('q')`` with ``column``'s codes."""
-    if type(column) is array:
-        return array("q", column)
-    out = array("q")
-    out.frombytes(column.cast("B"))
-    return out
-
-
-def _owned_slice(column: array | memoryview, start: int, stop: int) -> array:
-    """``column[start:stop]`` as a fresh owned ``array('q')``."""
-    if type(column) is array:
-        return column[start:stop]
-    out = array("q")
-    if start < stop:
-        out.frombytes(column[start:stop].cast("B"))
-    return out
-
-
-def _extend_from(out: array, column: array | memoryview, start: int = 0) -> None:
-    """Append ``column[start:]`` to ``out`` without Python-level iteration."""
-    if type(column) is array:
-        out.extend(column if start == 0 else column[start:])
-    elif start < len(column):
-        out.frombytes(column[start:].cast("B"))
-
-
-def _intersect_columns(a: array, b: array) -> array:
-    """Sorted-merge intersection; gallops when one column dwarfs the other."""
-    if len(a) > len(b):
-        a, b = b, a
-    la, lb = len(a), len(b)
-    out = array("q")
-    if la == 0:
-        return out
-    if lb >= GALLOP_RATIO * la:
-        lo = 0
-        for code in a:
-            lo = bisect_left(b, code, lo)
-            if lo == lb:
-                break
-            if b[lo] == code:
-                out.append(code)
-                lo += 1
-        return out
-    i = j = 0
-    while i < la and j < lb:
-        x = a[i]
-        y = b[j]
-        if x == y:
-            out.append(x)
-            i += 1
-            j += 1
-        elif x < y:
-            i += 1
-        else:
-            j += 1
-    return out
-
-
-def _union_columns(a: array, b: array) -> array:
-    """Sorted-merge union of two sorted duplicate-free columns."""
-    if not a:
-        return _owned_copy(b)
-    if not b:
-        return _owned_copy(a)
-    la, lb = len(a), len(b)
-    if min(la, lb) * GALLOP_RATIO <= max(la, lb):
-        # skewed: binary-probe the small side, then one C-level sort of
-        # the large column plus the genuinely new codes
-        small, large = (a, b) if la < lb else (b, a)
-        missing = [
-            code for code in small
-            if (pos := bisect_left(large, code)) == len(large) or large[pos] != code
-        ]
-        if not missing:
-            return _owned_copy(large)
-        merged = _owned_copy(large)
-        merged.extend(missing)
-        return array("q", sorted(merged))
-    out = array("q")
-    i = j = 0
-    while i < la and j < lb:
-        x = a[i]
-        y = b[j]
-        if x == y:
-            out.append(x)
-            i += 1
-            j += 1
-        elif x < y:
-            out.append(x)
-            i += 1
-        else:
-            out.append(y)
-            j += 1
-    _extend_from(out, a, i)
-    _extend_from(out, b, j)
-    return out
-
-
-def _difference_columns(a: array, b: array) -> array:
-    """Sorted-merge difference ``a \\ b``; gallops when ``b`` is much larger."""
-    if not a or not b:
-        return _owned_copy(a)
-    la, lb = len(a), len(b)
-    out = array("q")
-    if lb >= GALLOP_RATIO * la:
-        lo = 0
-        for code in a:
-            lo = bisect_left(b, code, lo)
-            if lo == lb or b[lo] != code:
-                out.append(code)
-        return out
-    i = j = 0
-    while i < la and j < lb:
-        x = a[i]
-        y = b[j]
-        if x < y:
-            out.append(x)
-            i += 1
-        elif x > y:
-            j += 1
-        else:
-            i += 1
-            j += 1
-    _extend_from(out, a, i)
-    return out
 
 
 class PairSet:
@@ -222,7 +100,7 @@ class PairSet:
     @classmethod
     def from_codes(cls, codes: Iterable[int], interner: VertexInterner) -> PairSet:
         """Build a frozen column from arbitrary codes (sorts + dedups)."""
-        return cls(array("q", sorted(set(codes))), interner)
+        return cls(kernels.from_codes(codes), interner)
 
     @classmethod
     def from_sorted_codes(cls, codes: array, interner: VertexInterner) -> PairSet:
@@ -273,10 +151,7 @@ class PairSet:
             return cls.empty(interner)
         if len(columns) == 1:
             return cls(columns[0], interner)
-        merged = array("q")
-        for column in columns:
-            _extend_from(merged, column)
-        return cls(array("q", sorted(merged)), interner)
+        return cls(kernels.concat_sorted(columns), interner)
 
     # ------------------------------------------------------------------
     # physical representations
@@ -286,7 +161,7 @@ class PairSet:
         """The sorted code column (materialized and cached on demand)."""
         codes = self._codes
         if codes is None:
-            codes = self._codes = array("q", sorted(self._codeset))
+            codes = self._codes = kernels.column_from_set(self._codeset)
         return codes
 
     @property
@@ -320,7 +195,7 @@ class PairSet:
         """
         codes = self._codes
         if type(codes) is memoryview:
-            codes = _owned_copy(codes)
+            codes = owned_copy(codes)
         return (PairSet, (codes, self._interner, self._codeset))
 
     def iter_codes(self) -> Iterator[int]:
@@ -331,9 +206,7 @@ class PairSet:
         """Membership on the packed code (hash or binary search)."""
         if self._codeset is not None:
             return code in self._codeset
-        codes = self._codes
-        pos = bisect_left(codes, code)
-        return pos < len(codes) and codes[pos] == code
+        return kernels.contains(self._codes, code)
 
     # ------------------------------------------------------------------
     # set protocol (decoded boundary)
@@ -406,7 +279,7 @@ class PairSet:
         if peer is not None:
             if self._both_frozen(peer):
                 return PairSet(
-                    _intersect_columns(self._codes, peer._codes), self._interner
+                    kernels.intersect(self._codes, peer._codes), self._interner
                 )
             return PairSet.from_code_set(
                 self.code_set() & peer.code_set(), self._interner
@@ -424,7 +297,7 @@ class PairSet:
         if peer is not None:
             if self._both_frozen(peer):
                 return PairSet(
-                    _union_columns(self._codes, peer._codes), self._interner
+                    kernels.union(self._codes, peer._codes), self._interner
                 )
             return PairSet.from_code_set(
                 self.code_set() | peer.code_set(), self._interner
@@ -442,7 +315,7 @@ class PairSet:
         if peer is not None:
             if self._both_frozen(peer):
                 return PairSet(
-                    _difference_columns(self._codes, peer._codes), self._interner
+                    kernels.difference(self._codes, peer._codes), self._interner
                 )
             return PairSet.from_code_set(
                 self.code_set() - peer.code_set(), self._interner
@@ -485,9 +358,9 @@ class PairSet:
         pos = bisect_left(codes, code)
         if pos < len(codes) and codes[pos] == code:
             return self
-        updated = _owned_slice(codes, 0, pos)
+        updated = owned_slice(codes, 0, pos)
         updated.append(code)
-        _extend_from(updated, codes, pos)
+        extend_from(updated, codes, pos)
         return PairSet(updated, self._interner)
 
     def without_code(self, code: int) -> PairSet:
@@ -496,8 +369,8 @@ class PairSet:
         pos = bisect_left(codes, code)
         if pos == len(codes) or codes[pos] != code:
             raise KeyError(code)
-        updated = _owned_slice(codes, 0, pos)
-        _extend_from(updated, codes, pos + 1)
+        updated = owned_slice(codes, 0, pos)
+        extend_from(updated, codes, pos + 1)
         return PairSet(updated, self._interner)
 
     # ------------------------------------------------------------------
@@ -505,18 +378,10 @@ class PairSet:
     # ------------------------------------------------------------------
     def loops(self) -> PairSet:
         """The subset with ``v == u`` (the ``∩ id`` filter)."""
-        if self._codeset is not None:
-            return PairSet.from_code_set(
-                {c for c in self._codeset if (c >> ID_BITS) == (c & ID_MASK)},
-                self._interner,
-            )
-        return PairSet(
-            array(
-                "q",
-                (c for c in self._codes if (c >> ID_BITS) == (c & ID_MASK)),
-            ),
-            self._interner,
-        )
+        filtered = kernels.loops(self)
+        if isinstance(filtered, set):
+            return PairSet.from_code_set(filtered, self._interner)
+        return PairSet(filtered, self._interner)
 
     def compose(self, other: PairSet, loops_only: bool = False) -> PairSet:
         """Relational composition ``{(v, u) | (v, m) ∈ self, (m, u) ∈ other}``.
@@ -532,37 +397,20 @@ class PairSet:
         fuses the trailing ``∩ id`` (the paper's JOIN ID operator),
         probing only for ``(m, v)`` on the right instead of emitting the
         full cross product.
+
+        Under the numpy backend the join is sort-merge instead of hash
+        (the right column is clustered by source, so a ``searchsorted``
+        range replaces the probe) and its output arrives *born frozen* —
+        the vectorized dedup is a sort — rather than lazy.  Same value
+        either way.
         """
         interner = self._interner
         if not self or not other:
             return PairSet.empty(interner)
-        by_source: dict[int, list[int]] = {}
-        for code in other._any_codes():
-            key = code >> ID_BITS
-            bucket = by_source.get(key)
-            if bucket is None:
-                by_source[key] = [code & ID_MASK]
-            else:
-                bucket.append(code & ID_MASK)
-        out: set[int] = set()
-        get = by_source.get
-        if loops_only:
-            add = out.add
-            for code in self._any_codes():
-                targets = get(code & ID_MASK)
-                if targets is not None:
-                    v = code >> ID_BITS
-                    if v in targets:
-                        add((v << ID_BITS) | v)
-        else:
-            add = out.add
-            for code in self._any_codes():
-                targets = get(code & ID_MASK)
-                if targets is not None:
-                    v_high = code & ID_HIGH_MASK
-                    for u in targets:
-                        add(v_high | u)
-        return PairSet.from_code_set(out, self._interner)
+        joined = kernels.compose(self, other, loops_only)
+        if isinstance(joined, set):
+            return PairSet.from_code_set(joined, interner)
+        return PairSet(joined, interner)
 
     def __repr__(self) -> str:
         state = "frozen" if self._codes is not None else "lazy"

@@ -31,6 +31,13 @@ through a ``workers`` build argument (default 1 = serial, ``"auto"`` =
 one worker per CPU), plumbed through
 :meth:`repro.db.GraphDatabase.build_index`, the engine registry, and the
 CLI.
+
+Workers select the same kernel backend as the parent: backend choice
+is exported through ``os.environ[REPRO_KERNELS]``
+(:func:`repro.core.kernels.set_backend`), which both spawn- and
+fork-started children read at their own ``repro.core.kernels`` import —
+a sharded build never mixes merge-loop and vectorized shards by
+accident.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from contextlib import contextmanager
 from multiprocessing.connection import Connection
 from typing import TypeVar
 
+from repro.core import kernels
 from repro.core.pairset import PairSet
 from repro.core.paths import sequence_codes_from_sources, sequence_targets_from_source
 from repro.errors import IndexBuildError
@@ -117,15 +125,11 @@ def merge_code_columns(parts: Iterable[array]) -> array:
     """Concatenate disjoint shard columns and sort into one column.
 
     Shards anchor disjoint source ids, so the concatenation is
-    duplicate-free; the single sort (C Timsort over pre-sorted runs)
-    restores the canonical form :class:`PairSet` stores.
+    duplicate-free; the single sort (C Timsort over pre-sorted runs, or
+    the numpy backend's vectorized twin) restores the canonical form
+    :class:`PairSet` stores.
     """
-    merged = array("q")
-    for part in parts:
-        merged.extend(part)
-    if len(merged) > 1:
-        merged = array("q", sorted(merged))
-    return merged
+    return kernels.concat_sorted(list(parts))
 
 
 # ---------------------------------------------------------------------------

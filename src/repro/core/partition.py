@@ -50,6 +50,7 @@ from array import array
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
 
+from repro.core import kernels
 from repro.core.pairset import PairSet
 from repro.core.parallel import resolve_workers, shard_processes, shard_round_robin
 from repro.errors import IndexBuildError
@@ -318,6 +319,30 @@ def _partition_shard_worker(
     """
     k, shard_sources, num_ids, codes, classes, injector = task
     try:
+        if kernels.active_backend() == "numpy":
+            # Same wire protocol, vectorized refinement: the table rows
+            # a numpy worker ships are content-equal to a pure worker's
+            # (decompositions sorted and duplicate-free), so the parent
+            # unifies mixed-backend shards without knowing the difference.
+            nk = kernels.backend_module()
+            all_codes, all_classes = nk.sorted_columns(codes, classes)
+            csr = nk.edge_csr(all_codes, all_classes, num_ids)
+            shard_codes, shard_classes = nk.filter_by_sources(
+                all_codes, all_classes, shard_sources
+            )
+            for _ in range(2, k + 1):
+                if injector is not None:
+                    injector.fail("partition.shard")  # type: ignore[attr-defined]
+                shard_codes, signature_ids, _, table = nk.refine_level(
+                    shard_codes, shard_classes, csr, want_table=True
+                )
+                conn.send(("sigs", table[0], table[1]))
+                remap = conn.recv()
+                shard_classes = nk.apply_remap(remap, signature_ids)
+            conn.send(
+                ("blocks", nk.to_column(shard_codes), nk.to_column(shard_classes))
+            )
+            return
         level1 = dict(zip(codes, classes, strict=True))
         edge_class_by_source = _class_annotated_adjacency(level1, num_ids)
         shard = set(shard_sources)
@@ -362,7 +387,8 @@ def _recv_payload(conn: Connection) -> tuple[array, array]:
 
 
 def _parallel_refinement(
-    level1: dict[int, int],
+    codes: array,
+    classes: array,
     num_ids: int,
     k: int,
     sources: list[int],
@@ -370,27 +396,39 @@ def _parallel_refinement(
 ) -> tuple[list[array], list[int]]:
     """Run refinement levels ``2..k`` sharded over persistent workers.
 
-    The parent's per-level job is pure signature unification: read each
-    shard's packed signature table **in shard order** (deterministic —
-    equal signatures across shards resolve to one global class id, new
-    ids assigned first-seen), answer with a remap array per shard, and
-    record the level's class count.  Per-pair state never crosses the
-    process boundary between levels; only the final assignment columns
-    do, regrouped into member columns by :func:`_block_columns` exactly
-    as the serial path does.
+    ``codes``/``classes`` are the aligned level-1 assignment columns
+    (any order — workers normalize).  The parent's per-level job is pure
+    signature unification: read each shard's packed signature table **in
+    shard order** (deterministic — equal signatures across shards
+    resolve to one global class id, new ids assigned first-seen), answer
+    with a remap array per shard, and record the level's class count.
+    Under the numpy backend the unification reuses the vectorized table
+    build (:func:`repro.core.kernels.numpy_backend.unify_tables`):
+    shipped decomposition runs are sorted and duplicate-free, so their
+    raw byte slices key the signature dict directly instead of a
+    per-signature frozenset fold — the PR-4 parent-side residue.
+    Per-pair state never crosses the process boundary between levels;
+    only the final assignment columns do, regrouped into member columns
+    exactly as the serial path does.
     """
     from repro.serve.faults import current_injector
 
+    use_numpy = kernels.active_backend() == "numpy"
     shards = shard_round_robin(sources, min(num_workers, len(sources)))
-    codes = array("q", level1.keys())
-    classes = array("q", level1.values())
     injector = current_injector()
     tasks = [(k, shard, num_ids, codes, classes, injector) for shard in shards]
     level_counts: list[int] = []
     final: dict[int, int] = {}
+    assignments: list[tuple[array, array]] = []
     with shard_processes(_partition_shard_worker, tasks) as connections:
         for _ in range(2, k + 1):
             tables = [_recv_payload(conn) for conn in connections]
+            if use_numpy:
+                remaps, level_count = kernels.backend_module().unify_tables(tables)
+                for conn, remap in zip(connections, remaps, strict=True):
+                    conn.send(remap)
+                level_counts.append(level_count)
+                continue
             global_ids: dict[_Signature, int] = {}
             assign = global_ids.setdefault
             for conn, (meta, decomps) in zip(connections, tables, strict=True):
@@ -409,7 +447,12 @@ def _parallel_refinement(
             level_counts.append(len(global_ids))
         for conn in connections:
             shard_codes, shard_classes = _recv_payload(conn)
-            final.update(zip(shard_codes, shard_classes, strict=True))
+            if use_numpy:
+                assignments.append((shard_codes, shard_classes))
+            else:
+                final.update(zip(shard_codes, shard_classes, strict=True))
+    if use_numpy:
+        return kernels.backend_module().merged_member_columns(assignments), level_counts
     return _block_columns(final), level_counts
 
 
@@ -441,6 +484,8 @@ def compute_partition_codes(
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
     num_workers = resolve_workers(workers)
+    if kernels.active_backend() == "numpy":
+        return _compute_partition_codes_numpy(graph, k, num_workers, min_pairs)
     current = _level1_code_classes(graph)
     level_counts = [len(set(current.values()))]
     interner = graph.interner
@@ -465,7 +510,12 @@ def compute_partition_codes(
             for attempt in range(2):
                 try:
                     columns, refined_counts = _parallel_refinement(
-                        current, len(interner), k, sources, num_workers
+                        array("q", current.keys()),
+                        array("q", current.values()),
+                        len(interner),
+                        k,
+                        sources,
+                        num_workers,
                     )
                     return _assemble(k, columns, level_counts + refined_counts, interner)
                 except IndexBuildError:  # noqa: PERF203 - retry ladder
@@ -479,6 +529,62 @@ def compute_partition_codes(
         current, signatures = _refine_level(current, edge_class_by_source)
         level_counts.append(len(signatures))
     return _assemble(k, _block_columns(current), level_counts, interner)
+
+
+def _compute_partition_codes_numpy(
+    graph: LabeledDigraph,
+    k: int,
+    num_workers: int,
+    min_pairs: int | None,
+) -> CodePartition:
+    """Columnar twin of the pure flow above (numpy backend active).
+
+    Intermediate class ids are assigned in sorted-code order rather than
+    the pure refinement's first-seen dict order — a bijective relabeling
+    at every level, invisible after :func:`_assemble`'s canonical
+    renumbering: the returned ``CodePartition`` (class ids included) is
+    identical to the pure backend's, serial or sharded.
+    """
+    nk = kernels.backend_module()
+    interner = graph.interner
+    codes, classes, num_classes = nk.level1_columns(graph.interned())
+    level_counts = [num_classes]
+
+    if k == 1:
+        return _assemble(k, nk.class_member_columns(codes, classes), level_counts, interner)
+
+    threshold = PARALLEL_MIN_PAIRS if min_pairs is None else min_pairs
+    if num_workers > 1 and len(codes) >= threshold:
+        sources = nk.source_ids(codes)
+        if len(sources) > 1:
+            # The same retry-then-serial ladder as the pure path: a
+            # failed sharded refinement reruns whole once, then falls
+            # back to the serial loop below (value-identical result).
+            from repro.serve.faults import current_injector
+
+            injector = current_injector()
+            for attempt in range(2):
+                try:
+                    columns, refined_counts = _parallel_refinement(
+                        nk.to_column(codes),
+                        nk.to_column(classes),
+                        len(interner),
+                        k,
+                        sources,
+                        num_workers,
+                    )
+                    return _assemble(k, columns, level_counts + refined_counts, interner)
+                except IndexBuildError:  # noqa: PERF203 - retry ladder
+                    if injector is not None:
+                        injector.note(
+                            "partition.retried" if attempt == 0 else "partition.serial_fallback"
+                        )
+
+    csr = nk.edge_csr(codes, classes, len(interner))
+    for _ in range(2, k + 1):
+        codes, classes, level_count, _ = nk.refine_level(codes, classes, csr)
+        level_counts.append(level_count)
+    return _assemble(k, nk.class_member_columns(codes, classes), level_counts, interner)
 
 
 def compute_partition(

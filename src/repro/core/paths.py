@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from array import array
 
+from repro.core import kernels
 from repro.core.pairset import PairSet
 from repro.errors import IndexBuildError
 from repro.graph.digraph import LabeledDigraph, Pair, Vertex
@@ -46,6 +47,17 @@ def enumerate_sequences_codes(
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
     view = graph.interned()
+    interner = graph.interner
+    if kernels.active_backend() == "numpy":
+        nk = kernels.backend_module()
+        columns = nk.enumerate_sequence_columns(view, k)
+        # None = label alphabet too wide for the per-label probe sweep
+        # (see MAX_ENUMERATION_LABELS); fall through to the pure loop.
+        if columns is not None:
+            return {
+                seq: PairSet.from_sorted_codes(nk.to_column(column), interner)
+                for seq, column in columns.items()
+            }
     out = view.out
     sequences: dict[LabelSeq, set[int]] = {}
     frontier: dict[LabelSeq, set[int]] = {}
@@ -72,7 +84,6 @@ def enumerate_sequences_codes(
         frontier = extended
         if not frontier:
             break
-    interner = graph.interner
     return {
         seq: PairSet.from_codes(codes, interner)
         for seq, codes in sequences.items()
@@ -124,6 +135,10 @@ def reachable_codes(graph: LabeledDigraph, k: int) -> PairSet:
     if k < 1:
         raise IndexBuildError(f"k must be >= 1, got {k}")
     view = graph.interned()
+    if kernels.active_backend() == "numpy":
+        return PairSet.from_sorted_codes(
+            kernels.backend_module().reachable_codes(view, k), graph.interner
+        )
     out = view.out
     codes: set[int] = set()
     for vid, uid, _ in view.triples:
@@ -161,6 +176,10 @@ def sequence_codes_from_sources(
     one shard) — the sharded == serial contract depends on them never
     diverging.  ``seq`` must be non-empty.
     """
+    if kernels.active_backend() == "numpy":
+        return kernels.backend_module().sequence_codes_from_sources(
+            view, sources, seq
+        )
     out = view.out
     first = seq[0]
     codes: set[int] = set()

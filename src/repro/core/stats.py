@@ -33,6 +33,9 @@ class IndexStats:
     num_sequences: int
     size_bytes: int
     build_seconds: float
+    #: kernel backend active when the index was built ("numpy"/"pure") —
+    #: timings are only comparable within one backend.
+    kernels: str = "pure"
 
     def describe(self) -> str:
         """Human-readable single-line rendering."""
@@ -40,7 +43,7 @@ class IndexStats:
         return (
             f"{self.name}(k={self.k}): |C|={classes} |P|={self.num_pairs} "
             f"|seqs|={self.num_sequences} size={format_bytes(self.size_bytes)} "
-            f"build={self.build_seconds:.3f}s"
+            f"build={self.build_seconds:.3f}s kernels={self.kernels}"
         )
 
 
@@ -54,6 +57,8 @@ def build_with_stats(builder: Callable[[], object], name: str | None = None) -> 
 
 def stats_of(index: object, build_seconds: float = 0.0, name: str | None = None) -> IndexStats:
     """Extract an :class:`IndexStats` row from any index object."""
+    from repro.core import kernels
+
     return IndexStats(
         name=name if name is not None else getattr(index, "name", type(index).__name__),
         k=getattr(index, "k", 0),
@@ -62,6 +67,7 @@ def stats_of(index: object, build_seconds: float = 0.0, name: str | None = None)
         num_sequences=getattr(index, "num_sequences", 0),
         size_bytes=index.size_bytes() if hasattr(index, "size_bytes") else 0,
         build_seconds=build_seconds,
+        kernels=kernels.active_backend(),
     )
 
 

@@ -33,6 +33,7 @@ import signal
 import time
 from dataclasses import dataclass
 
+from repro.core import kernels
 from repro.db.session import GraphDatabase
 from repro.errors import ReproError
 from repro.serve.daemon.admission import AdmissionQueue, DaemonStats, Request, Response
@@ -281,6 +282,7 @@ class ServingDaemon:
             "generation": self.db._engine_gen,
             "graph_version": self.db.graph.version,
             "process_degraded": self.db._process_degraded,
+            "kernels": kernels.active_backend(),
         }
         pool = self.db._proc_pool
         snapshot["pool"] = {

@@ -406,6 +406,46 @@ class TestPairSetIntegrity:
         })
         assert hits == ["RPR005"]
 
+    def test_raw_frombuffer_outside_kernels_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/query/rogue.py": """
+                import numpy as np
+
+                def view(column):
+                    return np.frombuffer(column, dtype=np.int64)
+            """,
+        })
+        assert hits == ["RPR005"]
+
+    def test_raw_ndarray_outside_kernels_flagged(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/serve/rogue.py": """
+                import numpy
+
+                def widen(nd: numpy.ndarray) -> numpy.ndarray:
+                    return nd
+            """,
+        })
+        assert hits == ["RPR005", "RPR005"]
+
+    def test_numpy_in_kernels_package_clean(self, tmp_path):
+        hits = rules_hit(tmp_path, {
+            "repro/core/kernels/numpy_backend.py": """
+                from array import array
+
+                import numpy as np
+
+                def as_ndarray(column) -> np.ndarray:
+                    return np.frombuffer(column, dtype=np.int64)
+
+                def to_column(nd: np.ndarray) -> array:
+                    out = array("q")
+                    out.frombytes(memoryview(np.ascontiguousarray(nd)).cast("B"))
+                    return out
+            """,
+        })
+        assert hits == []
+
     def test_mmap_outside_store_flagged(self, tmp_path):
         hits = rules_hit(tmp_path, {
             "repro/serve/rogue.py": """
